@@ -1,0 +1,29 @@
+//! Criterion micro-benchmark of the real hugepage copy path (the measured
+//! counterpart of Figure 12).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nk_shmem::HugepageRegion;
+
+fn bench_hugepage_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hugepage_copy");
+    for &size in &[64usize, 512, 4096, 8192, 65536] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let region = HugepageRegion::new(4);
+            let payload = vec![0xA5u8; size];
+            let mut out = vec![0u8; size];
+            b.iter(|| {
+                // GuestLib side: allocate + copy in; ServiceLib side: copy
+                // out + free — the full per-message data path of §4.5.
+                let handle = region.alloc_and_write(&payload).unwrap();
+                region.read(handle, &mut out).unwrap();
+                region.free(handle).unwrap();
+                std::hint::black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hugepage_copy);
+criterion_main!(benches);

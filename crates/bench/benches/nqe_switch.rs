@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark of real NQE switching over the lockless queues
+//! (the measured counterpart of Figure 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nk_engine::CoreEngine;
+use nk_queue::{queue_set_pair, WakeState};
+use nk_types::{IsolationPolicy, Nqe, NsmId, OpType, QueueSetId, SocketId, VmId};
+
+fn bench_nqe_switching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coreengine_nqe_switching");
+    for &batch in &[1usize, 4, 16, 64, 256] {
+        group.throughput(Throughput::Elements(1024));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let (mut guest, vm_end) = queue_set_pair(4096);
+            let (nsm_switch, mut nsm) = queue_set_pair(4096);
+            let mut ce = CoreEngine::new(IsolationPolicy::RoundRobin, batch);
+            ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, 0)
+                .unwrap();
+            ce.register_nsm(NsmId(1), vec![nsm_switch]).unwrap();
+            ce.map_vm(VmId(1), NsmId(1)).unwrap();
+            let nqe = Nqe::new(OpType::Connect, VmId(1), QueueSetId(0), SocketId(1));
+            let mut sink = Vec::with_capacity(1024);
+            b.iter(|| {
+                for _ in 0..1024 {
+                    guest.submit(nqe).unwrap();
+                }
+                while ce.poll(0) > 0 {}
+                sink.clear();
+                nsm.pop_requests(&mut sink, 1024);
+                assert_eq!(sink.len(), 1024);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_spsc_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_queue");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("push_pop_1024", |b| {
+        let (mut tx, mut rx) = nk_queue::channel::<u64>(2048);
+        b.iter(|| {
+            for i in 0..1024u64 {
+                tx.push(i).unwrap();
+            }
+            for _ in 0..1024 {
+                std::hint::black_box(rx.pop().unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nqe_switching, bench_spsc_queue);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! CoreEngine: the NQE software switch and control plane.
+//!
+//! CoreEngine "runs on the hypervisor and performs actual NQE switching"
+//! (paper §4.3) and also acts as the control plane (§4.4): it sets up NK
+//! devices when VMs and NSMs come and go, maintains the connection table
+//! mapping VM tuples to NSM tuples, polls every queue set round-robin for
+//! basic fairness, and optionally enforces per-VM token-bucket rate limits or
+//! operation-rate limits (§7.6).
+
+pub mod engine;
+pub mod table;
+
+pub use engine::{CoreEngine, EngineStats};
+pub use table::{ConnEntry, ConnTable};

@@ -1,0 +1,139 @@
+//! The CoreEngine connection table (paper §4.3, Figure 6).
+
+use nk_types::{ConnKey, NsmId, QueueSetId, SocketId, VmId};
+use std::collections::HashMap;
+
+/// One connection-table entry: the NSM side of a VM tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnEntry {
+    /// NSM serving this connection.
+    pub nsm: NsmId,
+    /// NSM-side queue set the connection is pinned to.
+    pub nsm_queue_set: QueueSetId,
+    /// NSM-side socket id, filled in once the NSM's response reveals it
+    /// (step 4 in Figure 6).
+    pub nsm_socket: Option<SocketId>,
+}
+
+/// The connection table mapping ⟨VM id, queue set, socket⟩ to
+/// ⟨NSM id, queue set, socket⟩.
+#[derive(Default)]
+pub struct ConnTable {
+    entries: HashMap<ConnKey, ConnEntry>,
+}
+
+impl ConnTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tracked connections.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no connection is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the entry for a VM tuple.
+    pub fn get(&self, key: &ConnKey) -> Option<&ConnEntry> {
+        self.entries.get(key)
+    }
+
+    /// Insert or fetch the entry for a VM tuple, choosing the NSM queue set
+    /// with `pick` when the tuple is new.
+    pub fn get_or_insert_with(
+        &mut self,
+        key: ConnKey,
+        pick: impl FnOnce() -> (NsmId, QueueSetId),
+    ) -> &mut ConnEntry {
+        self.entries.entry(key).or_insert_with(|| {
+            let (nsm, nsm_queue_set) = pick();
+            ConnEntry {
+                nsm,
+                nsm_queue_set,
+                nsm_socket: None,
+            }
+        })
+    }
+
+    /// Record the NSM-side socket id once it is known.
+    pub fn complete(&mut self, key: &ConnKey, nsm_socket: SocketId) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.nsm_socket = Some(nsm_socket);
+        }
+    }
+
+    /// Remove the entry for a VM tuple (connection closed).
+    pub fn remove(&mut self, key: &ConnKey) -> Option<ConnEntry> {
+        self.entries.remove(key)
+    }
+
+    /// Remove every entry belonging to a VM (VM shut down, §4.4).
+    pub fn remove_vm(&mut self, vm: VmId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.entity != vm.0);
+        before - self.entries.len()
+    }
+
+    /// Number of connections currently mapped to `nsm`.
+    pub fn connections_for_nsm(&self, nsm: NsmId) -> usize {
+        self.entries.values().filter(|e| e.nsm == nsm).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(vm: u8, qs: u8, sock: u32) -> ConnKey {
+        ConnKey::vm(VmId(vm), QueueSetId(qs), SocketId(sock))
+    }
+
+    #[test]
+    fn insert_lookup_complete_remove() {
+        let mut t = ConnTable::new();
+        assert!(t.is_empty());
+        let e = t.get_or_insert_with(key(1, 0, 7), || (NsmId(1), QueueSetId(2)));
+        assert_eq!(e.nsm, NsmId(1));
+        assert_eq!(e.nsm_queue_set, QueueSetId(2));
+        assert_eq!(e.nsm_socket, None);
+
+        // A second lookup does not re-pick.
+        let e = t.get_or_insert_with(key(1, 0, 7), || panic!("must not re-pick"));
+        assert_eq!(e.nsm, NsmId(1));
+
+        t.complete(&key(1, 0, 7), SocketId(99));
+        assert_eq!(t.get(&key(1, 0, 7)).unwrap().nsm_socket, Some(SocketId(99)));
+
+        assert!(t.remove(&key(1, 0, 7)).is_some());
+        assert!(t.get(&key(1, 0, 7)).is_none());
+    }
+
+    #[test]
+    fn remove_vm_clears_only_that_vm() {
+        let mut t = ConnTable::new();
+        for sock in 0..5 {
+            t.get_or_insert_with(key(1, 0, sock), || (NsmId(1), QueueSetId(0)));
+            t.get_or_insert_with(key(2, 0, sock), || (NsmId(1), QueueSetId(0)));
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.remove_vm(VmId(1)), 5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.connections_for_nsm(NsmId(1)), 5);
+    }
+
+    #[test]
+    fn connections_per_nsm_counts() {
+        let mut t = ConnTable::new();
+        t.get_or_insert_with(key(1, 0, 1), || (NsmId(1), QueueSetId(0)));
+        t.get_or_insert_with(key(1, 0, 2), || (NsmId(2), QueueSetId(0)));
+        t.get_or_insert_with(key(2, 0, 3), || (NsmId(2), QueueSetId(0)));
+        assert_eq!(t.connections_for_nsm(NsmId(1)), 1);
+        assert_eq!(t.connections_for_nsm(NsmId(2)), 2);
+        assert_eq!(t.connections_for_nsm(NsmId(9)), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! The virtual network fabric.
+//!
+//! The paper's testbed connects NSMs to a vSwitch (software or SR-IOV
+//! embedded) and then to 100 G physical NICs (§4, Figure 2). This crate
+//! provides the equivalent substrate for the reproduction:
+//!
+//! * [`port`] — a bidirectional packet port (vNIC attachment point);
+//! * [`link`] — rate limiting, propagation latency, loss and reordering
+//!   applied to a stream of frames;
+//! * [`switch`] — the virtual switch connecting ports by destination address;
+//! * [`nic`] — a multi-queue NIC front-end with receive-side scaling (RSS),
+//!   used by multi-core stacks to spread connections over queues;
+//! * [`rng`] — a tiny deterministic PRNG so loss/reordering are reproducible.
+//!
+//! The fabric is generic over the frame payload so it carries the TCP
+//! segments of `nk-netstack` without a dependency cycle.
+
+pub mod link;
+pub mod nic;
+pub mod port;
+pub mod rng;
+pub mod switch;
+
+pub use link::{Link, LinkConfig};
+pub use nic::MultiQueueNic;
+pub use port::{Frame, Port};
+pub use switch::VirtualSwitch;

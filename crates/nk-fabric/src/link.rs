@@ -1,0 +1,270 @@
+//! Link impairments: rate limiting, propagation delay, loss and reordering.
+
+use crate::port::Frame;
+use crate::rng::SplitMix64;
+use nk_sim::TokenBucket;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of one link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Line rate in Gbps; `None` means unconstrained.
+    pub rate_gbps: Option<f64>,
+    /// One-way propagation delay in microseconds.
+    pub latency_us: u64,
+    /// Probability of dropping a frame.
+    pub loss: f64,
+    /// Probability of delaying a frame by an extra jitter, causing
+    /// reordering relative to later frames.
+    pub reorder: f64,
+    /// Extra delay applied to reordered frames, in microseconds.
+    pub reorder_extra_us: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rate_gbps: None,
+            latency_us: 0,
+            loss: 0.0,
+            reorder: 0.0,
+            reorder_extra_us: 50,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal link: no rate cap, no delay, no loss.
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// A link with a rate cap in Gbps.
+    pub fn with_rate_gbps(mut self, gbps: f64) -> Self {
+        self.rate_gbps = Some(gbps);
+        self
+    }
+
+    /// A link with a one-way latency in microseconds.
+    pub fn with_latency_us(mut self, us: u64) -> Self {
+        self.latency_us = us;
+        self
+    }
+
+    /// A link dropping frames with probability `loss`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        self.loss = loss;
+        self
+    }
+
+    /// A link reordering frames with probability `reorder`.
+    pub fn with_reorder(mut self, reorder: f64) -> Self {
+        self.reorder = reorder;
+        self
+    }
+}
+
+struct Pending<P> {
+    deliver_at_ns: u64,
+    seq: u64,
+    frame: Frame<P>,
+}
+
+impl<P> PartialEq for Pending<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at_ns == other.deliver_at_ns && self.seq == other.seq
+    }
+}
+impl<P> Eq for Pending<P> {}
+impl<P> PartialOrd for Pending<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Pending<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at_ns, self.seq).cmp(&(other.deliver_at_ns, other.seq))
+    }
+}
+
+/// Statistics of one link.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames accepted onto the link.
+    pub sent: u64,
+    /// Frames dropped by loss or rate policing.
+    pub dropped: u64,
+    /// Frames delivered out of the link.
+    pub delivered: u64,
+    /// Bytes delivered out of the link.
+    pub delivered_bytes: u64,
+}
+
+/// A unidirectional link applying [`LinkConfig`] impairments.
+pub struct Link<P> {
+    config: LinkConfig,
+    bucket: Option<TokenBucket>,
+    in_flight: BinaryHeap<Reverse<Pending<P>>>,
+    rng: SplitMix64,
+    seq: u64,
+    stats: LinkStats,
+}
+
+impl<P> Link<P> {
+    /// Create a link with the given configuration and RNG seed.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Link {
+            bucket: config.rate_gbps.map(|g| TokenBucket::for_gbps(g, 0)),
+            config,
+            in_flight: BinaryHeap::new(),
+            rng: SplitMix64::new(seed),
+            seq: 0,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offer a frame to the link at time `now_ns`. Frames beyond the rate cap
+    /// or hit by loss are dropped (TCP sees them as congestion).
+    pub fn offer(&mut self, frame: Frame<P>, now_ns: u64) {
+        self.stats.sent += 1;
+        if let Some(bucket) = &mut self.bucket {
+            if !bucket.try_consume(frame.wire_bytes as f64, now_ns) {
+                self.stats.dropped += 1;
+                return;
+            }
+        }
+        if self.rng.chance(self.config.loss) {
+            self.stats.dropped += 1;
+            return;
+        }
+        let mut delay_us = self.config.latency_us;
+        if self.rng.chance(self.config.reorder) {
+            delay_us += self.config.reorder_extra_us;
+        }
+        self.seq += 1;
+        self.in_flight.push(Reverse(Pending {
+            deliver_at_ns: now_ns + delay_us * 1_000,
+            seq: self.seq,
+            frame,
+        }));
+    }
+
+    /// Pop every frame whose delivery time has arrived.
+    pub fn deliverable(&mut self, now_ns: u64) -> Vec<Frame<P>> {
+        let mut out = Vec::new();
+        while let Some(Reverse(head)) = self.in_flight.peek() {
+            if head.deliver_at_ns <= now_ns {
+                let Reverse(p) = self.in_flight.pop().unwrap();
+                self.stats.delivered += 1;
+                self.stats.delivered_bytes += p.frame.wire_bytes as u64;
+                out.push(p.frame);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Frames still queued on the link.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Link statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(bytes: usize) -> Frame<u32> {
+        Frame {
+            src: 1,
+            dst: 2,
+            flow_hash: 0,
+            wire_bytes: bytes,
+            payload: 0,
+        }
+    }
+
+    #[test]
+    fn ideal_link_delivers_immediately_in_order() {
+        let mut link: Link<u32> = Link::new(LinkConfig::ideal(), 1);
+        for i in 0..5 {
+            let mut f = frame(100);
+            f.payload = i;
+            link.offer(f, 0);
+        }
+        let out = link.deliverable(0);
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().map(|f| f.payload).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(link.stats().dropped, 0);
+    }
+
+    #[test]
+    fn latency_defers_delivery() {
+        let mut link: Link<u32> = Link::new(LinkConfig::ideal().with_latency_us(10), 1);
+        link.offer(frame(100), 0);
+        assert!(link.deliverable(5_000).is_empty());
+        assert_eq!(link.deliverable(10_000).len(), 1);
+        assert_eq!(link.in_flight(), 0);
+    }
+
+    #[test]
+    fn rate_cap_drops_excess() {
+        // 1 Gbps = 125 MB/s; offering 2 MB within one instant exceeds the
+        // millisecond burst (125 KB).
+        let mut link: Link<u32> = Link::new(LinkConfig::ideal().with_rate_gbps(1.0), 1);
+        for _ in 0..2000 {
+            link.offer(frame(1000), 0);
+        }
+        let s = link.stats();
+        assert_eq!(s.sent, 2000);
+        assert!(s.dropped > 1800, "dropped {}", s.dropped);
+    }
+
+    #[test]
+    fn loss_drops_roughly_the_configured_fraction() {
+        let mut link: Link<u32> = Link::new(LinkConfig::ideal().with_loss(0.1), 99);
+        for _ in 0..10_000 {
+            link.offer(frame(100), 0);
+        }
+        let lost = link.stats().dropped as f64 / 10_000.0;
+        assert!((lost - 0.1).abs() < 0.02, "loss rate {lost}");
+    }
+
+    #[test]
+    fn reordering_changes_delivery_order() {
+        let cfg = LinkConfig::ideal().with_reorder(0.3);
+        let mut link: Link<u32> = Link::new(cfg, 5);
+        for i in 0..100 {
+            let mut f = frame(100);
+            f.payload = i;
+            link.offer(f, 0);
+        }
+        // Collect everything after the reorder window has passed.
+        let out = link.deliverable(1_000_000_000);
+        assert_eq!(out.len(), 100);
+        let in_order = out.windows(2).all(|w| w[0].payload < w[1].payload);
+        assert!(!in_order, "with 30% reordering some frames must be late");
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let mut link: Link<u32> = Link::new(LinkConfig::ideal(), 1);
+        link.offer(frame(500), 0);
+        link.offer(frame(300), 0);
+        let _ = link.deliverable(0);
+        assert_eq!(link.stats().delivered_bytes, 800);
+        assert_eq!(link.stats().delivered, 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! The virtual switch connecting ports.
+//!
+//! The switch plays the role of the paper's vSwitch / SR-IOV embedded switch
+//! (Figure 2): every vNIC (NSM port, baseline VM port, remote host port)
+//! attaches to it and frames are forwarded by destination address. Each
+//! attached port gets an egress [`Link`] so per-port rate caps, latency and
+//! loss can be configured.
+
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::port::Port;
+use std::collections::HashMap;
+
+/// A virtual switch over frames with payload `P`.
+pub struct VirtualSwitch<P> {
+    ports: HashMap<u32, Port<P>>,
+    /// Egress link (impairments applied on the way *out* of the switch
+    /// towards the destination port), keyed by destination address.
+    links: HashMap<u32, Link<P>>,
+    default_link: LinkConfig,
+    /// Frames dropped because the destination is unknown.
+    unroutable: u64,
+    seed: u64,
+}
+
+impl<P> VirtualSwitch<P> {
+    /// A switch whose ports get ideal egress links by default.
+    pub fn new() -> Self {
+        Self::with_default_link(LinkConfig::ideal())
+    }
+
+    /// A switch applying `default_link` to every port unless overridden.
+    pub fn with_default_link(default_link: LinkConfig) -> Self {
+        VirtualSwitch {
+            ports: HashMap::new(),
+            links: HashMap::new(),
+            default_link,
+            unroutable: 0,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Attach a new endpoint with address `addr`; returns the endpoint's port
+    /// handle. Re-attaching an existing address replaces the old port.
+    pub fn attach(&mut self, addr: u32) -> Port<P> {
+        self.attach_with_link(addr, self.default_link)
+    }
+
+    /// Attach a new endpoint with a specific egress link configuration.
+    pub fn attach_with_link(&mut self, addr: u32, link: LinkConfig) -> Port<P> {
+        let port = Port::new(addr);
+        self.ports.insert(addr, port.clone());
+        self.seed = self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(addr as u64);
+        self.links.insert(addr, Link::new(link, self.seed));
+        port
+    }
+
+    /// Detach an endpoint.
+    pub fn detach(&mut self, addr: u32) {
+        self.ports.remove(&addr);
+        self.links.remove(&addr);
+    }
+
+    /// Number of attached ports.
+    pub fn ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Forward frames: drain every port's TX queue, push frames through the
+    /// destination's egress link, and deliver everything whose time has come.
+    ///
+    /// Returns the number of frames delivered to ports during this call.
+    pub fn step(&mut self, now_ns: u64) -> usize {
+        // Ingress: collect from all ports.
+        let addrs: Vec<u32> = self.ports.keys().copied().collect();
+        for addr in &addrs {
+            let frames = self.ports[addr].drain_tx(usize::MAX);
+            for f in frames {
+                match self.links.get_mut(&f.dst) {
+                    Some(link) if self.ports.contains_key(&f.dst) => link.offer(f, now_ns),
+                    _ => self.unroutable += 1,
+                }
+            }
+        }
+        // Egress: deliver matured frames.
+        let mut delivered = 0;
+        for (addr, link) in self.links.iter_mut() {
+            if let Some(port) = self.ports.get(addr) {
+                for f in link.deliverable(now_ns) {
+                    port.deliver(f);
+                    delivered += 1;
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Frames dropped because no port matched the destination address.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Statistics of the egress link towards `addr`.
+    pub fn link_stats(&self, addr: u32) -> Option<LinkStats> {
+        self.links.get(&addr).map(|l| l.stats())
+    }
+}
+
+impl<P> Default for VirtualSwitch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::Frame;
+
+    fn frame(src: u32, dst: u32, tag: u32) -> Frame<u32> {
+        Frame {
+            src,
+            dst,
+            flow_hash: tag as u64,
+            wire_bytes: 100,
+            payload: tag,
+        }
+    }
+
+    #[test]
+    fn forwards_between_two_ports() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let b = sw.attach(2);
+        a.send(frame(1, 2, 11));
+        b.send(frame(2, 1, 22));
+        let delivered = sw.step(0);
+        assert_eq!(delivered, 2);
+        assert_eq!(b.recv().unwrap().payload, 11);
+        assert_eq!(a.recv().unwrap().payload, 22);
+    }
+
+    #[test]
+    fn unknown_destination_is_counted() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        a.send(frame(1, 99, 1));
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 1);
+    }
+
+    #[test]
+    fn detach_stops_forwarding() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let _b = sw.attach(2);
+        sw.detach(2);
+        assert_eq!(sw.ports(), 1);
+        a.send(frame(1, 2, 1));
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 1);
+    }
+
+    #[test]
+    fn per_port_latency_applies_on_egress() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let b = sw.attach_with_link(2, LinkConfig::ideal().with_latency_us(100));
+        a.send(frame(1, 2, 5));
+        sw.step(0);
+        assert_eq!(b.rx_pending(), 0);
+        sw.step(100_000);
+        assert_eq!(b.recv().unwrap().payload, 5);
+    }
+
+    #[test]
+    fn link_stats_visible_per_destination() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let _b = sw.attach(2);
+        a.send(frame(1, 2, 1));
+        a.send(frame(1, 2, 2));
+        sw.step(0);
+        let stats = sw.link_stats(2).unwrap();
+        assert_eq!(stats.delivered, 2);
+        assert!(sw.link_stats(42).is_none());
+    }
+}

@@ -1,0 +1,688 @@
+//! The GuestLib socket implementation.
+
+use crate::sockstate::{GuestSocket, GuestSocketState, RxChunk};
+use nk_queue::{NkDevice, RequesterEnd};
+use nk_shmem::HugepageRegion;
+use nk_types::api::{EpollEvent, ShutdownHow};
+use nk_types::{
+    DataHandle, NkError, NkResult, Nqe, OpResult, OpType, PollEvents, QueueSetId, SockAddr,
+    SocketApi, SocketId, VmId,
+};
+use std::collections::HashMap;
+
+/// Guest-allocated socket ids live below this bit; ids with the bit set are
+/// allocated by ServiceLib for accepted connections, so the two sides never
+/// collide without a round trip (§4.6 pipelining).
+pub const NSM_SOCKET_ID_BASE: u32 = 0x8000_0000;
+
+/// Statistics exposed by GuestLib.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GuestStats {
+    /// Request NQEs submitted.
+    pub nqes_sent: u64,
+    /// Completion / event NQEs processed.
+    pub nqes_received: u64,
+    /// Payload bytes copied into the hugepages by `send()`.
+    pub bytes_sent: u64,
+    /// Payload bytes copied out of the hugepages by `recv()`.
+    pub bytes_received: u64,
+}
+
+/// The guest side of NetKernel: a complete BSD-socket implementation that
+/// translates every call into NQEs (paper §4.1–§4.2).
+pub struct GuestLib {
+    vm: VmId,
+    device: NkDevice<RequesterEnd>,
+    region: HugepageRegion,
+    sockets: HashMap<SocketId, GuestSocket>,
+    next_socket: u32,
+    send_buf: usize,
+    batch: usize,
+    stats: GuestStats,
+    scratch: Vec<Nqe>,
+}
+
+impl GuestLib {
+    /// Build the guest library for `vm` from its NK device queue sets and the
+    /// hugepage region shared with its NSM.
+    pub fn new(vm: VmId, device: NkDevice<RequesterEnd>, region: HugepageRegion) -> Self {
+        GuestLib {
+            vm,
+            device,
+            region,
+            sockets: HashMap::new(),
+            next_socket: 1,
+            send_buf: nk_types::constants::DEFAULT_SEND_BUF,
+            batch: nk_types::constants::DEFAULT_BATCH_SIZE,
+            stats: GuestStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The VM this GuestLib belongs to.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// GuestLib statistics.
+    pub fn stats(&self) -> GuestStats {
+        self.stats
+    }
+
+    /// Number of live guest sockets.
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// The hugepage region shared with the NSM (used by tests and the host).
+    pub fn region(&self) -> &HugepageRegion {
+        &self.region
+    }
+
+    fn queue_set_for(&self, id: SocketId) -> QueueSetId {
+        let sets = self.device.queue_sets().max(1) as u32;
+        QueueSetId((id.raw() % sets) as u8)
+    }
+
+    fn submit(&mut self, qs: QueueSetId, nqe: Nqe) -> NkResult<()> {
+        let end = self
+            .device
+            .queue_set(qs.raw() as usize)
+            .ok_or(NkError::BadConfig)?;
+        end.submit(nqe)?;
+        self.stats.nqes_sent += 1;
+        Ok(())
+    }
+
+    fn request(&mut self, op: OpType, sock: SocketId) -> Nqe {
+        let qs = self
+            .sockets
+            .get(&sock)
+            .map(|s| s.queue_set)
+            .unwrap_or_else(|| self.queue_set_for(sock));
+        Nqe::new(op, self.vm, qs, sock)
+    }
+
+    fn sock(&self, id: SocketId) -> NkResult<&GuestSocket> {
+        self.sockets.get(&id).ok_or(NkError::BadSocket)
+    }
+
+    fn sock_mut(&mut self, id: SocketId) -> NkResult<&mut GuestSocket> {
+        self.sockets.get_mut(&id).ok_or(NkError::BadSocket)
+    }
+
+    // ---- Completion processing ----------------------------------------------
+
+    fn process_response(&mut self, nqe: Nqe) {
+        self.stats.nqes_received += 1;
+        match nqe.op {
+            OpType::SocketCreated
+            | OpType::BindComplete
+            | OpType::ListenComplete
+            | OpType::SetSockOptComplete
+            | OpType::GetSockOptComplete
+            | OpType::ShutdownComplete => {
+                if let OpResult::Err(e) = nqe.result() {
+                    if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                        s.state = GuestSocketState::Error(e);
+                    }
+                }
+            }
+            OpType::ConnectComplete => {
+                if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                    match nqe.result() {
+                        OpResult::Ok => s.state = GuestSocketState::Established,
+                        OpResult::Err(e) => s.state = GuestSocketState::Error(e),
+                    }
+                }
+            }
+            OpType::Accepted => {
+                // aux carries the ServiceLib-allocated guest socket id for the
+                // new connection; the data-handle field carries the packed
+                // peer address.
+                let new_id = SocketId(nqe.aux());
+                let peer = SockAddr::unpack(nqe.data.0);
+                let qs = nqe.queue_set;
+                if nqe.result().is_ok() {
+                    let mut conn = GuestSocket::new(new_id, qs, self.send_buf);
+                    conn.state = GuestSocketState::Established;
+                    conn.remote = Some(peer);
+                    self.sockets.insert(new_id, conn);
+                    if let Some(listener) = self.sockets.get_mut(&nqe.socket) {
+                        listener.accept_queue.push_back((new_id, peer));
+                    }
+                }
+            }
+            OpType::SendComplete => {
+                if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                    s.send_budget.release(nqe.size as usize);
+                    if let OpResult::Err(e) = nqe.result() {
+                        s.state = GuestSocketState::Error(e);
+                    }
+                }
+            }
+            OpType::DataReceived => {
+                if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                    s.rx_chunks.push_back(RxChunk {
+                        handle: nqe.data,
+                        len: nqe.size as usize,
+                        consumed: 0,
+                    });
+                }
+            }
+            OpType::PeerClosed => {
+                if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                    // Only an established connection transitions to the
+                    // half-closed state; errors and closed sockets keep their
+                    // state so the application still observes the failure.
+                    if matches!(s.state, GuestSocketState::Established) {
+                        s.state = GuestSocketState::PeerClosed;
+                    }
+                }
+            }
+            OpType::CloseComplete => {
+                if let Some(s) = self.sockets.remove(&nqe.socket) {
+                    // Release any unread payload still parked in the region.
+                    for chunk in s.rx_chunks {
+                        let _ = self.region.free(chunk.handle);
+                    }
+                }
+            }
+            OpType::ErrorEvent => {
+                if let Some(s) = self.sockets.get_mut(&nqe.socket) {
+                    let err = match nqe.result() {
+                        OpResult::Err(e) => e,
+                        OpResult::Ok => NkError::InvalidState,
+                    };
+                    s.state = GuestSocketState::Error(err);
+                }
+            }
+            OpType::Writable => {}
+            _ => {}
+        }
+    }
+}
+
+impl SocketApi for GuestLib {
+    fn socket(&mut self) -> NkResult<SocketId> {
+        let id = SocketId(self.next_socket);
+        self.next_socket += 1;
+        let qs = self.queue_set_for(id);
+        self.sockets
+            .insert(id, GuestSocket::new(id, qs, self.send_buf));
+        let nqe = Nqe::new(OpType::SocketCreate, self.vm, qs, id);
+        self.submit(qs, nqe)?;
+        Ok(id)
+    }
+
+    fn bind(&mut self, sock: SocketId, addr: SockAddr) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self.request(OpType::Bind, sock).with_op_data(addr.pack());
+        self.submit(qs, nqe)?;
+        let s = self.sock_mut(sock)?;
+        s.local = Some(addr);
+        s.state = GuestSocketState::Bound;
+        Ok(())
+    }
+
+    fn listen(&mut self, sock: SocketId, backlog: u32) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self
+            .request(OpType::Listen, sock)
+            .with_op_data(u64::from(backlog));
+        self.submit(qs, nqe)?;
+        let s = self.sock_mut(sock)?;
+        s.backlog = backlog;
+        s.state = GuestSocketState::Listening;
+        Ok(())
+    }
+
+    fn accept(&mut self, sock: SocketId) -> NkResult<(SocketId, SockAddr)> {
+        self.drive();
+        let s = self.sock_mut(sock)?;
+        if !matches!(s.state, GuestSocketState::Listening) {
+            return Err(NkError::InvalidState);
+        }
+        s.accept_queue.pop_front().ok_or(NkError::WouldBlock)
+    }
+
+    fn connect(&mut self, sock: SocketId, addr: SockAddr) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self
+            .request(OpType::Connect, sock)
+            .with_op_data(addr.pack());
+        self.submit(qs, nqe)?;
+        let s = self.sock_mut(sock)?;
+        s.remote = Some(addr);
+        s.state = GuestSocketState::Connecting;
+        Ok(())
+    }
+
+    fn send(&mut self, sock: SocketId, data: &[u8]) -> NkResult<usize> {
+        let (qs, granted) = {
+            let s = self.sock_mut(sock)?;
+            match s.state {
+                GuestSocketState::Established | GuestSocketState::Connecting => {}
+                GuestSocketState::PeerClosed => {}
+                GuestSocketState::Error(e) => return Err(e),
+                GuestSocketState::Closed | GuestSocketState::Closing => {
+                    return Err(NkError::Closed)
+                }
+                _ => return Err(NkError::NotConnected),
+            }
+            let granted = s.send_budget.reserve_up_to(data.len());
+            (s.queue_set, granted)
+        };
+        if granted == 0 {
+            return Err(NkError::WouldBlock);
+        }
+        // Copy the payload into the shared hugepages and describe it in the
+        // NQE (§4.5 "Sending Data").
+        let handle = match self.region.alloc_and_write(&data[..granted]) {
+            Ok(h) => h,
+            Err(e) => {
+                self.sock_mut(sock)?.send_budget.release(granted);
+                return Err(e);
+            }
+        };
+        let nqe = self
+            .request(OpType::Send, sock)
+            .with_data(handle, granted as u32);
+        match self.submit(qs, nqe) {
+            Ok(()) => {
+                self.stats.bytes_sent += granted as u64;
+                Ok(granted)
+            }
+            Err(e) => {
+                let _ = self.region.free(handle);
+                self.sock_mut(sock)?.send_budget.release(granted);
+                Err(e)
+            }
+        }
+    }
+
+    fn recv(&mut self, sock: SocketId, buf: &mut [u8]) -> NkResult<usize> {
+        self.drive();
+        let region = self.region.clone();
+        let vm = self.vm;
+        let mut consumed_chunks: Vec<(DataHandle, usize)> = Vec::new();
+        let (qs, copied, state) = {
+            let s = self.sock_mut(sock)?;
+            let mut copied = 0usize;
+            while copied < buf.len() {
+                let Some(chunk) = s.rx_chunks.front_mut() else {
+                    break;
+                };
+                let remaining = chunk.len - chunk.consumed;
+                let take = remaining.min(buf.len() - copied);
+                let mut tmp = vec![0u8; chunk.len];
+                region.read(chunk.handle, &mut tmp)?;
+                buf[copied..copied + take]
+                    .copy_from_slice(&tmp[chunk.consumed..chunk.consumed + take]);
+                chunk.consumed += take;
+                copied += take;
+                if chunk.consumed == chunk.len {
+                    consumed_chunks.push((chunk.handle, chunk.len));
+                    s.rx_chunks.pop_front();
+                }
+            }
+            (s.queue_set, copied, s.state)
+        };
+        // Free fully consumed chunks and return receive credit to the NSM.
+        for (handle, len) in consumed_chunks {
+            let _ = region.free(handle);
+            let credit = Nqe::new(OpType::RecvConsumed, vm, qs, sock).with_data(DataHandle::NULL, len as u32);
+            let _ = self.submit(qs, credit);
+        }
+        if copied > 0 {
+            self.stats.bytes_received += copied as u64;
+            return Ok(copied);
+        }
+        match state {
+            GuestSocketState::PeerClosed | GuestSocketState::Closed => Ok(0),
+            GuestSocketState::Error(e) => Err(e),
+            _ => Err(NkError::WouldBlock),
+        }
+    }
+
+    fn set_sockopt(&mut self, sock: SocketId, opt: u32, value: u32) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self
+            .request(OpType::SetSockOpt, sock)
+            .with_op_data(nk_types::ops::op_data::pack_sockopt(opt, value));
+        self.submit(qs, nqe)
+    }
+
+    fn shutdown(&mut self, sock: SocketId, how: ShutdownHow) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self
+            .request(OpType::Shutdown, sock)
+            .with_op_data(how.encode());
+        self.submit(qs, nqe)
+    }
+
+    fn close(&mut self, sock: SocketId) -> NkResult<()> {
+        let qs = self.sock(sock)?.queue_set;
+        let nqe = self.request(OpType::Close, sock);
+        self.submit(qs, nqe)?;
+        if let Some(s) = self.sockets.get_mut(&sock) {
+            s.state = GuestSocketState::Closing;
+        }
+        Ok(())
+    }
+
+    fn epoll_register(&mut self, sock: SocketId, interest: PollEvents) -> NkResult<()> {
+        self.sock_mut(sock)?.interest = interest;
+        Ok(())
+    }
+
+    fn epoll_unregister(&mut self, sock: SocketId) -> NkResult<()> {
+        self.sock_mut(sock)?.interest = PollEvents::NONE;
+        Ok(())
+    }
+
+    fn epoll_wait(&mut self, max_events: usize) -> Vec<EpollEvent> {
+        self.drive();
+        let mut out = Vec::new();
+        for (id, s) in self.sockets.iter() {
+            if out.len() >= max_events {
+                break;
+            }
+            if s.interest.is_empty() {
+                continue;
+            }
+            let ready = s.readiness();
+            let masked = PollEvents(ready.0 & (s.interest.0 | PollEvents::HUP.0 | PollEvents::ERROR.0));
+            if !masked.is_empty() {
+                out.push(EpollEvent {
+                    socket: *id,
+                    events: masked,
+                });
+            }
+        }
+        out
+    }
+
+    fn poll(&mut self, sock: SocketId) -> PollEvents {
+        self.drive();
+        match self.sockets.get(&sock) {
+            Some(s) => s.readiness(),
+            None => PollEvents::ERROR,
+        }
+    }
+
+    fn drive(&mut self) -> usize {
+        let mut processed = 0;
+        let batch = self.batch.max(1);
+        let sets = self.device.queue_sets();
+        for idx in 0..sets {
+            loop {
+                self.scratch.clear();
+                let n = {
+                    let Some(end) = self.device.queue_set(idx) else {
+                        break;
+                    };
+                    end.pop_responses(&mut self.scratch, batch)
+                };
+                if n == 0 {
+                    break;
+                }
+                let drained: Vec<Nqe> = self.scratch.drain(..).collect();
+                for nqe in drained {
+                    self.process_response(nqe);
+                    processed += 1;
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_queue::{queue_set_pair, ResponderEnd, WakeState};
+    use nk_types::ops::op_data;
+
+    /// Build a GuestLib with `sets` queue sets plus the matching responder
+    /// ends, playing the role of CoreEngine+ServiceLib in the tests.
+    fn guest_with_responders(sets: usize) -> (GuestLib, Vec<ResponderEnd>, HugepageRegion) {
+        let mut requesters = Vec::new();
+        let mut responders = Vec::new();
+        for _ in 0..sets {
+            let (req, resp) = queue_set_pair(256);
+            requesters.push(req);
+            responders.push(resp);
+        }
+        let region = HugepageRegion::with_capacity(1 << 20);
+        let device = NkDevice::new(requesters, WakeState::new());
+        (
+            GuestLib::new(VmId(1), device, region.clone()),
+            responders,
+            region,
+        )
+    }
+
+    fn pop_request(responders: &mut [ResponderEnd]) -> Option<Nqe> {
+        for r in responders.iter_mut() {
+            let mut v = Vec::new();
+            if r.pop_requests(&mut v, 1) > 0 {
+                return Some(v[0]);
+            }
+        }
+        None
+    }
+
+    fn respond(responders: &mut [ResponderEnd], nqe: Nqe) {
+        let idx = nqe.queue_set.raw() as usize;
+        responders[idx].respond(nqe).unwrap();
+    }
+
+    #[test]
+    fn socket_creation_emits_socket_create_nqe() {
+        let (mut guest, mut resp, _region) = guest_with_responders(2);
+        let s = guest.socket().unwrap();
+        let nqe = pop_request(&mut resp).unwrap();
+        assert_eq!(nqe.op, OpType::SocketCreate);
+        assert_eq!(nqe.socket, s);
+        assert_eq!(nqe.vm, VmId(1));
+        assert_eq!(guest.socket_count(), 1);
+    }
+
+    #[test]
+    fn connect_completion_makes_socket_writable() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let _ = pop_request(&mut resp); // SocketCreate
+        guest
+            .connect(s, SockAddr::v4(10, 0, 0, 2, 80))
+            .unwrap();
+        let connect_req = pop_request(&mut resp).unwrap();
+        assert_eq!(connect_req.op, OpType::Connect);
+        assert_eq!(connect_req.addr(), SockAddr::v4(10, 0, 0, 2, 80));
+        assert!(!guest.poll(s).writable());
+
+        let comp = Nqe::completion_for(&connect_req, OpResult::Ok, 0).unwrap();
+        respond(&mut resp, comp);
+        assert!(guest.poll(s).writable());
+    }
+
+    #[test]
+    fn failed_connect_reports_error() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let _ = pop_request(&mut resp);
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 81)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        let comp =
+            Nqe::completion_for(&req, OpResult::Err(NkError::ConnRefused), 0).unwrap();
+        respond(&mut resp, comp);
+        assert!(guest.poll(s).error());
+        assert_eq!(guest.recv(s, &mut [0u8; 4]), Err(NkError::ConnRefused));
+    }
+
+    #[test]
+    fn send_copies_payload_into_hugepages_and_tracks_budget() {
+        let (mut guest, mut resp, region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let _ = pop_request(&mut resp);
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        guest.drive();
+
+        let n = guest.send(s, b"payload through hugepages").unwrap();
+        assert_eq!(n, 25);
+        let send_nqe = pop_request(&mut resp).unwrap();
+        assert_eq!(send_nqe.op, OpType::Send);
+        assert_eq!(send_nqe.size, 25);
+        // The NSM side can read the payload straight out of the region.
+        let mut out = vec![0u8; 25];
+        region.read(send_nqe.data, &mut out).unwrap();
+        assert_eq!(&out, b"payload through hugepages");
+
+        // Send-buffer budget is held until the SendComplete returns it.
+        let mut comp = Nqe::completion_for(&send_nqe, OpResult::Ok, 0).unwrap();
+        comp.size = 25;
+        assert_eq!(guest.stats().bytes_sent, 25);
+        respond(&mut resp, comp);
+        guest.drive();
+        assert!(guest.poll(s).writable());
+    }
+
+    #[test]
+    fn send_budget_exhaustion_returns_wouldblock() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        guest.send_buf = 64;
+        let s = guest.socket().unwrap();
+        let _ = pop_request(&mut resp);
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        guest.drive();
+
+        assert_eq!(guest.send(s, &[0u8; 64]).unwrap(), 64);
+        assert_eq!(guest.send(s, &[0u8; 16]), Err(NkError::WouldBlock));
+    }
+
+    #[test]
+    fn data_received_nqe_is_readable_and_returns_credit() {
+        let (mut guest, mut resp, region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let create = pop_request(&mut resp).unwrap();
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        guest.drive();
+
+        // ServiceLib parks received payload in the region and announces it.
+        let handle = region.alloc_and_write(b"hello guest").unwrap();
+        let data_nqe = Nqe::new(OpType::DataReceived, VmId(1), create.queue_set, s)
+            .with_data(handle, 11);
+        respond(&mut resp, data_nqe);
+
+        assert!(guest.poll(s).readable());
+        let mut buf = [0u8; 6];
+        assert_eq!(guest.recv(s, &mut buf).unwrap(), 6);
+        assert_eq!(&buf, b"hello ");
+        let mut buf = [0u8; 16];
+        assert_eq!(guest.recv(s, &mut buf).unwrap(), 5);
+        assert_eq!(&buf[..5], b"guest");
+        // The chunk was fully consumed: credit goes back to the NSM.
+        let credit = pop_request(&mut resp).unwrap();
+        assert_eq!(credit.op, OpType::RecvConsumed);
+        assert_eq!(credit.size, 11);
+        assert_eq!(guest.recv(s, &mut buf), Err(NkError::WouldBlock));
+    }
+
+    #[test]
+    fn accepted_event_populates_listener_queue() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        let ls = guest.socket().unwrap();
+        let _ = pop_request(&mut resp);
+        guest.bind(ls, SockAddr::new(0, 80)).unwrap();
+        let _ = pop_request(&mut resp);
+        guest.listen(ls, 64).unwrap();
+        let listen_req = pop_request(&mut resp).unwrap();
+        assert_eq!(listen_req.op, OpType::Listen);
+        assert_eq!(listen_req.op_data, 64);
+
+        assert_eq!(guest.accept(ls), Err(NkError::WouldBlock));
+
+        // ServiceLib accepted a connection: new guest socket id allocated
+        // from the NSM range, peer address in the data field.
+        let new_id = NSM_SOCKET_ID_BASE | 1;
+        let peer = SockAddr::v4(10, 0, 0, 9, 5555);
+        let accepted = Nqe::new(OpType::Accepted, VmId(1), listen_req.queue_set, ls)
+            .with_op_data(op_data::pack(OpResult::Ok, new_id))
+            .with_data(DataHandle(peer.pack()), 0);
+        respond(&mut resp, accepted);
+
+        assert!(guest.poll(ls).readable());
+        let (conn, got_peer) = guest.accept(ls).unwrap();
+        assert_eq!(conn, SocketId(new_id));
+        assert_eq!(got_peer, peer);
+        assert!(guest.poll(conn).writable());
+    }
+
+    #[test]
+    fn peer_close_gives_eof_then_epoll_hup() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let create = pop_request(&mut resp).unwrap();
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        guest.drive();
+
+        guest
+            .epoll_register(s, PollEvents::READABLE | PollEvents::WRITABLE)
+            .unwrap();
+        let hup = Nqe::new(OpType::PeerClosed, VmId(1), create.queue_set, s);
+        respond(&mut resp, hup);
+        let events = guest.epoll_wait(16);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].events.hup());
+        assert_eq!(guest.recv(s, &mut [0u8; 4]).unwrap(), 0, "EOF");
+    }
+
+    #[test]
+    fn close_sends_nqe_and_completion_reaps_socket() {
+        let (mut guest, mut resp, _region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let _ = pop_request(&mut resp);
+        guest.close(s).unwrap();
+        let close_req = pop_request(&mut resp).unwrap();
+        assert_eq!(close_req.op, OpType::Close);
+        respond(
+            &mut resp,
+            Nqe::completion_for(&close_req, OpResult::Ok, 0).unwrap(),
+        );
+        guest.drive();
+        assert_eq!(guest.socket_count(), 0);
+        assert_eq!(guest.send(s, b"x"), Err(NkError::BadSocket));
+    }
+
+    #[test]
+    fn sockets_spread_over_queue_sets() {
+        let (mut guest, mut resp, _region) = guest_with_responders(4);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            guest.socket().unwrap();
+        }
+        while let Some(nqe) = pop_request(&mut resp) {
+            seen.insert(nqe.queue_set);
+        }
+        assert!(seen.len() >= 3, "sockets pinned to too few queue sets: {seen:?}");
+    }
+
+    #[test]
+    fn operations_on_unknown_socket_fail() {
+        let (mut guest, _resp, _region) = guest_with_responders(1);
+        let bogus = SocketId(777);
+        assert_eq!(guest.bind(bogus, SockAddr::ANY), Err(NkError::BadSocket));
+        assert_eq!(guest.send(bogus, b"x"), Err(NkError::BadSocket));
+        assert_eq!(guest.close(bogus), Err(NkError::BadSocket));
+        assert!(guest.poll(bogus).error());
+    }
+}

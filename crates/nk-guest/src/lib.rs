@@ -1,0 +1,15 @@
+//! GuestLib: transparent BSD socket redirection inside the tenant VM.
+//!
+//! GuestLib is "the only change we make to the user VM" (paper §4): it
+//! registers a new socket type (`SOCK_NETKERNEL`) whose operations are
+//! translated into NQEs and shipped to the Network Stack Module over the NK
+//! device queues, while application payload travels through the shared
+//! hugepages. The [`GuestLib`] type implements the same [`SocketApi`] trait
+//! as the baseline in-guest stack, so unmodified applications (and workload
+//! generators) run on either.
+
+pub mod guestlib;
+pub mod sockstate;
+
+pub use guestlib::GuestLib;
+pub use sockstate::{GuestSocket, GuestSocketState};

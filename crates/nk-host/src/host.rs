@@ -1,0 +1,513 @@
+//! Assembling a NetKernel host (and the baseline it is compared against).
+
+use nk_engine::CoreEngine;
+use nk_fabric::link::LinkConfig;
+use nk_fabric::switch::VirtualSwitch;
+use nk_guest::GuestLib;
+use nk_netstack::cc::CcAlgorithm;
+use nk_netstack::{Segment, StackConfig, TcpStack};
+use nk_queue::{queue_set_pair, NkDevice, WakeState};
+use nk_service::{Nsm, ServiceLib, SharedMemNsm};
+use nk_shmem::HugepageRegion;
+use nk_types::api::{EpollEvent, ShutdownHow};
+use nk_types::{
+    HostConfig, NkError, NkResult, NsmId, PollEvents, SockAddr, SocketApi, SocketId, StackKind,
+    VmId,
+};
+use std::collections::HashMap;
+
+/// Base IP of NSM vNICs: 10.0.0.x with x = NSM id.
+pub const NSM_IP_BASE: u32 = 0x0A00_0000;
+
+enum NsmInstance {
+    Tcp(Nsm),
+    SharedMem(SharedMemNsm),
+}
+
+/// A remote endpoint on the fabric (another machine the VMs talk to).
+pub struct RemoteHost {
+    /// The remote machine's own TCP stack.
+    pub stack: TcpStack,
+}
+
+/// A complete NetKernel host: VMs with GuestLibs, NSMs with ServiceLibs and
+/// stacks, a CoreEngine switching NQEs, and a virtual switch carrying the
+/// NSMs' traffic to remote hosts (paper Figure 2).
+pub struct NetKernelHost {
+    cfg: HostConfig,
+    switch: VirtualSwitch<Segment>,
+    engine: CoreEngine,
+    guests: HashMap<VmId, GuestLib>,
+    nsms: HashMap<NsmId, NsmInstance>,
+    remotes: HashMap<u32, RemoteHost>,
+    now_ns: u64,
+}
+
+impl NetKernelHost {
+    /// Build a host from its configuration.
+    pub fn new(cfg: HostConfig) -> NkResult<Self> {
+        cfg.validate()?;
+        let mut switch = VirtualSwitch::new();
+        let mut engine = CoreEngine::new(cfg.isolation.clone(), cfg.batch_size);
+        let mut nsms = HashMap::new();
+
+        // Bring up the NSMs first so VMs can be mapped onto them.
+        for nsm_cfg in &cfg.nsms {
+            let mut service_ends = Vec::new();
+            let mut engine_ends = Vec::new();
+            for _ in 0..nsm_cfg.vcpus {
+                let (req, resp) = queue_set_pair(cfg.queue_capacity);
+                engine_ends.push(req);
+                service_ends.push(resp);
+            }
+            engine.register_nsm(nsm_cfg.id, engine_ends)?;
+            let device = NkDevice::new(service_ends, WakeState::new());
+            let instance = match nsm_cfg.stack {
+                StackKind::SharedMem => NsmInstance::SharedMem(SharedMemNsm::new(
+                    nsm_cfg.id,
+                    device,
+                    cfg.batch_size,
+                )),
+                kind => {
+                    let ip = NSM_IP_BASE + nsm_cfg.id.raw() as u32;
+                    let port = switch.attach_with_link(
+                        ip,
+                        LinkConfig::ideal().with_rate_gbps(nsm_cfg.nic_rate_gbps),
+                    );
+                    let stack_cfg = StackConfig::new(ip).with_cc(CcAlgorithm::from_kind(nsm_cfg.cc));
+                    let stack = TcpStack::new(stack_cfg, port);
+                    let service = ServiceLib::new(nsm_cfg.id, device, cfg.batch_size);
+                    NsmInstance::Tcp(Nsm::new(nsm_cfg.id, kind, service, stack))
+                }
+            };
+            nsms.insert(nsm_cfg.id, instance);
+        }
+
+        // Bring up the VMs.
+        let mut guests = HashMap::new();
+        for vm_cfg in &cfg.vms {
+            let nsm_id = cfg.nsm_for_vm(vm_cfg.id)?;
+            let mut guest_ends = Vec::new();
+            let mut engine_ends = Vec::new();
+            for _ in 0..vm_cfg.vcpus {
+                let (req, resp) = queue_set_pair(cfg.queue_capacity);
+                guest_ends.push(req);
+                engine_ends.push(resp);
+            }
+            let wake = WakeState::new();
+            engine.register_vm(
+                vm_cfg.id,
+                engine_ends,
+                wake.clone(),
+                vm_cfg.tenant,
+                vm_cfg.rate_limit_gbps,
+                0,
+            )?;
+            engine.map_vm(vm_cfg.id, nsm_id)?;
+            let region = HugepageRegion::new(cfg.hugepages_per_pair);
+            match nsms.get_mut(&nsm_id).ok_or(NkError::NotFound)? {
+                NsmInstance::Tcp(nsm) => nsm.add_vm(vm_cfg.id, region.clone()),
+                NsmInstance::SharedMem(nsm) => nsm.add_vm(vm_cfg.id, region.clone()),
+            }
+            let device = NkDevice::new(guest_ends, wake);
+            guests.insert(vm_cfg.id, GuestLib::new(vm_cfg.id, device, region));
+        }
+
+        Ok(NetKernelHost {
+            cfg,
+            switch,
+            engine,
+            guests,
+            nsms,
+            remotes: HashMap::new(),
+            now_ns: 0,
+        })
+    }
+
+    /// The host's configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Mutable access to a VM's GuestLib (the application's socket API).
+    pub fn guest_mut(&mut self, vm: VmId) -> Option<&mut GuestLib> {
+        self.guests.get_mut(&vm)
+    }
+
+    /// Attach a remote host (a peer machine) to the fabric at `ip`.
+    pub fn add_remote(&mut self, ip: u32) -> &mut TcpStack {
+        let port = self.switch.attach(ip);
+        let stack = TcpStack::new(StackConfig::new(ip), port);
+        self.remotes.insert(ip, RemoteHost { stack });
+        &mut self.remotes.get_mut(&ip).expect("just inserted").stack
+    }
+
+    /// Mutable access to a previously added remote host's stack.
+    pub fn remote_mut(&mut self, ip: u32) -> Option<&mut TcpStack> {
+        self.remotes.get_mut(&ip).map(|r| &mut r.stack)
+    }
+
+    /// The address a guest should connect to in order to reach NSM-hosted
+    /// listeners of `nsm` (its vNIC address).
+    pub fn nsm_ip(nsm: NsmId) -> u32 {
+        NSM_IP_BASE + nsm.raw() as u32
+    }
+
+    /// CoreEngine statistics.
+    pub fn engine_stats(&self) -> nk_engine::EngineStats {
+        self.engine.stats()
+    }
+
+    /// ServiceLib statistics of a TCP-stack NSM.
+    pub fn nsm_service_stats(&self, nsm: NsmId) -> Option<nk_service::ServiceStats> {
+        match self.nsms.get(&nsm) {
+            Some(NsmInstance::Tcp(n)) => Some(n.service_stats()),
+            _ => None,
+        }
+    }
+
+    /// Shared-memory NSM statistics, when `nsm` is one.
+    pub fn shm_stats(&self, nsm: NsmId) -> Option<nk_service::sharedmem::SharedMemStats> {
+        match self.nsms.get(&nsm) {
+            Some(NsmInstance::SharedMem(n)) => Some(n.stats()),
+            _ => None,
+        }
+    }
+
+    /// Advance the host by `dt_ns`: switch NQEs, run every NSM and remote
+    /// stack, and move frames across the fabric. Returns the amount of work
+    /// (NQEs + segments) processed.
+    pub fn step(&mut self, dt_ns: u64) -> usize {
+        self.now_ns += dt_ns;
+        let now = self.now_ns;
+        let mut work = 0;
+        // Two passes per step so request → NSM → response round trips
+        // complete within one host step when queues are short.
+        for _ in 0..2 {
+            work += self.engine.poll(now);
+            for nsm in self.nsms.values_mut() {
+                work += match nsm {
+                    NsmInstance::Tcp(n) => n.tick(now),
+                    NsmInstance::SharedMem(n) => n.tick(now),
+                };
+            }
+            for remote in self.remotes.values_mut() {
+                work += remote.stack.tick(now);
+            }
+            work += self.switch.step(now);
+        }
+        work
+    }
+
+    /// Step repeatedly with a fixed increment.
+    pub fn run(&mut self, steps: usize, dt_ns: u64) {
+        for _ in 0..steps {
+            self.step(dt_ns);
+        }
+    }
+}
+
+/// The baseline architecture: the network stack runs inside the guest and is
+/// exposed through the same [`SocketApi`] as GuestLib, so identical
+/// application code runs against either (paper §7.1 "Baseline").
+pub struct BaselineVm {
+    stack: TcpStack,
+    interest: HashMap<SocketId, PollEvents>,
+    now_ns: u64,
+}
+
+impl BaselineVm {
+    /// Create a baseline VM attached to `switch` at address `ip`.
+    pub fn new(ip: u32, switch: &mut VirtualSwitch<Segment>) -> Self {
+        let port = switch.attach(ip);
+        BaselineVm {
+            stack: TcpStack::new(StackConfig::new(ip), port),
+            interest: HashMap::new(),
+            now_ns: 0,
+        }
+    }
+
+    /// Create a baseline VM with an explicit congestion-control algorithm.
+    pub fn with_cc(ip: u32, switch: &mut VirtualSwitch<Segment>, cc: CcAlgorithm) -> Self {
+        let port = switch.attach(ip);
+        BaselineVm {
+            stack: TcpStack::new(StackConfig::new(ip).with_cc(cc), port),
+            interest: HashMap::new(),
+            now_ns: 0,
+        }
+    }
+
+    /// Advance the in-guest stack to `now_ns` and run its protocol work.
+    pub fn step(&mut self, now_ns: u64) -> usize {
+        self.now_ns = now_ns;
+        self.stack.tick(now_ns)
+    }
+
+    /// Direct access to the in-guest stack.
+    pub fn stack_mut(&mut self) -> &mut TcpStack {
+        &mut self.stack
+    }
+}
+
+impl SocketApi for BaselineVm {
+    fn socket(&mut self) -> NkResult<SocketId> {
+        Ok(self.stack.socket())
+    }
+
+    fn bind(&mut self, sock: SocketId, addr: SockAddr) -> NkResult<()> {
+        self.stack.bind(sock, addr)
+    }
+
+    fn listen(&mut self, sock: SocketId, backlog: u32) -> NkResult<()> {
+        self.stack.listen(sock, backlog)
+    }
+
+    fn accept(&mut self, sock: SocketId) -> NkResult<(SocketId, SockAddr)> {
+        self.stack.accept(sock)
+    }
+
+    fn connect(&mut self, sock: SocketId, addr: SockAddr) -> NkResult<()> {
+        self.stack.connect(sock, addr, self.now_ns)
+    }
+
+    fn send(&mut self, sock: SocketId, data: &[u8]) -> NkResult<usize> {
+        self.stack.send(sock, data)
+    }
+
+    fn recv(&mut self, sock: SocketId, buf: &mut [u8]) -> NkResult<usize> {
+        self.stack.recv(sock, buf)
+    }
+
+    fn set_sockopt(&mut self, sock: SocketId, opt: u32, value: u32) -> NkResult<()> {
+        self.stack.set_sockopt(sock, opt, value)
+    }
+
+    fn shutdown(&mut self, sock: SocketId, how: ShutdownHow) -> NkResult<()> {
+        self.stack.shutdown(sock, how)
+    }
+
+    fn close(&mut self, sock: SocketId) -> NkResult<()> {
+        self.stack.close(sock)
+    }
+
+    fn epoll_register(&mut self, sock: SocketId, interest: PollEvents) -> NkResult<()> {
+        self.interest.insert(sock, interest);
+        Ok(())
+    }
+
+    fn epoll_unregister(&mut self, sock: SocketId) -> NkResult<()> {
+        self.interest.remove(&sock);
+        Ok(())
+    }
+
+    fn epoll_wait(&mut self, max_events: usize) -> Vec<EpollEvent> {
+        let mut out = Vec::new();
+        for (sock, interest) in &self.interest {
+            if out.len() >= max_events {
+                break;
+            }
+            let ready = self.stack.poll(*sock);
+            let masked =
+                PollEvents(ready.0 & (interest.0 | PollEvents::HUP.0 | PollEvents::ERROR.0));
+            if !masked.is_empty() {
+                out.push(EpollEvent {
+                    socket: *sock,
+                    events: masked,
+                });
+            }
+        }
+        out
+    }
+
+    fn poll(&mut self, sock: SocketId) -> PollEvents {
+        self.stack.poll(sock)
+    }
+
+    fn drive(&mut self) -> usize {
+        self.stack.tick(self.now_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_types::{NsmConfig, VmConfig, VmToNsmPolicy};
+
+    const REMOTE_IP: u32 = 0x0A00_0100;
+
+    fn one_vm_host(stack: StackKind) -> NetKernelHost {
+        let nsm = match stack {
+            StackKind::Mtcp => NsmConfig::mtcp(NsmId(1)),
+            StackKind::SharedMem => NsmConfig::shared_mem(NsmId(1)),
+            StackKind::FairShare => NsmConfig::fair_share(NsmId(1)),
+            StackKind::Kernel => NsmConfig::kernel(NsmId(1)),
+        };
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(nsm)
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        NetKernelHost::new(cfg).unwrap()
+    }
+
+    /// End-to-end: a guest application talks through GuestLib → CoreEngine →
+    /// kernel-stack NSM → virtual switch → a remote echo server, and back.
+    #[test]
+    fn guest_reaches_remote_server_through_nsm() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        // Remote server listening on port 7.
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        // Guest connects and sends a request.
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(20, 100_000);
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "connect did not complete");
+        assert_eq!(guest.send(s, b"hello from the vm").unwrap(), 17);
+        host.run(20, 100_000);
+
+        // The remote sees the data and answers.
+        let remote = host.remote_mut(REMOTE_IP).unwrap();
+        let (conn, _) = remote.accept(ls).unwrap();
+        let mut buf = [0u8; 64];
+        let n = remote.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello from the vm");
+        remote.send(conn, b"hello from outside").unwrap();
+        host.run(20, 100_000);
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let mut buf = [0u8; 64];
+        let n = guest.recv(s, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"hello from outside");
+        assert!(host.engine_stats().nqes_switched > 0);
+        assert!(host.nsm_service_stats(NsmId(1)).unwrap().bytes_tx >= 17);
+    }
+
+    /// Two VMs multiplexed onto the same NSM (use case 1): both make
+    /// independent connections through one stack.
+    #[test]
+    fn two_vms_share_one_nsm() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_vm(VmConfig::new(VmId(2)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)).with_vcpus(2))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 80)).unwrap();
+        remote.listen(ls, 64).unwrap();
+
+        for vm in [VmId(1), VmId(2)] {
+            let guest = host.guest_mut(vm).unwrap();
+            let s = guest.socket().unwrap();
+            guest.connect(s, SockAddr::new(REMOTE_IP, 80)).unwrap();
+        }
+        host.run(30, 100_000);
+        let remote = host.remote_mut(REMOTE_IP).unwrap();
+        let mut accepted = 0;
+        while remote.accept(ls).is_ok() {
+            accepted += 1;
+        }
+        assert_eq!(accepted, 2, "both VMs' connections reach the shared NSM");
+    }
+
+    /// Colocated VMs of the same tenant exchange data through the
+    /// shared-memory NSM without any TCP processing (use case 4).
+    #[test]
+    fn shared_memory_nsm_connects_colocated_vms() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)).with_tenant(7))
+            .with_vm(VmConfig::new(VmId(2)).with_tenant(7))
+            .with_nsm(NsmConfig::shared_mem(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut host = NetKernelHost::new(cfg).unwrap();
+
+        // VM1 listens (via the shared-memory NSM's internal rendezvous).
+        let g1 = host.guest_mut(VmId(1)).unwrap();
+        let ls = g1.socket().unwrap();
+        g1.bind(ls, SockAddr::new(0, 9000)).unwrap();
+        g1.listen(ls, 8).unwrap();
+        host.run(5, 100_000);
+
+        // VM2 connects and sends.
+        let g2 = host.guest_mut(VmId(2)).unwrap();
+        let cs = g2.socket().unwrap();
+        g2.connect(cs, SockAddr::new(0, 9000)).unwrap();
+        host.run(5, 100_000);
+        let g2 = host.guest_mut(VmId(2)).unwrap();
+        assert!(g2.poll(cs).writable());
+        g2.send(cs, b"colocated traffic").unwrap();
+        host.run(5, 100_000);
+
+        let g1 = host.guest_mut(VmId(1)).unwrap();
+        let (conn, _) = g1.accept(ls).unwrap();
+        let mut buf = [0u8; 64];
+        let n = g1.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"colocated traffic");
+        assert_eq!(host.shm_stats(NsmId(1)).unwrap().pairs, 1);
+    }
+
+    /// The same application code runs against the baseline in-guest stack.
+    #[test]
+    fn baseline_vm_runs_the_same_application_code() {
+        let mut switch = VirtualSwitch::new();
+        let mut client = BaselineVm::new(1, &mut switch);
+        let mut server = BaselineVm::new(2, &mut switch);
+
+        let ls = server.socket().unwrap();
+        server.bind(ls, SockAddr::new(0, 80)).unwrap();
+        server.listen(ls, 8).unwrap();
+
+        let cs = client.socket().unwrap();
+        client.connect(cs, SockAddr::new(2, 80)).unwrap();
+        for i in 1..20u64 {
+            let now = i * 100_000;
+            client.step(now);
+            server.step(now);
+            switch.step(now);
+        }
+        client.send(cs, b"same code as netkernel").unwrap();
+        for i in 20..40u64 {
+            let now = i * 100_000;
+            client.step(now);
+            server.step(now);
+            switch.step(now);
+        }
+        let (conn, _) = server.accept(ls).unwrap();
+        let mut buf = [0u8; 64];
+        let n = server.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], b"same code as netkernel");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let cfg = HostConfig::new().with_vm(VmConfig::new(VmId(1)).with_vcpus(0));
+        assert!(NetKernelHost::new(cfg).is_err());
+    }
+
+    #[test]
+    fn mtcp_nsm_host_builds_and_serves() {
+        let mut host = one_vm_host(StackKind::Mtcp);
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 80)).unwrap();
+        remote.listen(ls, 8).unwrap();
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 80)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable());
+    }
+}

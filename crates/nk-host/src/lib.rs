@@ -1,0 +1,24 @@
+//! Host orchestration: bringing up VMs, NSMs and CoreEngine.
+//!
+//! This crate assembles the pieces the other crates provide into a running
+//! host, in two configurations:
+//!
+//! * [`host::NetKernelHost`] — the NetKernel architecture (paper Figure 2):
+//!   GuestLibs in the VMs, ServiceLibs + stacks in the NSMs, CoreEngine
+//!   switching NQEs between them, all attached to one virtual switch;
+//! * [`host::BaselineVm`] — the status-quo architecture the evaluation
+//!   compares against (§7.1 "Baseline"): the network stack lives inside the
+//!   guest, exposed through the same [`nk_types::SocketApi`] so identical
+//!   application code runs on both.
+//!
+//! [`model`] contains the calibrated performance model used to regenerate the
+//! paper's throughput / RPS / CPU-overhead figures, and [`metrics`] the
+//! throughput and latency meters used by experiments.
+
+pub mod host;
+pub mod metrics;
+pub mod model;
+
+pub use host::{BaselineVm, NetKernelHost, RemoteHost};
+pub use metrics::{LatencyMeter, ThroughputMeter};
+pub use model::{PerfModel, TrafficDirection};

@@ -1,0 +1,118 @@
+//! Throughput and latency meters used by experiments and examples.
+
+use nk_sim::Histogram;
+
+/// Accumulates bytes over virtual time and reports Gbps.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    bytes: u64,
+    start_ns: Option<u64>,
+    last_ns: u64,
+}
+
+impl ThroughputMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `bytes` delivered at time `now_ns`.
+    pub fn record(&mut self, bytes: u64, now_ns: u64) {
+        if self.start_ns.is_none() {
+            self.start_ns = Some(now_ns);
+        }
+        self.bytes += bytes;
+        self.last_ns = self.last_ns.max(now_ns);
+    }
+
+    /// Total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average throughput in Gbps between the first and last sample.
+    pub fn gbps(&self) -> f64 {
+        match self.start_ns {
+            Some(start) if self.last_ns > start => {
+                self.bytes as f64 * 8.0 / (self.last_ns - start) as f64
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Latency meter: records request completion times in microseconds.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyMeter {
+    hist: Histogram,
+}
+
+impl LatencyMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample in microseconds.
+    pub fn record_us(&mut self, us: f64) {
+        self.hist.record(us);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.hist.mean()
+    }
+
+    /// Median latency in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.hist.median()
+    }
+
+    /// Standard deviation in microseconds.
+    pub fn stddev_us(&self) -> f64 {
+        self.hist.stddev()
+    }
+
+    /// Minimum and maximum latency in microseconds.
+    pub fn min_max_us(&self) -> (f64, f64) {
+        (self.hist.min(), self.hist.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_computes_gbps() {
+        let mut m = ThroughputMeter::new();
+        m.record(125_000_000, 0);
+        m.record(125_000_000, 1_000_000_000);
+        // 250 MB over 1 s = 2 Gbps.
+        assert!((m.gbps() - 2.0).abs() < 1e-9);
+        assert_eq!(m.bytes(), 250_000_000);
+    }
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        assert_eq!(ThroughputMeter::new().gbps(), 0.0);
+    }
+
+    #[test]
+    fn latency_meter_statistics() {
+        let mut m = LatencyMeter::new();
+        for v in [10.0, 20.0, 30.0] {
+            m.record_us(v);
+        }
+        assert_eq!(m.count(), 3);
+        assert!((m.mean_us() - 20.0).abs() < 1e-9);
+        let (min, max) = m.min_max_us();
+        assert_eq!(min, 10.0);
+        assert_eq!(max, 30.0);
+    }
+}

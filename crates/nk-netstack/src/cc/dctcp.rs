@@ -1,0 +1,182 @@
+//! DCTCP: Data Center TCP.
+//!
+//! DCTCP reacts *proportionally* to the fraction of ECN-marked packets
+//! instead of halving on any congestion signal. The paper's motivation
+//! section cites deploying DCTCP in the public cloud as a canonical example
+//! of a stack improvement the operator cannot roll out today (§1); with
+//! NetKernel it is just another NSM configuration.
+
+use super::{CongestionControl, INITIAL_CWND, MIN_CWND};
+use nk_types::constants::MSS;
+
+/// EWMA weight for the marked fraction (RFC 8257 recommends 1/16).
+const G: f64 = 1.0 / 16.0;
+
+/// DCTCP congestion control.
+#[derive(Clone, Debug)]
+pub struct Dctcp {
+    cwnd: usize,
+    ssthresh: usize,
+    /// Smoothed fraction of marked bytes.
+    alpha: f64,
+    /// Bytes acknowledged in the current observation window.
+    acked_window: usize,
+    /// Size of the current observation window (cwnd snapshot at its start).
+    window_target: usize,
+    /// Of which, bytes acknowledged with an ECN echo.
+    marked_window: usize,
+    /// Congestion-avoidance accumulator.
+    acked_accum: usize,
+    /// Whether the window was already reduced in this observation window.
+    reduced_this_window: bool,
+}
+
+impl Dctcp {
+    /// A new connection's DCTCP state.
+    pub fn new() -> Self {
+        Dctcp {
+            cwnd: INITIAL_CWND,
+            ssthresh: usize::MAX,
+            alpha: 1.0,
+            acked_window: 0,
+            window_target: INITIAL_CWND,
+            marked_window: 0,
+            acked_accum: 0,
+            reduced_this_window: false,
+        }
+    }
+
+    /// Current smoothed marked fraction (exposed for tests and telemetry).
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    fn maybe_close_window(&mut self) {
+        // An observation window is one window's worth of acknowledged bytes,
+        // measured against the cwnd captured at the start of the window so a
+        // growing cwnd cannot keep the window open forever.
+        if self.acked_window >= self.window_target {
+            let fraction = if self.acked_window == 0 {
+                0.0
+            } else {
+                self.marked_window as f64 / self.acked_window as f64
+            };
+            self.alpha = (1.0 - G) * self.alpha + G * fraction;
+            self.acked_window = 0;
+            self.marked_window = 0;
+            self.window_target = self.cwnd;
+            self.reduced_this_window = false;
+        }
+    }
+}
+
+impl Default for Dctcp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn cwnd(&self) -> usize {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, acked: usize, _rtt_ns: u64, ecn_echo: bool, _now_ns: u64) {
+        self.acked_window += acked;
+        if ecn_echo {
+            self.marked_window += acked;
+            if !self.reduced_this_window {
+                // Proportional decrease: cwnd ← cwnd · (1 − α/2), once per
+                // observation window.
+                let factor = 1.0 - self.alpha / 2.0;
+                self.cwnd = ((self.cwnd as f64 * factor) as usize).max(MIN_CWND);
+                self.ssthresh = self.cwnd;
+                self.reduced_this_window = true;
+            }
+        } else if self.cwnd < self.ssthresh {
+            self.cwnd += acked;
+        } else {
+            self.acked_accum += acked;
+            while self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += MSS;
+            }
+        }
+        self.maybe_close_window();
+    }
+
+    fn on_fast_retransmit(&mut self, _now_ns: u64) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now_ns: u64) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_tracks_marking_fraction() {
+        let mut cc = Dctcp::new();
+        // Run many windows with ~50% marks: alpha should converge near 0.5.
+        for i in 0..20_000 {
+            cc.on_ack(MSS, 0, i % 2 == 0, 0);
+        }
+        assert!((cc.alpha() - 0.5).abs() < 0.15, "alpha {}", cc.alpha());
+    }
+
+    #[test]
+    fn no_marks_drive_alpha_to_zero_and_window_grows() {
+        let mut cc = Dctcp::new();
+        // Leave slow start so observation windows have a stable size.
+        cc.on_fast_retransmit(0);
+        let initial = cc.cwnd();
+        for _ in 0..20_000 {
+            cc.on_ack(MSS, 0, false, 0);
+        }
+        assert!(cc.alpha() < 0.05, "alpha {}", cc.alpha());
+        assert!(cc.cwnd() > initial);
+    }
+
+    #[test]
+    fn light_marking_causes_gentle_reduction() {
+        // With a small alpha, a marked window reduces cwnd by much less than
+        // half — DCTCP's defining property.
+        let mut cc = Dctcp::new();
+        // Leave slow start, then drive alpha low with unmarked traffic.
+        cc.on_fast_retransmit(0);
+        for _ in 0..20_000 {
+            cc.on_ack(MSS, 0, false, 0);
+        }
+        let before = cc.cwnd();
+        // One marked ACK.
+        cc.on_ack(MSS, 0, true, 0);
+        let after = cc.cwnd();
+        assert!(after < before);
+        assert!(
+            (before - after) < before / 4,
+            "reduction {} out of {} too aggressive",
+            before - after,
+            before
+        );
+    }
+
+    #[test]
+    fn timeout_still_collapses() {
+        let mut cc = Dctcp::new();
+        for _ in 0..1000 {
+            cc.on_ack(MSS, 0, false, 0);
+        }
+        cc.on_timeout(0);
+        assert_eq!(cc.cwnd(), MIN_CWND);
+    }
+}

@@ -1,0 +1,1020 @@
+//! The per-connection TCP state machine.
+//!
+//! Implements the subset of TCP the evaluation exercises: three-way
+//! handshake, cumulative-ACK sliding-window data transfer, receiver flow
+//! control, retransmission (RTO with exponential backoff and fast retransmit
+//! on three duplicate ACKs), out-of-order reassembly, ECN echo, and orderly
+//! FIN / abortive RST teardown. Congestion control is delegated to a
+//! [`CongestionControl`] implementation chosen per NSM.
+
+use crate::cc::CongestionControl;
+use crate::segment::{seq_ge, seq_gt, seq_le, seq_lt, Segment, SegmentFlags};
+use nk_types::constants::{DEFAULT_RECV_BUF, DEFAULT_SEND_BUF, MSS};
+use nk_types::SockAddr;
+use std::collections::{BTreeMap, VecDeque};
+
+/// TCP connection states (RFC 793 names).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConnState {
+    /// SYN sent, waiting for SYN-ACK (active open).
+    SynSent,
+    /// SYN received, SYN-ACK sent, waiting for the final ACK (passive open).
+    SynReceived,
+    /// Data transfer.
+    Established,
+    /// We closed first; FIN sent, waiting for its ACK.
+    FinWait1,
+    /// Our FIN was acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Peer closed first; waiting for the application to close.
+    CloseWait,
+    /// Both sides closed simultaneously.
+    Closing,
+    /// Peer closed, we sent our FIN, waiting for its ACK.
+    LastAck,
+    /// Connection fully closed, lingering briefly.
+    TimeWait,
+    /// Connection is gone.
+    Closed,
+}
+
+/// Default retransmission timeout before an RTT estimate exists.
+const INITIAL_RTO_NS: u64 = 50_000_000;
+/// Lower bound on the RTO.
+const MIN_RTO_NS: u64 = 10_000_000;
+/// Upper bound on the RTO.
+const MAX_RTO_NS: u64 = 2_000_000_000;
+/// How long a connection lingers in TIME-WAIT (shortened 2MSL).
+const TIME_WAIT_NS: u64 = 50_000_000;
+/// Duplicate-ACK threshold for fast retransmit.
+const DUPACK_THRESHOLD: u32 = 3;
+
+/// Per-connection statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Payload bytes handed to the peer (acknowledged).
+    pub bytes_acked: u64,
+    /// Payload bytes delivered to the application.
+    pub bytes_received: u64,
+    /// Segments retransmitted (timeouts plus fast retransmits).
+    pub retransmits: u64,
+    /// Retransmission timeouts fired.
+    pub timeouts: u64,
+    /// Fast retransmits triggered.
+    pub fast_retransmits: u64,
+}
+
+/// A TCP connection.
+pub struct TcpConnection {
+    local: SockAddr,
+    remote: SockAddr,
+    state: ConnState,
+
+    // ---- Send side ----
+    /// First unacknowledged sequence number.
+    snd_una: u32,
+    /// Next sequence number to send.
+    snd_nxt: u32,
+    /// Send buffer: bytes from `snd_una` onwards (unacked + unsent).
+    send_buf: VecDeque<u8>,
+    /// Maximum bytes the send buffer accepts.
+    send_buf_cap: usize,
+    /// Peer's advertised receive window.
+    snd_wnd: u32,
+    /// Application asked to close the write side.
+    fin_queued: bool,
+    /// Sequence number our FIN occupies once sent.
+    fin_seq: Option<u32>,
+
+    // ---- Receive side ----
+    /// Next expected sequence number.
+    rcv_nxt: u32,
+    /// In-order data ready for the application.
+    recv_buf: VecDeque<u8>,
+    /// Maximum bytes buffered for the application.
+    recv_buf_cap: usize,
+    /// Out-of-order segments awaiting the gap to fill.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Sequence number of the peer's FIN, once seen.
+    peer_fin_seq: Option<u32>,
+    /// The peer's FIN has been consumed (rcv_nxt advanced past it).
+    peer_fin_received: bool,
+    /// An ACK should be emitted.
+    ack_pending: bool,
+    /// Immediate duplicate ACKs owed for out-of-order arrivals (one per
+    /// out-of-order segment, so the sender's fast-retransmit logic sees them).
+    dup_ack_burst: u32,
+    /// Echo ECN congestion experienced back to the sender.
+    ece_pending: bool,
+
+    // ---- Timers and RTT ----
+    rto_ns: u64,
+    srtt_ns: Option<u64>,
+    rttvar_ns: u64,
+    /// Retransmission timer deadline (armed while data or FIN is in flight).
+    rto_deadline: Option<u64>,
+    /// One in-flight RTT measurement: (sequence that completes it, send time).
+    rtt_sample: Option<(u32, u64)>,
+    /// Consecutive duplicate ACKs observed.
+    dup_acks: u32,
+    /// Time at which TIME-WAIT expires.
+    time_wait_deadline: Option<u64>,
+
+    cc: Box<dyn CongestionControl>,
+    stats: ConnStats,
+    /// A reset must be emitted to the peer.
+    rst_pending: bool,
+}
+
+impl TcpConnection {
+    /// Start an active open (client side): the first `poll_transmit` emits a
+    /// SYN.
+    pub fn connect(
+        local: SockAddr,
+        remote: SockAddr,
+        iss: u32,
+        cc: Box<dyn CongestionControl>,
+        now_ns: u64,
+    ) -> Self {
+        let mut c = Self::new_common(local, remote, iss, cc);
+        c.state = ConnState::SynSent;
+        c.snd_nxt = iss; // SYN not yet emitted; poll_transmit sends it.
+        c.rto_deadline = Some(now_ns + c.rto_ns);
+        c
+    }
+
+    /// Start a passive open (server side) in response to a received SYN: the
+    /// first `poll_transmit` emits the SYN-ACK.
+    pub fn accept(
+        local: SockAddr,
+        remote: SockAddr,
+        iss: u32,
+        syn: &Segment,
+        cc: Box<dyn CongestionControl>,
+        now_ns: u64,
+    ) -> Self {
+        debug_assert!(syn.flags.syn);
+        let mut c = Self::new_common(local, remote, iss, cc);
+        c.state = ConnState::SynReceived;
+        c.rcv_nxt = syn.seq.wrapping_add(1);
+        c.snd_wnd = syn.window.max(MSS as u32);
+        c.ack_pending = true;
+        c.rto_deadline = Some(now_ns + c.rto_ns);
+        c
+    }
+
+    fn new_common(
+        local: SockAddr,
+        remote: SockAddr,
+        iss: u32,
+        cc: Box<dyn CongestionControl>,
+    ) -> Self {
+        TcpConnection {
+            local,
+            remote,
+            state: ConnState::Closed,
+            snd_una: iss,
+            snd_nxt: iss,
+            send_buf: VecDeque::new(),
+            send_buf_cap: DEFAULT_SEND_BUF,
+            snd_wnd: 64 * 1024,
+            fin_queued: false,
+            fin_seq: None,
+            rcv_nxt: 0,
+            recv_buf: VecDeque::new(),
+            recv_buf_cap: DEFAULT_RECV_BUF,
+            ooo: BTreeMap::new(),
+            peer_fin_seq: None,
+            peer_fin_received: false,
+            ack_pending: false,
+            dup_ack_burst: 0,
+            ece_pending: false,
+            rto_ns: INITIAL_RTO_NS,
+            srtt_ns: None,
+            rttvar_ns: 0,
+            rto_deadline: None,
+            rtt_sample: None,
+            dup_acks: 0,
+            time_wait_deadline: None,
+            cc,
+            stats: ConnStats::default(),
+            rst_pending: false,
+        }
+    }
+
+    // ---- Accessors -------------------------------------------------------
+
+    /// Local endpoint address.
+    pub fn local(&self) -> SockAddr {
+        self.local
+    }
+
+    /// Remote endpoint address.
+    pub fn remote(&self) -> SockAddr {
+        self.remote
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        matches!(
+            self.state,
+            ConnState::Established
+                | ConnState::FinWait1
+                | ConnState::FinWait2
+                | ConnState::CloseWait
+        )
+    }
+
+    /// True when the connection is fully closed and can be reaped.
+    pub fn is_closed(&self) -> bool {
+        self.state == ConnState::Closed
+    }
+
+    /// True when the application can read data (or observe EOF).
+    pub fn readable(&self) -> bool {
+        !self.recv_buf.is_empty() || self.peer_fin_received || self.state == ConnState::Closed
+    }
+
+    /// True when the application can write more data.
+    pub fn writable(&self) -> bool {
+        self.is_established()
+            && !self.fin_queued
+            && self.send_buf.len() < self.send_buf_cap
+            && !matches!(self.state, ConnState::CloseWait if self.fin_queued)
+    }
+
+    /// True once the peer has closed its write side and all data was read.
+    pub fn peer_closed(&self) -> bool {
+        self.peer_fin_received && self.recv_buf.is_empty()
+    }
+
+    /// True once the peer's FIN has been received, even if unread data is
+    /// still buffered (the `EPOLLRDHUP`-style signal).
+    pub fn fin_received(&self) -> bool {
+        self.peer_fin_received
+    }
+
+    /// Connection statistics.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Bytes queued but not yet acknowledged.
+    pub fn send_buffered(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// Bytes available to read right now.
+    pub fn recv_available(&self) -> usize {
+        self.recv_buf.len()
+    }
+
+    /// The congestion window currently granted by the CC algorithm.
+    pub fn cwnd(&self) -> usize {
+        self.cc.cwnd()
+    }
+
+    /// Resize the send buffer (SO_SNDBUF).
+    pub fn set_send_buf_cap(&mut self, cap: usize) {
+        self.send_buf_cap = cap.max(MSS);
+    }
+
+    /// Resize the receive buffer (SO_RCVBUF).
+    pub fn set_recv_buf_cap(&mut self, cap: usize) {
+        self.recv_buf_cap = cap.max(MSS);
+    }
+
+    // ---- Application interface -------------------------------------------
+
+    /// Queue up to `data.len()` bytes for transmission; returns the number of
+    /// bytes accepted (possibly zero when the send buffer is full or the
+    /// write side is closed).
+    pub fn write(&mut self, data: &[u8]) -> usize {
+        if self.fin_queued || !self.is_established() && self.state != ConnState::SynSent {
+            return 0;
+        }
+        let room = self.send_buf_cap.saturating_sub(self.send_buf.len());
+        let n = room.min(data.len());
+        self.send_buf.extend(&data[..n]);
+        n
+    }
+
+    /// Read up to `buf.len()` bytes of in-order data. Returns 0 when no data
+    /// is available (check [`TcpConnection::peer_closed`] to distinguish EOF).
+    pub fn read(&mut self, buf: &mut [u8]) -> usize {
+        let n = buf.len().min(self.recv_buf.len());
+        for b in buf.iter_mut().take(n) {
+            *b = self.recv_buf.pop_front().expect("length checked");
+        }
+        if n > 0 {
+            self.stats.bytes_received += n as u64;
+            // Window update for the peer.
+            self.ack_pending = true;
+        }
+        n
+    }
+
+    /// Close the write side (graceful FIN after queued data drains).
+    pub fn close(&mut self) {
+        if !self.fin_queued {
+            self.fin_queued = true;
+            match self.state {
+                ConnState::Established => self.state = ConnState::FinWait1,
+                ConnState::CloseWait => self.state = ConnState::LastAck,
+                ConnState::SynSent | ConnState::SynReceived => {
+                    self.state = ConnState::Closed;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Abort the connection: an RST is sent and the state drops to `Closed`.
+    pub fn abort(&mut self) {
+        if !matches!(self.state, ConnState::Closed | ConnState::TimeWait) {
+            self.rst_pending = true;
+        }
+        self.state = ConnState::Closed;
+        self.send_buf.clear();
+        self.recv_buf.clear();
+        self.ooo.clear();
+    }
+
+    // ---- Segment processing -----------------------------------------------
+
+    /// Process an incoming segment addressed to this connection.
+    pub fn on_segment(&mut self, seg: &Segment, now_ns: u64) {
+        if seg.flags.rst {
+            // A reset kills the connection immediately.
+            self.state = ConnState::Closed;
+            self.send_buf.clear();
+            self.peer_fin_received = true;
+            return;
+        }
+        if seg.ce_mark {
+            self.ece_pending = true;
+        }
+
+        match self.state {
+            ConnState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.snd_una = seg.ack;
+                    self.snd_wnd = seg.window.max(MSS as u32);
+                    self.state = ConnState::Established;
+                    self.ack_pending = true;
+                    self.rto_deadline = None;
+                    self.take_rtt_sample(seg.ack, now_ns);
+                }
+                return;
+            }
+            ConnState::SynReceived => {
+                if seg.flags.ack && seg.ack == self.snd_nxt {
+                    self.snd_una = seg.ack;
+                    self.snd_wnd = seg.window.max(MSS as u32);
+                    self.state = ConnState::Established;
+                    self.rto_deadline = None;
+                }
+                // Fall through: the ACK may carry data.
+            }
+            ConnState::TimeWait | ConnState::Closed => {
+                return;
+            }
+            _ => {}
+        }
+
+        if seg.flags.ack {
+            self.process_ack(seg, now_ns);
+        }
+        if !seg.payload.is_empty() || seg.flags.fin {
+            self.process_payload(seg);
+        }
+    }
+
+    fn process_ack(&mut self, seg: &Segment, now_ns: u64) {
+        let ack = seg.ack;
+        self.snd_wnd = seg.window;
+        if seq_gt(ack, self.snd_una) && seq_le(ack, self.snd_nxt) {
+            let acked = ack.wrapping_sub(self.snd_una) as usize;
+            // Remove acknowledged bytes (the FIN consumes one sequence number
+            // but no buffer byte).
+            let mut data_acked = acked;
+            if let Some(fin_seq) = self.fin_seq {
+                if seq_gt(ack, fin_seq) {
+                    data_acked -= 1;
+                }
+            }
+            for _ in 0..data_acked.min(self.send_buf.len()) {
+                self.send_buf.pop_front();
+            }
+            self.snd_una = ack;
+            self.dup_acks = 0;
+            self.stats.bytes_acked += data_acked as u64;
+            self.take_rtt_sample(ack, now_ns);
+            let rtt = self.srtt_ns.unwrap_or(0);
+            self.cc.on_ack(data_acked.max(1), rtt, seg.flags.ece, now_ns);
+
+            // Re-arm or clear the retransmission timer.
+            if self.snd_una == self.snd_nxt {
+                self.rto_deadline = None;
+            } else {
+                self.rto_deadline = Some(now_ns + self.rto_ns);
+            }
+
+            // FIN acknowledged?
+            if let Some(fin_seq) = self.fin_seq {
+                if seq_ge(self.snd_una, fin_seq.wrapping_add(1)) {
+                    match self.state {
+                        ConnState::FinWait1 => self.state = ConnState::FinWait2,
+                        ConnState::Closing => {
+                            self.state = ConnState::TimeWait;
+                            self.time_wait_deadline = Some(now_ns + TIME_WAIT_NS);
+                        }
+                        ConnState::LastAck => self.state = ConnState::Closed,
+                        _ => {}
+                    }
+                }
+            }
+        } else if ack == self.snd_una && self.snd_nxt != self.snd_una && seg.payload.is_empty() {
+            // Duplicate ACK.
+            self.dup_acks += 1;
+            if self.dup_acks == DUPACK_THRESHOLD {
+                self.fast_retransmit(now_ns);
+            }
+        }
+    }
+
+    fn process_payload(&mut self, seg: &Segment) {
+        let seq = seg.seq;
+        if seg.flags.fin {
+            let fin_seq = seq.wrapping_add(seg.payload.len() as u32);
+            self.peer_fin_seq = Some(fin_seq);
+        }
+        if !seg.payload.is_empty() {
+            if seq_le(seq, self.rcv_nxt) {
+                // Overlapping or exactly in-order: take the part we miss.
+                let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+                if skip < seg.payload.len() {
+                    let fresh = &seg.payload[skip..];
+                    let room = self.recv_buf_cap.saturating_sub(self.recv_buf.len());
+                    let take = fresh.len().min(room);
+                    self.recv_buf.extend(&fresh[..take]);
+                    self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
+                    self.drain_ooo();
+                }
+            } else if seq_lt(seq, self.rcv_nxt.wrapping_add(self.recv_window() as u32)) {
+                // Out of order but within the window: stash it and owe the
+                // sender an immediate duplicate ACK so it can fast-retransmit.
+                self.ooo.entry(seq).or_insert_with(|| seg.payload.clone());
+                self.dup_ack_burst += 1;
+            }
+            self.ack_pending = true;
+        }
+        // Consume the peer's FIN once all data before it has arrived.
+        if let Some(fin_seq) = self.peer_fin_seq {
+            if self.rcv_nxt == fin_seq && !self.peer_fin_received {
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(1);
+                self.peer_fin_received = true;
+                self.ack_pending = true;
+                match self.state {
+                    ConnState::Established => self.state = ConnState::CloseWait,
+                    ConnState::FinWait1 => self.state = ConnState::Closing,
+                    ConnState::FinWait2 => {
+                        self.state = ConnState::TimeWait;
+                        self.time_wait_deadline = None; // set on next tick
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn drain_ooo(&mut self) {
+        loop {
+            let Some((&seq, _)) = self.ooo.iter().next() else {
+                break;
+            };
+            if seq_gt(seq, self.rcv_nxt) {
+                break;
+            }
+            let payload = self.ooo.remove(&seq).expect("key just observed");
+            let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+            if skip < payload.len() {
+                let fresh = &payload[skip..];
+                let room = self.recv_buf_cap.saturating_sub(self.recv_buf.len());
+                let take = fresh.len().min(room);
+                self.recv_buf.extend(&fresh[..take]);
+                self.rcv_nxt = self.rcv_nxt.wrapping_add(take as u32);
+                if take < fresh.len() {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn take_rtt_sample(&mut self, ack: u32, now_ns: u64) {
+        if let Some((seq_end, sent_at)) = self.rtt_sample {
+            if seq_ge(ack, seq_end) {
+                let rtt = now_ns.saturating_sub(sent_at).max(1);
+                match self.srtt_ns {
+                    None => {
+                        self.srtt_ns = Some(rtt);
+                        self.rttvar_ns = rtt / 2;
+                    }
+                    Some(srtt) => {
+                        let diff = srtt.abs_diff(rtt);
+                        self.rttvar_ns = (3 * self.rttvar_ns + diff) / 4;
+                        self.srtt_ns = Some((7 * srtt + rtt) / 8);
+                    }
+                }
+                let srtt = self.srtt_ns.unwrap();
+                self.rto_ns = (srtt + 4 * self.rttvar_ns).clamp(MIN_RTO_NS, MAX_RTO_NS);
+                self.rtt_sample = None;
+            }
+        }
+    }
+
+    fn fast_retransmit(&mut self, now_ns: u64) {
+        self.stats.fast_retransmits += 1;
+        self.stats.retransmits += 1;
+        self.cc.on_fast_retransmit(now_ns);
+        // Go back to the first unacknowledged byte.
+        self.snd_nxt = self.snd_una;
+        if self.fin_seq.is_some() {
+            self.fin_seq = None; // will be re-assigned when re-sent
+        }
+        self.rto_deadline = Some(now_ns + self.rto_ns);
+    }
+
+    /// Receive window to advertise.
+    pub fn recv_window(&self) -> usize {
+        self.recv_buf_cap.saturating_sub(self.recv_buf.len())
+    }
+
+    // ---- Output ------------------------------------------------------------
+
+    /// Run timers and produce the segments that should be transmitted now.
+    pub fn poll_transmit(&mut self, now_ns: u64) -> Vec<Segment> {
+        let mut out = Vec::new();
+
+        if self.rst_pending {
+            self.rst_pending = false;
+            let mut rst = Segment::control(self.local, self.remote, SegmentFlags::rst());
+            rst.seq = self.snd_nxt;
+            out.push(rst);
+            return out;
+        }
+
+        // TIME-WAIT expiry.
+        if self.state == ConnState::TimeWait {
+            match self.time_wait_deadline {
+                None => self.time_wait_deadline = Some(now_ns + TIME_WAIT_NS),
+                Some(d) if now_ns >= d => self.state = ConnState::Closed,
+                _ => {}
+            }
+        }
+
+        // Retransmission timeout.
+        if let Some(deadline) = self.rto_deadline {
+            if now_ns >= deadline {
+                self.on_rto(now_ns);
+            }
+        }
+
+        match self.state {
+            ConnState::SynSent => {
+                // Send the SYN once; it is re-sent only after an RTO rewinds
+                // `snd_nxt` back to `snd_una`.
+                if self.snd_nxt == self.snd_una {
+                    let mut syn = Segment::control(self.local, self.remote, SegmentFlags::syn());
+                    syn.seq = self.snd_una;
+                    syn.window = self.recv_window() as u32;
+                    self.snd_nxt = self.snd_una.wrapping_add(1);
+                    self.arm_rto(now_ns);
+                    out.push(syn);
+                }
+                return out;
+            }
+            ConnState::SynReceived => {
+                if self.snd_nxt == self.snd_una {
+                    let mut synack =
+                        Segment::control(self.local, self.remote, SegmentFlags::syn_ack());
+                    synack.seq = self.snd_una;
+                    synack.ack = self.rcv_nxt;
+                    synack.window = self.recv_window() as u32;
+                    self.snd_nxt = self.snd_una.wrapping_add(1);
+                    self.arm_rto(now_ns);
+                    self.ack_pending = false;
+                    out.push(synack);
+                }
+                return out;
+            }
+            ConnState::Closed => return out,
+            _ => {}
+        }
+
+        // Data transmission, bounded by congestion and peer windows.
+        let in_flight = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+        let window = self.cc.cwnd().min(self.snd_wnd as usize);
+        let mut budget = window.saturating_sub(in_flight);
+        // Offset of snd_nxt into the send buffer.
+        let mut offset = self.snd_nxt.wrapping_sub(self.snd_una) as usize;
+        // Exclude a previously sent FIN from buffer indexing.
+        if let Some(fin_seq) = self.fin_seq {
+            if seq_ge(self.snd_nxt, fin_seq.wrapping_add(1)) {
+                offset = offset.saturating_sub(1);
+            }
+        }
+
+        while budget > 0 && offset < self.send_buf.len() {
+            let chunk = MSS.min(self.send_buf.len() - offset).min(budget);
+            let payload: Vec<u8> = self
+                .send_buf
+                .iter()
+                .skip(offset)
+                .take(chunk)
+                .copied()
+                .collect();
+            let mut seg = Segment::control(self.local, self.remote, SegmentFlags::ack());
+            seg.seq = self.snd_nxt;
+            seg.ack = self.rcv_nxt;
+            seg.window = self.recv_window() as u32;
+            seg.flags.ece = self.ece_pending;
+            seg.payload = payload;
+            if self.rtt_sample.is_none() {
+                self.rtt_sample = Some((seg.seq_end(), now_ns));
+            }
+            self.snd_nxt = self.snd_nxt.wrapping_add(chunk as u32);
+            offset += chunk;
+            budget -= chunk;
+            self.ack_pending = false;
+            self.ece_pending = false;
+            out.push(seg);
+        }
+        if !out.is_empty() {
+            self.arm_rto(now_ns);
+        }
+
+        // FIN once all buffered data has been transmitted.
+        if self.fin_queued
+            && self.fin_seq.is_none()
+            && offset >= self.send_buf.len()
+            && matches!(
+                self.state,
+                ConnState::FinWait1 | ConnState::LastAck | ConnState::Closing
+            )
+        {
+            let mut fin = Segment::control(self.local, self.remote, SegmentFlags::fin_ack());
+            fin.seq = self.snd_nxt;
+            fin.ack = self.rcv_nxt;
+            fin.window = self.recv_window() as u32;
+            self.fin_seq = Some(self.snd_nxt);
+            self.snd_nxt = self.snd_nxt.wrapping_add(1);
+            self.ack_pending = false;
+            self.arm_rto(now_ns);
+            out.push(fin);
+        }
+
+        // Standalone ACKs: one per out-of-order arrival (duplicate ACKs for
+        // fast retransmit) plus at most one regular ACK.
+        let standalone = self.dup_ack_burst.max(u32::from(self.ack_pending));
+        for _ in 0..standalone {
+            let mut ack = Segment::control(self.local, self.remote, SegmentFlags::ack());
+            ack.seq = self.snd_nxt;
+            ack.ack = self.rcv_nxt;
+            ack.window = self.recv_window() as u32;
+            ack.flags.ece = self.ece_pending;
+            out.push(ack);
+        }
+        if standalone > 0 {
+            self.ack_pending = false;
+            self.dup_ack_burst = 0;
+            self.ece_pending = false;
+        }
+
+        out
+    }
+
+    fn arm_rto(&mut self, now_ns: u64) {
+        if self.snd_nxt != self.snd_una {
+            self.rto_deadline = Some(now_ns + self.rto_ns);
+        }
+    }
+
+    fn on_rto(&mut self, now_ns: u64) {
+        if self.snd_una == self.snd_nxt && !matches!(self.state, ConnState::SynSent | ConnState::SynReceived)
+        {
+            self.rto_deadline = None;
+            return;
+        }
+        self.stats.timeouts += 1;
+        self.stats.retransmits += 1;
+        self.cc.on_timeout(now_ns);
+        // Go-back-N: rewind to the first unacknowledged byte.
+        self.snd_nxt = self.snd_una;
+        self.fin_seq = None;
+        self.rtt_sample = None;
+        // Exponential backoff.
+        self.rto_ns = (self.rto_ns * 2).min(MAX_RTO_NS);
+        self.rto_deadline = Some(now_ns + self.rto_ns);
+        self.dup_acks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{CcAlgorithm, Reno};
+
+    fn addr(port: u16) -> SockAddr {
+        SockAddr::v4(10, 0, 0, 1, port)
+    }
+
+    fn peer(port: u16) -> SockAddr {
+        SockAddr::v4(10, 0, 0, 2, port)
+    }
+
+    fn pair(now: u64) -> (TcpConnection, TcpConnection) {
+        let client_cc = CcAlgorithm::Reno.build();
+        let mut client = TcpConnection::connect(addr(5000), peer(80), 1000, client_cc, now);
+        let syns = client.poll_transmit(now);
+        assert_eq!(syns.len(), 1);
+        assert!(syns[0].flags.syn && !syns[0].flags.ack);
+
+        let server_cc = CcAlgorithm::Reno.build();
+        let mut server =
+            TcpConnection::accept(peer(80), addr(5000), 9000, &syns[0], server_cc, now);
+        let synacks = server.poll_transmit(now);
+        assert_eq!(synacks.len(), 1);
+        assert!(synacks[0].flags.syn && synacks[0].flags.ack);
+
+        client.on_segment(&synacks[0], now);
+        assert_eq!(client.state(), ConnState::Established);
+        let acks = client.poll_transmit(now);
+        assert!(!acks.is_empty());
+        server.on_segment(&acks[0], now);
+        assert_eq!(server.state(), ConnState::Established);
+        (client, server)
+    }
+
+    /// Shuttle segments between the two ends until both go quiet.
+    fn pump(a: &mut TcpConnection, b: &mut TcpConnection, mut now: u64, step: u64) -> u64 {
+        for _ in 0..200 {
+            let mut quiet = true;
+            for seg in a.poll_transmit(now) {
+                quiet = false;
+                b.on_segment(&seg, now);
+            }
+            for seg in b.poll_transmit(now) {
+                quiet = false;
+                a.on_segment(&seg, now);
+            }
+            now += step;
+            if quiet {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn three_way_handshake() {
+        let (c, s) = pair(0);
+        assert!(c.is_established());
+        assert!(s.is_established());
+    }
+
+    #[test]
+    fn data_transfer_in_both_directions() {
+        let (mut c, mut s) = pair(0);
+        let msg = vec![7u8; 10_000];
+        assert_eq!(c.write(&msg), 10_000);
+        let now = pump(&mut c, &mut s, 1_000, 1_000);
+        assert_eq!(s.recv_available(), 10_000);
+        let mut buf = vec![0u8; 10_000];
+        assert_eq!(s.read(&mut buf), 10_000);
+        assert_eq!(buf, msg);
+
+        // Server replies.
+        assert_eq!(s.write(b"response"), 8);
+        pump(&mut c, &mut s, now, 1_000);
+        let mut buf = [0u8; 32];
+        assert_eq!(c.read(&mut buf), 8);
+        assert_eq!(&buf[..8], b"response");
+        assert_eq!(c.stats().bytes_acked, 10_000);
+    }
+
+    #[test]
+    fn segmentation_respects_mss() {
+        let (mut c, mut s) = pair(0);
+        c.write(&vec![1u8; 5 * MSS]);
+        let segs = c.poll_transmit(1_000);
+        assert!(segs.iter().all(|s| s.len() <= MSS));
+        assert!(segs.len() >= 5);
+        for seg in &segs {
+            s.on_segment(seg, 1_000);
+        }
+        assert_eq!(s.recv_available(), 5 * MSS);
+    }
+
+    #[test]
+    fn out_of_order_segments_are_reassembled() {
+        let (mut c, mut s) = pair(0);
+        c.write(&vec![9u8; 3 * MSS]);
+        let segs = c.poll_transmit(1_000);
+        assert_eq!(segs.len(), 3);
+        // Deliver in reverse order.
+        for seg in segs.iter().rev() {
+            s.on_segment(seg, 1_000);
+        }
+        assert_eq!(s.recv_available(), 3 * MSS);
+        let mut buf = vec![0u8; 3 * MSS];
+        s.read(&mut buf);
+        assert!(buf.iter().all(|&b| b == 9));
+    }
+
+    #[test]
+    fn lost_segment_is_retransmitted_on_timeout() {
+        let (mut c, mut s) = pair(0);
+        c.write(b"important");
+        // First transmission is lost (never delivered).
+        let lost = c.poll_transmit(1_000);
+        assert_eq!(lost.len(), 1);
+        // After the RTO fires the data is retransmitted.
+        let retrans = c.poll_transmit(1_000 + INITIAL_RTO_NS + 1);
+        assert_eq!(retrans.len(), 1);
+        assert_eq!(retrans[0].payload, b"important");
+        assert_eq!(c.stats().timeouts, 1);
+        s.on_segment(&retrans[0], 1_000 + INITIAL_RTO_NS + 2);
+        assert_eq!(s.recv_available(), 9);
+    }
+
+    #[test]
+    fn triple_duplicate_acks_trigger_fast_retransmit() {
+        let (mut c, mut s) = pair(0);
+        c.write(&vec![5u8; 4 * MSS]);
+        let segs = c.poll_transmit(1_000);
+        assert!(segs.len() >= 4);
+        // Drop the first segment, deliver the rest: the receiver owes one
+        // duplicate ACK per out-of-order segment.
+        for seg in &segs[1..] {
+            s.on_segment(seg, 1_000);
+        }
+        let acks = s.poll_transmit(1_000);
+        assert!(acks.len() >= 3, "expected >=3 duplicate ACKs, got {}", acks.len());
+        assert!(acks.iter().all(|a| a.ack == segs[0].seq));
+        for ack in &acks {
+            c.on_segment(ack, 2_000);
+        }
+        assert_eq!(c.stats().fast_retransmits, 1, "fast retransmit must fire");
+        // The retransmission fills the hole without waiting for the RTO.
+        let out = c.poll_transmit(2_500);
+        assert!(out.iter().any(|seg| seg.seq == segs[0].seq && !seg.payload.is_empty()));
+        for seg in &out {
+            s.on_segment(seg, 2_500);
+        }
+        // Shuttle any remaining segments until the stream is complete.
+        let mut now = 3_000;
+        for _ in 0..100 {
+            now += 1_000_000;
+            for seg in c.poll_transmit(now) {
+                s.on_segment(&seg, now);
+            }
+            for seg in s.poll_transmit(now) {
+                c.on_segment(&seg, now);
+            }
+            if s.recv_available() == 4 * MSS {
+                break;
+            }
+        }
+        assert_eq!(s.recv_available(), 4 * MSS);
+    }
+
+    #[test]
+    fn graceful_close_both_sides() {
+        let (mut c, mut s) = pair(0);
+        c.write(b"bye");
+        c.close();
+        let now = pump(&mut c, &mut s, 1_000, 1_000);
+        let mut buf = [0u8; 8];
+        assert_eq!(s.read(&mut buf), 3);
+        assert!(s.peer_closed());
+        assert_eq!(s.state(), ConnState::CloseWait);
+        // Server closes too.
+        s.close();
+        let now = pump(&mut c, &mut s, now, 1_000);
+        assert_eq!(s.state(), ConnState::Closed);
+        // Client reaches TIME-WAIT and then closes after the linger period.
+        assert!(matches!(c.state(), ConnState::TimeWait | ConnState::Closed));
+        let _ = c.poll_transmit(now + TIME_WAIT_NS + 1_000_000);
+        assert_eq!(c.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn abort_sends_rst_and_peer_observes_it() {
+        let (mut c, mut s) = pair(0);
+        c.abort();
+        let segs = c.poll_transmit(1_000);
+        assert!(segs.iter().any(|s| s.flags.rst));
+        for seg in &segs {
+            s.on_segment(seg, 1_000);
+        }
+        assert_eq!(s.state(), ConnState::Closed);
+        assert!(c.is_closed());
+    }
+
+    #[test]
+    fn flow_control_respects_peer_window() {
+        let (mut c, mut s) = pair(0);
+        s.set_recv_buf_cap(2 * MSS);
+        // Tell the client about the small window via an ACK.
+        s.ack_pending = true;
+        for seg in s.poll_transmit(1_000) {
+            c.on_segment(&seg, 1_000);
+        }
+        c.write(&vec![3u8; 10 * MSS]);
+        let segs = c.poll_transmit(2_000);
+        let sent: usize = segs.iter().map(|s| s.len()).sum();
+        assert!(sent <= 2 * MSS, "sent {sent} despite a 2-MSS window");
+    }
+
+    #[test]
+    fn write_after_close_is_rejected() {
+        let (mut c, _s) = pair(0);
+        c.close();
+        assert_eq!(c.write(b"nope"), 0);
+        assert!(!c.writable());
+    }
+
+    #[test]
+    fn send_buffer_capacity_limits_writes() {
+        let (mut c, _s) = pair(0);
+        // Capacities below one MSS are clamped up to an MSS.
+        c.set_send_buf_cap(100);
+        assert_eq!(c.write(&vec![0u8; 5000]), MSS);
+        assert_eq!(c.write(&[0u8; 1]), 0);
+        assert!(!c.writable());
+
+        let (mut c2, _s2) = pair(0);
+        c2.set_send_buf_cap(2000);
+        assert_eq!(c2.write(&vec![0u8; 5000]), 2000);
+        assert_eq!(c2.write(&[0u8; 1]), 0);
+    }
+
+    #[test]
+    fn ecn_marks_are_echoed_and_reduce_cwnd() {
+        let (mut c, mut s) = pair(0);
+        // Grow the client's window a bit first.
+        c.write(&vec![1u8; 20 * MSS]);
+        pump(&mut c, &mut s, 1_000, 1_000);
+        let cwnd_before = c.cwnd();
+
+        c.write(&vec![1u8; 4 * MSS]);
+        let mut segs = c.poll_transmit(100_000);
+        assert!(!segs.is_empty());
+        // The network marks congestion on the first data segment.
+        segs[0].ce_mark = true;
+        for seg in &segs {
+            s.on_segment(seg, 100_000);
+        }
+        // Receiver echoes ECE on its ACKs; sender reduces its window.
+        for ack in s.poll_transmit(100_000) {
+            assert!(ack.flags.ece || !ack.flags.ack || ack.payload.is_empty());
+            c.on_segment(&ack, 100_000);
+        }
+        assert!(c.cwnd() <= cwnd_before, "cwnd should not grow after ECE");
+    }
+
+    #[test]
+    fn rtt_estimation_updates_rto() {
+        let (mut c, mut s) = pair(0);
+        c.write(&vec![1u8; MSS]);
+        let segs = c.poll_transmit(1_000_000);
+        for seg in &segs {
+            s.on_segment(seg, 1_000_000);
+        }
+        // ACK arrives 5 ms later.
+        for ack in s.poll_transmit(6_000_000) {
+            c.on_segment(&ack, 6_000_000);
+        }
+        assert!(c.srtt_ns.is_some());
+        let srtt = c.srtt_ns.unwrap();
+        assert!(srtt >= 4_000_000 && srtt <= 6_000_000, "srtt {srtt}");
+        assert!(c.rto_ns >= MIN_RTO_NS);
+    }
+
+    #[test]
+    fn reno_is_default_like_and_exposed_via_cwnd() {
+        let cc: Box<dyn CongestionControl> = Box::new(Reno::new());
+        let c = TcpConnection::connect(addr(1), peer(2), 0, cc, 0);
+        assert!(c.cwnd() >= MSS);
+        assert_eq!(c.state(), ConnState::SynSent);
+        assert_eq!(c.local(), addr(1));
+        assert_eq!(c.remote(), peer(2));
+    }
+}

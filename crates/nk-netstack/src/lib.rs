@@ -1,0 +1,31 @@
+//! A from-scratch TCP/IP stack substrate.
+//!
+//! The paper's Network Stack Modules run real stacks — the Linux kernel
+//! stack, mTCP over DPDK, or special-purpose prototypes. Neither is usable as
+//! a Rust library, so this crate rebuilds the part of a stack the evaluation
+//! depends on:
+//!
+//! * [`segment`] — TCP segments carried over the `nk-fabric` virtual switch;
+//! * [`cc`] — pluggable congestion control: NewReno, CUBIC, DCTCP and the
+//!   Seawall-style VM-shared window used by the fair-sharing NSM (§6.2);
+//! * [`conn`] — the per-connection state machine: three-way handshake,
+//!   sliding-window data transfer, retransmission (RTO and fast retransmit),
+//!   out-of-order reassembly, FIN/RST teardown;
+//! * [`stack`] — the socket layer: listeners and accept queues, port
+//!   allocation, demultiplexing, readiness events, and the non-blocking
+//!   socket-call surface ServiceLib and the baseline guest translate into.
+//!
+//! The stack is deliberately synchronous and single-owner: it is driven by
+//! `tick(now_ns)` from whoever owns it (an NSM, a baseline VM, a remote-host
+//! workload endpoint), which matches how the simulator and the threaded host
+//! schedule work.
+
+pub mod cc;
+pub mod conn;
+pub mod segment;
+pub mod stack;
+
+pub use cc::{CcAlgorithm, CongestionControl, SharedVmWindow};
+pub use conn::{ConnState, TcpConnection};
+pub use segment::{Segment, SegmentFlags};
+pub use stack::{StackConfig, StackEvent, TcpStack};

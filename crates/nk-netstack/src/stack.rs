@@ -1,0 +1,904 @@
+//! The socket layer: listeners, demultiplexing, readiness and the stack API.
+//!
+//! A [`TcpStack`] is what a Network Stack Module actually runs: it owns a
+//! port on the virtual fabric, a socket table, and the per-connection state
+//! machines. ServiceLib (NetKernel) or the in-guest baseline translate socket
+//! calls into the methods of this type. The stack is driven by
+//! [`TcpStack::tick`], which ingests frames from the fabric, runs the
+//! connection state machines, and emits outgoing frames.
+
+use crate::cc::CcAlgorithm;
+use crate::conn::{ConnState, TcpConnection};
+use crate::segment::Segment;
+use nk_fabric::nic::symmetric_flow_hash;
+use nk_fabric::port::{Frame, Port};
+use nk_types::api::sockopt;
+use nk_types::{NkError, NkResult, PollEvents, ShutdownHow, SockAddr, SocketId};
+use std::collections::{HashMap, VecDeque};
+
+/// Configuration of one stack instance.
+#[derive(Clone)]
+pub struct StackConfig {
+    /// Local IP address of the endpoint this stack serves.
+    pub local_ip: u32,
+    /// Congestion control used for new connections.
+    pub cc: CcAlgorithm,
+    /// Per-socket send buffer capacity in bytes.
+    pub send_buf: usize,
+    /// Per-socket receive buffer capacity in bytes.
+    pub recv_buf: usize,
+}
+
+impl StackConfig {
+    /// A stack bound to `local_ip` using CUBIC and default buffer sizes.
+    pub fn new(local_ip: u32) -> Self {
+        StackConfig {
+            local_ip,
+            cc: CcAlgorithm::Cubic,
+            send_buf: nk_types::constants::DEFAULT_SEND_BUF,
+            recv_buf: nk_types::constants::DEFAULT_RECV_BUF,
+        }
+    }
+
+    /// Select a congestion-control algorithm (builder style).
+    pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
+        self.cc = cc;
+        self
+    }
+}
+
+/// Events produced while ticking the stack, consumed by ServiceLib to build
+/// completion / data NQEs without scanning every socket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackEvent {
+    /// An active open completed (connect succeeded).
+    Connected(SocketId),
+    /// An active open failed.
+    ConnectFailed(SocketId),
+    /// A listener has at least one connection ready to accept.
+    Acceptable(SocketId),
+    /// New in-order data is available on a connection.
+    Readable(SocketId),
+    /// Send-buffer space became available again.
+    Writable(SocketId),
+    /// The peer closed its write side (EOF after draining data).
+    PeerClosed(SocketId),
+}
+
+/// Aggregate statistics of a stack instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Segments received from the fabric.
+    pub segments_in: u64,
+    /// Segments emitted to the fabric.
+    pub segments_out: u64,
+    /// Payload bytes received in order.
+    pub bytes_in: u64,
+    /// Payload bytes queued for transmission by applications.
+    pub bytes_out: u64,
+    /// Connections accepted by listeners.
+    pub accepted: u64,
+    /// Connections actively opened.
+    pub connected: u64,
+    /// Segments dropped because no socket matched.
+    pub no_socket_drops: u64,
+}
+
+enum SocketEntry {
+    /// Created but neither listening nor connected.
+    Idle {
+        bound: Option<SockAddr>,
+        reuseport: bool,
+    },
+    /// Passive listener.
+    Listener {
+        local: SockAddr,
+        backlog: usize,
+        /// Established connections awaiting `accept()`.
+        ready: VecDeque<SocketId>,
+    },
+    /// An in-progress or established connection.
+    Conn(Box<TcpConnection>),
+}
+
+/// A TCP stack instance attached to one fabric port.
+pub struct TcpStack {
+    cfg: StackConfig,
+    port: Port<Segment>,
+    sockets: HashMap<SocketId, SocketEntry>,
+    /// (local, remote) → connection socket.
+    demux: HashMap<(SockAddr, SockAddr), SocketId>,
+    /// Listening sockets per local port (more than one with SO_REUSEPORT).
+    listeners: HashMap<u16, Vec<SocketId>>,
+    /// Embryonic connections (arrived via SYN) → their parent listener.
+    embryonic: HashMap<SocketId, SocketId>,
+    /// Sockets whose previous tick state was not yet writable/readable, for
+    /// edge detection.
+    was_writable: HashMap<SocketId, bool>,
+    next_socket: u32,
+    next_ephemeral: u16,
+    iss: u32,
+    rr_listener: usize,
+    events: VecDeque<StackEvent>,
+    stats: StackStats,
+}
+
+impl TcpStack {
+    /// Create a stack attached to the given fabric port.
+    pub fn new(cfg: StackConfig, port: Port<Segment>) -> Self {
+        TcpStack {
+            cfg,
+            port,
+            sockets: HashMap::new(),
+            demux: HashMap::new(),
+            listeners: HashMap::new(),
+            embryonic: HashMap::new(),
+            was_writable: HashMap::new(),
+            next_socket: 1,
+            next_ephemeral: 40_000,
+            iss: 0x1000,
+            rr_listener: 0,
+            events: VecDeque::new(),
+            stats: StackStats::default(),
+        }
+    }
+
+    /// The stack's local IP.
+    pub fn local_ip(&self) -> u32 {
+        self.cfg.local_ip
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StackStats {
+        self.stats
+    }
+
+    /// Number of live sockets (of any kind).
+    pub fn socket_count(&self) -> usize {
+        self.sockets.len()
+    }
+
+    fn alloc_socket_id(&mut self) -> SocketId {
+        let id = SocketId(self.next_socket);
+        self.next_socket += 1;
+        id
+    }
+
+    fn next_iss(&mut self) -> u32 {
+        self.iss = self.iss.wrapping_add(64_000).wrapping_add(1);
+        self.iss
+    }
+
+    fn alloc_ephemeral(&mut self) -> u16 {
+        for _ in 0..25_000 {
+            let p = self.next_ephemeral;
+            self.next_ephemeral = if self.next_ephemeral >= 65_000 {
+                40_000
+            } else {
+                self.next_ephemeral + 1
+            };
+            if !self.listeners.contains_key(&p) {
+                return p;
+            }
+        }
+        0
+    }
+
+    // ---- Socket API ---------------------------------------------------------
+
+    /// Create a new socket.
+    pub fn socket(&mut self) -> SocketId {
+        let id = self.alloc_socket_id();
+        self.sockets.insert(
+            id,
+            SocketEntry::Idle {
+                bound: None,
+                reuseport: false,
+            },
+        );
+        id
+    }
+
+    /// Bind a socket to a local address.
+    pub fn bind(&mut self, sock: SocketId, addr: SockAddr) -> NkResult<()> {
+        // Reject the bind when the port is taken by a listener without
+        // SO_REUSEPORT on either side.
+        let reuse_requested = matches!(
+            self.sockets.get(&sock),
+            Some(SocketEntry::Idle { reuseport: true, .. })
+        );
+        if let Some(existing) = self.listeners.get(&addr.port) {
+            if !existing.is_empty() && !reuse_requested {
+                return Err(NkError::AddrInUse);
+            }
+        }
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Idle { bound, .. }) => {
+                *bound = Some(SockAddr::new(self.cfg.local_ip, addr.port));
+                Ok(())
+            }
+            Some(_) => Err(NkError::InvalidState),
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Put a bound socket into the listening state.
+    pub fn listen(&mut self, sock: SocketId, backlog: u32) -> NkResult<()> {
+        let entry = self.sockets.get_mut(&sock).ok_or(NkError::BadSocket)?;
+        match entry {
+            SocketEntry::Idle { bound: Some(addr), .. } => {
+                let local = *addr;
+                *entry = SocketEntry::Listener {
+                    local,
+                    backlog: backlog.max(1) as usize,
+                    ready: VecDeque::new(),
+                };
+                self.listeners.entry(local.port).or_default().push(sock);
+                Ok(())
+            }
+            SocketEntry::Idle { bound: None, .. } => Err(NkError::InvalidState),
+            _ => Err(NkError::InvalidState),
+        }
+    }
+
+    /// Accept one pending connection from a listener.
+    pub fn accept(&mut self, sock: SocketId) -> NkResult<(SocketId, SockAddr)> {
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Listener { ready, .. }) => {
+                let conn_id = ready.pop_front().ok_or(NkError::WouldBlock)?;
+                let peer = match self.sockets.get(&conn_id) {
+                    Some(SocketEntry::Conn(c)) => c.remote(),
+                    _ => return Err(NkError::InvalidState),
+                };
+                self.stats.accepted += 1;
+                Ok((conn_id, peer))
+            }
+            Some(_) => Err(NkError::InvalidState),
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Start an active open towards `remote` using the stack's default
+    /// congestion control.
+    pub fn connect(&mut self, sock: SocketId, remote: SockAddr, now_ns: u64) -> NkResult<()> {
+        self.connect_with_cc(sock, remote, now_ns, None)
+    }
+
+    /// Start an active open with an explicit congestion-control instance.
+    ///
+    /// The fair-share NSM uses this to give every connection of a VM the same
+    /// Seawall-style shared window (paper §6.2); passing `None` uses the
+    /// stack's configured algorithm.
+    pub fn connect_with_cc(
+        &mut self,
+        sock: SocketId,
+        remote: SockAddr,
+        now_ns: u64,
+        cc: Option<Box<dyn crate::cc::CongestionControl>>,
+    ) -> NkResult<()> {
+        let entry = self.sockets.get_mut(&sock).ok_or(NkError::BadSocket)?;
+        let local_port = match entry {
+            SocketEntry::Idle { bound, .. } => bound.map(|a| a.port),
+            SocketEntry::Conn(_) => return Err(NkError::AlreadyConnected),
+            SocketEntry::Listener { .. } => return Err(NkError::InvalidState),
+        };
+        let local_port = match local_port {
+            Some(p) => p,
+            None => self.alloc_ephemeral(),
+        };
+        let local = SockAddr::new(self.cfg.local_ip, local_port);
+        let iss = self.next_iss();
+        let cc = cc.unwrap_or_else(|| self.cfg.cc.build());
+        let mut conn = TcpConnection::connect(local, remote, iss, cc, now_ns);
+        conn.set_send_buf_cap(self.cfg.send_buf);
+        conn.set_recv_buf_cap(self.cfg.recv_buf);
+        self.demux.insert((local, remote), sock);
+        self.sockets.insert(sock, SocketEntry::Conn(Box::new(conn)));
+        self.stats.connected += 1;
+        Ok(())
+    }
+
+    /// Queue data for transmission.
+    pub fn send(&mut self, sock: SocketId, data: &[u8]) -> NkResult<usize> {
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Conn(c)) => {
+                if c.is_closed() {
+                    return Err(NkError::Closed);
+                }
+                let n = c.write(data);
+                if n == 0 {
+                    if !c.is_established() && c.state() != ConnState::SynSent {
+                        Err(NkError::NotConnected)
+                    } else {
+                        Err(NkError::WouldBlock)
+                    }
+                } else {
+                    self.stats.bytes_out += n as u64;
+                    Ok(n)
+                }
+            }
+            Some(_) => Err(NkError::NotConnected),
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Read received data.
+    pub fn recv(&mut self, sock: SocketId, buf: &mut [u8]) -> NkResult<usize> {
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Conn(c)) => {
+                let n = c.read(buf);
+                if n > 0 {
+                    self.stats.bytes_in += n as u64;
+                    Ok(n)
+                } else if c.peer_closed() || c.is_closed() {
+                    Ok(0)
+                } else {
+                    Err(NkError::WouldBlock)
+                }
+            }
+            Some(_) => Err(NkError::NotConnected),
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Set a socket option.
+    pub fn set_sockopt(&mut self, sock: SocketId, opt: u32, value: u32) -> NkResult<()> {
+        let entry = self.sockets.get_mut(&sock).ok_or(NkError::BadSocket)?;
+        match (entry, opt) {
+            (SocketEntry::Idle { reuseport, .. }, sockopt::REUSEPORT) => {
+                *reuseport = value != 0;
+                Ok(())
+            }
+            (SocketEntry::Conn(c), sockopt::SNDBUF) => {
+                c.set_send_buf_cap(value as usize);
+                Ok(())
+            }
+            (SocketEntry::Conn(c), sockopt::RCVBUF) => {
+                c.set_recv_buf_cap(value as usize);
+                Ok(())
+            }
+            (_, sockopt::NODELAY) => Ok(()),
+            (_, sockopt::CONGESTION) => Ok(()),
+            (_, sockopt::SNDBUF) | (_, sockopt::RCVBUF) | (_, sockopt::REUSEPORT) => Ok(()),
+            _ => Err(NkError::Unsupported),
+        }
+    }
+
+    /// Shut down one or both directions of a connection.
+    pub fn shutdown(&mut self, sock: SocketId, how: ShutdownHow) -> NkResult<()> {
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Conn(c)) => {
+                match how {
+                    ShutdownHow::Write | ShutdownHow::Both => c.close(),
+                    ShutdownHow::Read => {}
+                }
+                Ok(())
+            }
+            Some(_) => Err(NkError::NotConnected),
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Close a socket. Connections close gracefully; listeners stop
+    /// accepting.
+    pub fn close(&mut self, sock: SocketId) -> NkResult<()> {
+        match self.sockets.get_mut(&sock) {
+            Some(SocketEntry::Conn(c)) => {
+                c.close();
+                Ok(())
+            }
+            Some(SocketEntry::Listener { local, .. }) => {
+                let port = local.port;
+                if let Some(v) = self.listeners.get_mut(&port) {
+                    v.retain(|s| *s != sock);
+                    if v.is_empty() {
+                        self.listeners.remove(&port);
+                    }
+                }
+                self.sockets.remove(&sock);
+                Ok(())
+            }
+            Some(SocketEntry::Idle { .. }) => {
+                self.sockets.remove(&sock);
+                Ok(())
+            }
+            None => Err(NkError::BadSocket),
+        }
+    }
+
+    /// Current readiness of a socket.
+    pub fn poll(&self, sock: SocketId) -> PollEvents {
+        let mut ev = PollEvents::NONE;
+        match self.sockets.get(&sock) {
+            Some(SocketEntry::Conn(c)) => {
+                if c.readable() {
+                    ev |= PollEvents::READABLE;
+                }
+                if c.writable() {
+                    ev |= PollEvents::WRITABLE;
+                }
+                if c.peer_closed() || c.is_closed() {
+                    ev |= PollEvents::HUP;
+                }
+            }
+            Some(SocketEntry::Listener { ready, .. }) => {
+                if !ready.is_empty() {
+                    ev |= PollEvents::READABLE;
+                }
+            }
+            Some(SocketEntry::Idle { .. }) => {}
+            None => ev |= PollEvents::ERROR,
+        }
+        ev
+    }
+
+    /// Drain the stack events generated since the last call.
+    pub fn take_events(&mut self) -> Vec<StackEvent> {
+        self.events.drain(..).collect()
+    }
+
+    // ---- Datapath -----------------------------------------------------------
+
+    /// Process incoming frames, run timers, and transmit outgoing segments.
+    /// Returns the number of segments processed (in + out).
+    pub fn tick(&mut self, now_ns: u64) -> usize {
+        let mut work = 0;
+        work += self.process_incoming(now_ns);
+        work += self.transmit(now_ns);
+        self.reap_closed();
+        work
+    }
+
+    fn process_incoming(&mut self, now_ns: u64) -> usize {
+        let mut count = 0;
+        while let Some(frame) = self.port.recv() {
+            count += 1;
+            self.stats.segments_in += 1;
+            let seg = frame.payload;
+            let local = seg.dst;
+            let remote = seg.src;
+            // Established / embryonic connection?
+            if let Some(&sock) = self.demux.get(&(local, remote)) {
+                let was_established;
+                let was_readable;
+                let was_fin;
+                {
+                    let Some(SocketEntry::Conn(c)) = self.sockets.get_mut(&sock) else {
+                        continue;
+                    };
+                    was_established = c.is_established();
+                    was_readable = c.recv_available() > 0;
+                    was_fin = c.fin_received();
+                    c.on_segment(&seg, now_ns);
+                }
+                self.after_segment(sock, was_established, was_readable, was_fin);
+                continue;
+            }
+            // New connection request towards a listener?
+            if seg.flags.syn && !seg.flags.ack {
+                if let Some(listener_id) = self.pick_listener(local.port) {
+                    self.handle_syn(listener_id, &seg, now_ns);
+                    continue;
+                }
+            }
+            // No socket: drop (and count). A RST in response to a SYN gives
+            // the remote a crisp "connection refused".
+            self.stats.no_socket_drops += 1;
+            if seg.flags.syn && !seg.flags.ack {
+                let mut rst = Segment::control(local, remote, crate::segment::SegmentFlags::rst());
+                rst.seq = 0;
+                rst.ack = seg.seq.wrapping_add(1);
+                self.emit(rst);
+            }
+        }
+        count
+    }
+
+    fn pick_listener(&mut self, port: u16) -> Option<SocketId> {
+        let v = self.listeners.get(&port)?;
+        if v.is_empty() {
+            return None;
+        }
+        // Round-robin across SO_REUSEPORT listeners, like the kernel's
+        // reuseport group balancing.
+        let idx = self.rr_listener % v.len();
+        self.rr_listener = self.rr_listener.wrapping_add(1);
+        Some(v[idx])
+    }
+
+    fn handle_syn(&mut self, listener_id: SocketId, syn: &Segment, now_ns: u64) {
+        // Enforce the backlog across embryonic + ready connections.
+        let (local, backlog, ready_len) = match self.sockets.get(&listener_id) {
+            Some(SocketEntry::Listener { local, backlog, ready }) => {
+                (*local, *backlog, ready.len())
+            }
+            _ => return,
+        };
+        let embryonic_count = self
+            .embryonic
+            .values()
+            .filter(|&&l| l == listener_id)
+            .count();
+        if ready_len + embryonic_count >= backlog {
+            return; // silently drop, the client will retransmit its SYN
+        }
+        let local_addr = SockAddr::new(self.cfg.local_ip, local.port);
+        let remote = syn.src;
+        let iss = self.next_iss();
+        let mut conn =
+            TcpConnection::accept(local_addr, remote, iss, syn, self.cfg.cc.build(), now_ns);
+        conn.set_send_buf_cap(self.cfg.send_buf);
+        conn.set_recv_buf_cap(self.cfg.recv_buf);
+        let id = self.alloc_socket_id();
+        self.demux.insert((local_addr, remote), id);
+        self.sockets.insert(id, SocketEntry::Conn(Box::new(conn)));
+        self.embryonic.insert(id, listener_id);
+    }
+
+    fn after_segment(
+        &mut self,
+        sock: SocketId,
+        was_established: bool,
+        was_readable: bool,
+        was_fin: bool,
+    ) {
+        let (established, readable, fin, closed) = match self.sockets.get(&sock) {
+            Some(SocketEntry::Conn(c)) => (
+                c.is_established(),
+                c.recv_available() > 0,
+                c.fin_received(),
+                c.is_closed(),
+            ),
+            _ => return,
+        };
+        // Embryonic connection finished its handshake: hand it to the
+        // listener's accept queue.
+        if established && !was_established {
+            if let Some(listener_id) = self.embryonic.remove(&sock) {
+                if let Some(SocketEntry::Listener { ready, .. }) =
+                    self.sockets.get_mut(&listener_id)
+                {
+                    ready.push_back(sock);
+                    self.events.push_back(StackEvent::Acceptable(listener_id));
+                }
+            } else {
+                self.events.push_back(StackEvent::Connected(sock));
+            }
+        }
+        // A connection that died before establishing is a failed open
+        // (refused by RST or aborted); drop any embryonic bookkeeping.
+        if closed && !established && !was_established {
+            self.embryonic.remove(&sock);
+            self.events.push_back(StackEvent::ConnectFailed(sock));
+        }
+        if readable && !was_readable {
+            self.events.push_back(StackEvent::Readable(sock));
+        }
+        if fin && !was_fin {
+            self.events.push_back(StackEvent::PeerClosed(sock));
+        }
+    }
+
+    fn transmit(&mut self, now_ns: u64) -> usize {
+        let mut count = 0;
+        let ids: Vec<SocketId> = self
+            .sockets
+            .iter()
+            .filter(|(_, e)| matches!(e, SocketEntry::Conn(_)))
+            .map(|(id, _)| *id)
+            .collect();
+        for id in ids {
+            let (segs, writable) = {
+                let Some(SocketEntry::Conn(c)) = self.sockets.get_mut(&id) else {
+                    continue;
+                };
+                (c.poll_transmit(now_ns), c.writable())
+            };
+            for seg in segs {
+                count += 1;
+                self.emit(seg);
+            }
+            // Edge-detect the writable transition for Writable events.
+            let was = self.was_writable.insert(id, writable).unwrap_or(false);
+            if writable && !was {
+                self.events.push_back(StackEvent::Writable(id));
+            }
+        }
+        count
+    }
+
+    fn emit(&mut self, seg: Segment) {
+        self.stats.segments_out += 1;
+        let frame = Frame {
+            src: seg.src.ip,
+            dst: seg.dst.ip,
+            flow_hash: symmetric_flow_hash(seg.src.ip, seg.src.port, seg.dst.ip, seg.dst.port),
+            wire_bytes: seg.wire_bytes(),
+            payload: seg,
+        };
+        self.port.send(frame);
+    }
+
+    fn reap_closed(&mut self) {
+        let dead: Vec<SocketId> = self
+            .sockets
+            .iter()
+            .filter_map(|(id, e)| match e {
+                SocketEntry::Conn(c) if c.is_closed() && c.recv_available() == 0 => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for id in dead {
+            if let Some(SocketEntry::Conn(c)) = self.sockets.get(&id) {
+                // Keep the entry if the application has not consumed EOF yet;
+                // only reap connections nobody is waiting on.
+                let key = (c.local(), c.remote());
+                // Accepted-but-never-accepted embryonic entries are dropped too.
+                if self.embryonic.contains_key(&id) {
+                    self.embryonic.remove(&id);
+                }
+                self.demux.remove(&key);
+                self.sockets.remove(&id);
+                self.was_writable.remove(&id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_fabric::switch::VirtualSwitch;
+
+    const SERVER_IP: u32 = 0x0A00_0001;
+    const CLIENT_IP: u32 = 0x0A00_0002;
+
+    struct World {
+        switch: VirtualSwitch<Segment>,
+        server: TcpStack,
+        client: TcpStack,
+        now: u64,
+    }
+
+    impl World {
+        fn new() -> Self {
+            let mut switch = VirtualSwitch::new();
+            let sp = switch.attach(SERVER_IP);
+            let cp = switch.attach(CLIENT_IP);
+            World {
+                switch,
+                server: TcpStack::new(StackConfig::new(SERVER_IP), sp),
+                client: TcpStack::new(StackConfig::new(CLIENT_IP), cp),
+                now: 0,
+            }
+        }
+
+        fn run(&mut self, iterations: usize) {
+            for _ in 0..iterations {
+                self.now += 100_000; // 100 µs per round
+                self.client.tick(self.now);
+                self.server.tick(self.now);
+                self.switch.step(self.now);
+            }
+        }
+    }
+
+    fn listening_server(w: &mut World, port: u16) -> SocketId {
+        let ls = w.server.socket();
+        w.server.bind(ls, SockAddr::new(0, port)).unwrap();
+        w.server.listen(ls, 128).unwrap();
+        ls
+    }
+
+    #[test]
+    fn connect_accept_and_exchange_data() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+
+        let (conn, peer) = w.server.accept(ls).unwrap();
+        assert_eq!(peer.ip, CLIENT_IP);
+        assert!(w.client.poll(cs).writable());
+
+        assert_eq!(w.client.send(cs, b"hello netkernel").unwrap(), 15);
+        w.run(10);
+        let mut buf = [0u8; 64];
+        assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 15);
+        assert_eq!(&buf[..15], b"hello netkernel");
+
+        assert_eq!(w.server.send(conn, b"pong").unwrap(), 4);
+        w.run(10);
+        assert_eq!(w.client.recv(cs, &mut buf).unwrap(), 4);
+        assert_eq!(&buf[..4], b"pong");
+
+        assert!(w.client.stats().segments_out > 0);
+        assert!(w.server.stats().accepted == 1);
+    }
+
+    #[test]
+    fn accept_before_connection_would_block() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        assert_eq!(w.server.accept(ls), Err(NkError::WouldBlock));
+    }
+
+    #[test]
+    fn connect_to_closed_port_fails() {
+        let mut w = World::new();
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 9999), w.now)
+            .unwrap();
+        w.run(20);
+        let ev = w.client.poll(cs);
+        assert!(ev.hup() || ev.error(), "events {ev:?}");
+        assert!(w.server.stats().no_socket_drops > 0);
+    }
+
+    #[test]
+    fn bulk_transfer_larger_than_one_window() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let (conn, _) = w.server.accept(ls).unwrap();
+
+        let payload: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut received = Vec::new();
+        let mut buf = vec![0u8; 16 * 1024];
+        for _ in 0..2_000 {
+            if sent < payload.len() {
+                if let Ok(n) = w.client.send(cs, &payload[sent..]) {
+                    sent += n;
+                }
+            }
+            w.run(1);
+            while let Ok(n) = w.server.recv(conn, &mut buf) {
+                if n == 0 {
+                    break;
+                }
+                received.extend_from_slice(&buf[..n]);
+            }
+            if received.len() == payload.len() {
+                break;
+            }
+        }
+        assert_eq!(received.len(), payload.len());
+        assert_eq!(received, payload);
+    }
+
+    #[test]
+    fn events_report_readable_and_acceptable() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let events = w.server.take_events();
+        assert!(events.contains(&StackEvent::Acceptable(ls)), "{events:?}");
+        let (conn, _) = w.server.accept(ls).unwrap();
+
+        w.client.send(cs, b"ping").unwrap();
+        w.run(10);
+        let events = w.server.take_events();
+        assert!(events.contains(&StackEvent::Readable(conn)), "{events:?}");
+
+        let client_events = w.client.take_events();
+        assert!(client_events.contains(&StackEvent::Connected(cs)), "{client_events:?}");
+    }
+
+    #[test]
+    fn reuseport_spreads_connections_over_listeners() {
+        let mut w = World::new();
+        let mut listeners = Vec::new();
+        for _ in 0..4 {
+            let ls = w.server.socket();
+            w.server.set_sockopt(ls, sockopt::REUSEPORT, 1).unwrap();
+            w.server.bind(ls, SockAddr::new(0, 80)).unwrap();
+            w.server.listen(ls, 64).unwrap();
+            listeners.push(ls);
+        }
+        for _ in 0..16 {
+            let cs = w.client.socket();
+            w.client
+                .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+                .unwrap();
+        }
+        w.run(30);
+        let mut accepted = 0;
+        let mut busy_listeners = 0;
+        for &ls in &listeners {
+            let mut n = 0;
+            while w.server.accept(ls).is_ok() {
+                n += 1;
+            }
+            if n > 0 {
+                busy_listeners += 1;
+            }
+            accepted += n;
+        }
+        assert_eq!(accepted, 16);
+        assert!(busy_listeners >= 3, "connections concentrated on {busy_listeners} listeners");
+    }
+
+    #[test]
+    fn bind_conflict_without_reuseport() {
+        let mut w = World::new();
+        let a = w.server.socket();
+        w.server.bind(a, SockAddr::new(0, 80)).unwrap();
+        w.server.listen(a, 8).unwrap();
+        let b = w.server.socket();
+        assert_eq!(w.server.bind(b, SockAddr::new(0, 80)), Err(NkError::AddrInUse));
+    }
+
+    #[test]
+    fn graceful_close_propagates_eof() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let (conn, _) = w.server.accept(ls).unwrap();
+        w.client.send(cs, b"last words").unwrap();
+        w.client.close(cs).unwrap();
+        w.run(20);
+        let mut buf = [0u8; 32];
+        assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 10);
+        assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 0, "EOF expected");
+        let events = w.server.take_events();
+        assert!(events.iter().any(|e| matches!(e, StackEvent::PeerClosed(_))));
+    }
+
+    #[test]
+    fn closed_connections_are_reaped() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let (conn, _) = w.server.accept(ls).unwrap();
+        let before = w.server.socket_count();
+        // Both sides close; after the exchange the server connection should
+        // eventually disappear from the table.
+        w.client.close(cs).unwrap();
+        w.run(5);
+        let mut buf = [0u8; 4];
+        let _ = w.server.recv(conn, &mut buf);
+        w.server.close(conn).unwrap();
+        // Run long enough for FIN exchange plus TIME-WAIT to expire.
+        for _ in 0..30 {
+            w.run(10);
+            w.now += 10_000_000;
+        }
+        assert!(w.server.socket_count() < before, "connection not reaped");
+    }
+
+    #[test]
+    fn invalid_socket_operations_report_errors() {
+        let mut w = World::new();
+        let bogus = SocketId(999);
+        assert_eq!(w.client.send(bogus, b"x"), Err(NkError::BadSocket));
+        assert_eq!(w.client.recv(bogus, &mut [0u8; 4]), Err(NkError::BadSocket));
+        assert_eq!(w.client.close(bogus), Err(NkError::BadSocket));
+        assert!(w.client.poll(bogus).error());
+
+        let s = w.client.socket();
+        assert_eq!(w.client.send(s, b"x"), Err(NkError::NotConnected));
+        assert_eq!(w.client.listen(s, 4), Err(NkError::InvalidState));
+    }
+}

@@ -1,0 +1,322 @@
+//! The NK device: per-entity queue sets plus event notification.
+//!
+//! Every VM and every NSM owns one *NK device* "consisting of one or more
+//! sets of lockless queues" — one queue set per vCPU (paper §4, §4.3). The
+//! device also implements the *interrupt-driven polling* notification scheme
+//! of §4.6: when the guest is waiting for events it polls its completion and
+//! receive queues for a short window (20 µs in the paper); if nothing arrives
+//! it arms an interrupt with CoreEngine and stops polling, and CoreEngine
+//! wakes the device when new NQEs are switched to it.
+
+use nk_types::constants::GUEST_POLL_WINDOW_US;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Shared wake flag between a device and CoreEngine.
+///
+/// The device arms it when it gives up polling; CoreEngine rings it when it
+/// switches new NQEs to the device. Both sides may live on different threads
+/// (threaded mode) or be co-scheduled by the simulator, so the state is a
+/// single atomic byte.
+#[derive(Clone)]
+pub struct WakeState {
+    state: Arc<AtomicU8>,
+}
+
+const STATE_POLLING: u8 = 0;
+const STATE_ARMED: u8 = 1;
+const STATE_WOKEN: u8 = 2;
+
+impl WakeState {
+    /// New wake state, initially in polling mode.
+    pub fn new() -> Self {
+        WakeState {
+            state: Arc::new(AtomicU8::new(STATE_POLLING)),
+        }
+    }
+
+    /// Device side: arm the interrupt (device is about to stop polling).
+    pub fn arm(&self) {
+        self.state.store(STATE_ARMED, Ordering::Release);
+    }
+
+    /// Switch side: wake the device if it is armed. Returns `true` when a
+    /// wake-up (virtual interrupt) was actually delivered — CoreEngine counts
+    /// these for its overhead accounting.
+    pub fn wake(&self) -> bool {
+        self.state
+            .compare_exchange(
+                STATE_ARMED,
+                STATE_WOKEN,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Device side: true when armed (sleeping, waiting for an interrupt).
+    pub fn is_armed(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_ARMED
+    }
+
+    /// Device side: consume a pending wake-up and return to polling mode.
+    /// Returns `true` when a wake-up was pending.
+    pub fn take_wake(&self) -> bool {
+        self.state
+            .compare_exchange(
+                STATE_WOKEN,
+                STATE_POLLING,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Device side: unconditionally return to polling mode.
+    pub fn resume_polling(&self) {
+        self.state.store(STATE_POLLING, Ordering::Release);
+    }
+}
+
+impl Default for WakeState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Decision returned by [`IrqState::on_poll`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PollDecision {
+    /// Keep busy-polling the queues.
+    KeepPolling,
+    /// The poll window expired with no work: arm the interrupt and sleep.
+    Arm,
+}
+
+/// Tracks the interrupt-driven polling window of a guest NK device (§4.6).
+///
+/// Time is supplied by the caller in microseconds so the same state machine
+/// works under both the real clock (threaded mode) and the virtual clock
+/// (simulated mode).
+#[derive(Clone, Debug)]
+pub struct IrqState {
+    /// Length of the polling window in microseconds.
+    window_us: u64,
+    /// Time at which the current empty-poll streak started; `None` while work
+    /// keeps arriving.
+    idle_since_us: Option<u64>,
+    /// Number of interrupts armed over the device's lifetime.
+    interrupts_armed: u64,
+}
+
+impl IrqState {
+    /// State machine with the paper's default 20 µs polling window.
+    pub fn new() -> Self {
+        Self::with_window_us(GUEST_POLL_WINDOW_US)
+    }
+
+    /// State machine with a custom polling window.
+    pub fn with_window_us(window_us: u64) -> Self {
+        IrqState {
+            window_us,
+            idle_since_us: None,
+            interrupts_armed: 0,
+        }
+    }
+
+    /// Record the outcome of one poll iteration at time `now_us`.
+    ///
+    /// `found_work` is true when the poll returned at least one NQE. The
+    /// device should arm its interrupt and stop polling when this returns
+    /// [`PollDecision::Arm`].
+    pub fn on_poll(&mut self, now_us: u64, found_work: bool) -> PollDecision {
+        if found_work {
+            self.idle_since_us = None;
+            return PollDecision::KeepPolling;
+        }
+        match self.idle_since_us {
+            None => {
+                self.idle_since_us = Some(now_us);
+                PollDecision::KeepPolling
+            }
+            Some(start) if now_us.saturating_sub(start) < self.window_us => {
+                PollDecision::KeepPolling
+            }
+            Some(_) => {
+                self.idle_since_us = None;
+                self.interrupts_armed += 1;
+                PollDecision::Arm
+            }
+        }
+    }
+
+    /// Reset the idle tracking (e.g. after a wake-up).
+    pub fn reset(&mut self) {
+        self.idle_since_us = None;
+    }
+
+    /// Number of interrupts armed so far.
+    pub fn interrupts_armed(&self) -> u64 {
+        self.interrupts_armed
+    }
+
+    /// The configured polling window in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+}
+
+impl Default for IrqState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An NK device: a set of per-vCPU queue-set ends plus notification state.
+///
+/// The type is generic over the end type so the same container serves
+/// GuestLib (requester ends), ServiceLib (responder ends) and the two switch
+/// ports CoreEngine holds for each device.
+pub struct NkDevice<E> {
+    queue_sets: Vec<E>,
+    wake: WakeState,
+    irq: IrqState,
+    /// Round-robin cursor used by [`NkDevice::next_index`].
+    rr_cursor: usize,
+}
+
+impl<E> NkDevice<E> {
+    /// Build a device from its queue-set ends and a wake flag shared with the
+    /// switch side.
+    pub fn new(queue_sets: Vec<E>, wake: WakeState) -> Self {
+        NkDevice {
+            queue_sets,
+            wake,
+            irq: IrqState::new(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of queue sets (one per vCPU).
+    pub fn queue_sets(&self) -> usize {
+        self.queue_sets.len()
+    }
+
+    /// Access one queue-set end by index.
+    pub fn queue_set(&mut self, idx: usize) -> Option<&mut E> {
+        self.queue_sets.get_mut(idx)
+    }
+
+    /// Iterate mutably over all queue-set ends.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (usize, &mut E)> {
+        self.queue_sets.iter_mut().enumerate()
+    }
+
+    /// Advance the round-robin cursor and return the next queue-set index.
+    /// Returns `None` when the device has no queue sets.
+    pub fn next_index(&mut self) -> Option<usize> {
+        if self.queue_sets.is_empty() {
+            return None;
+        }
+        let idx = self.rr_cursor % self.queue_sets.len();
+        self.rr_cursor = self.rr_cursor.wrapping_add(1);
+        Some(idx)
+    }
+
+    /// The wake flag shared with the switch side.
+    pub fn wake(&self) -> &WakeState {
+        &self.wake
+    }
+
+    /// The interrupt-driven polling state machine.
+    pub fn irq_mut(&mut self) -> &mut IrqState {
+        &mut self.irq
+    }
+
+    /// Append an additional queue set (queues "can be dynamically added or
+    /// removed with the number of vCPUs", §4.4).
+    pub fn add_queue_set(&mut self, end: E) {
+        self.queue_sets.push(end);
+    }
+
+    /// Remove the last queue set, if any.
+    pub fn remove_queue_set(&mut self) -> Option<E> {
+        self.queue_sets.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_state_transitions() {
+        let w = WakeState::new();
+        assert!(!w.is_armed());
+        // Waking a polling device is a no-op.
+        assert!(!w.wake());
+        w.arm();
+        assert!(w.is_armed());
+        // First wake delivers the interrupt, the second finds it already woken.
+        assert!(w.wake());
+        assert!(!w.wake());
+        assert!(w.take_wake());
+        assert!(!w.take_wake());
+        assert!(!w.is_armed());
+    }
+
+    #[test]
+    fn wake_state_is_shared_between_clones() {
+        let device_side = WakeState::new();
+        let switch_side = device_side.clone();
+        device_side.arm();
+        assert!(switch_side.wake());
+        assert!(device_side.take_wake());
+    }
+
+    #[test]
+    fn irq_arms_only_after_window_expires() {
+        let mut irq = IrqState::with_window_us(20);
+        assert_eq!(irq.on_poll(0, false), PollDecision::KeepPolling);
+        assert_eq!(irq.on_poll(10, false), PollDecision::KeepPolling);
+        assert_eq!(irq.on_poll(19, false), PollDecision::KeepPolling);
+        assert_eq!(irq.on_poll(21, false), PollDecision::Arm);
+        assert_eq!(irq.interrupts_armed(), 1);
+        // After arming, the streak restarts.
+        assert_eq!(irq.on_poll(30, false), PollDecision::KeepPolling);
+    }
+
+    #[test]
+    fn irq_work_resets_the_window() {
+        let mut irq = IrqState::with_window_us(20);
+        assert_eq!(irq.on_poll(0, false), PollDecision::KeepPolling);
+        assert_eq!(irq.on_poll(15, true), PollDecision::KeepPolling);
+        // The idle streak restarted at 15, so 30 is still inside the window.
+        assert_eq!(irq.on_poll(30, false), PollDecision::KeepPolling);
+        assert_eq!(irq.on_poll(55, false), PollDecision::Arm);
+    }
+
+    #[test]
+    fn device_round_robin_cursor() {
+        let mut dev: NkDevice<u32> = NkDevice::new(vec![10, 20, 30], WakeState::new());
+        assert_eq!(dev.queue_sets(), 3);
+        assert_eq!(dev.next_index(), Some(0));
+        assert_eq!(dev.next_index(), Some(1));
+        assert_eq!(dev.next_index(), Some(2));
+        assert_eq!(dev.next_index(), Some(0));
+        let empty: NkDevice<u32> = NkDevice::new(vec![], WakeState::new());
+        let mut empty = empty;
+        assert_eq!(dev.queue_set(1), Some(&mut 20));
+        assert_eq!(empty.next_index(), None);
+    }
+
+    #[test]
+    fn device_dynamic_queue_sets() {
+        let mut dev: NkDevice<u32> = NkDevice::new(vec![1], WakeState::new());
+        dev.add_queue_set(2);
+        assert_eq!(dev.queue_sets(), 2);
+        assert_eq!(dev.remove_queue_set(), Some(2));
+        assert_eq!(dev.remove_queue_set(), Some(1));
+        assert_eq!(dev.remove_queue_set(), None);
+    }
+}

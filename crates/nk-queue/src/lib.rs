@@ -1,0 +1,23 @@
+//! Lockless queues and NK devices for NQE transmission.
+//!
+//! NetKernel moves socket semantics between the guest and its NSM through
+//! *scalable lockless queues* (paper §3, §4.3): each queue is shared memory
+//! between exactly one producer and one consumer, so no locks are required,
+//! and each vCPU gets a dedicated *queue set* so throughput scales with cores.
+//!
+//! This crate provides:
+//!
+//! * [`spsc`] — a bounded single-producer/single-consumer lock-free ring
+//!   buffer, the building block of every NQE queue;
+//! * [`queueset`] — the four-queue set (job / completion / send / receive) of
+//!   the paper's Figure 5, split into a requester end and a responder end;
+//! * [`device`] — the NK device: the per-entity collection of queue sets plus
+//!   the interrupt-driven-polling notification state machine of §4.6.
+
+pub mod device;
+pub mod queueset;
+pub mod spsc;
+
+pub use device::{IrqState, NkDevice, WakeState};
+pub use queueset::{queue_set_pair, QueueKind, RequesterEnd, ResponderEnd};
+pub use spsc::{channel, Consumer, Producer};

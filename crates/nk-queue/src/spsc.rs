@@ -1,0 +1,359 @@
+//! A bounded single-producer / single-consumer lock-free ring buffer.
+//!
+//! Each NetKernel queue is "memory shared with a software switch, so it can be
+//! lockless with only a single producer and a single consumer to avoid
+//! expensive lock contention" (paper §3). This module implements exactly that
+//! discipline: a fixed-capacity ring with one [`Producer`] handle and one
+//! [`Consumer`] handle, no locks, and only `Acquire`/`Release` atomics on the
+//! head and tail indices.
+//!
+//! The implementation follows the classic Lamport queue with cached indices:
+//! the producer caches the consumer's head and only reloads it when the ring
+//! appears full, and symmetrically for the consumer, so the common case costs
+//! one atomic load and one atomic store per operation.
+
+use crossbeam_utils::CachePadded;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Inner<T> {
+    /// Next slot the producer will write (monotonically increasing).
+    tail: CachePadded<AtomicUsize>,
+    /// Next slot the consumer will read (monotonically increasing).
+    head: CachePadded<AtomicUsize>,
+    /// Ring storage; slot `i % capacity` is owned by the producer when
+    /// `head <= i < tail + capacity` and unread data lives in `[head, tail)`.
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: `Inner` is shared between exactly one producer and one consumer.
+// The producer only writes slots in `[tail, head + capacity)` and the
+// consumer only reads slots in `[head, tail)`; the Acquire/Release pairs on
+// `head`/`tail` order those accesses, so no slot is ever accessed
+// concurrently from both sides.
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// Producing half of an SPSC queue. Not clonable: single producer.
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    /// Producer's cached copy of `head`, refreshed only when the ring looks
+    /// full.
+    cached_head: usize,
+}
+
+/// Consuming half of an SPSC queue. Not clonable: single consumer.
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    /// Consumer's cached copy of `tail`, refreshed only when the ring looks
+    /// empty.
+    cached_tail: usize,
+}
+
+/// Create a bounded SPSC channel with room for `capacity` elements.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn channel<T>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "SPSC queue capacity must be non-zero");
+    let buf = (0..capacity)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(Inner {
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        head: CachePadded::new(AtomicUsize::new(0)),
+        buf,
+    });
+    (
+        Producer {
+            inner: Arc::clone(&inner),
+            cached_head: 0,
+        },
+        Consumer {
+            inner,
+            cached_tail: 0,
+        },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    /// Number of elements currently queued (approximate from the producer's
+    /// point of view; exact when the consumer is idle).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        let head = self.inner.head.load(Ordering::Acquire);
+        tail - head
+    }
+
+    /// True when no element is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the ring is full.
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Free slots available to the producer right now.
+    pub fn free(&self) -> usize {
+        self.capacity() - self.len()
+    }
+
+    /// Push one element. Returns `Err(value)` when the ring is full, handing
+    /// the value back to the caller.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let tail = self.inner.tail.load(Ordering::Relaxed);
+        if tail - self.cached_head == self.capacity() {
+            // Looks full; refresh the cached head and re-check.
+            self.cached_head = self.inner.head.load(Ordering::Acquire);
+            if tail - self.cached_head == self.capacity() {
+                return Err(value);
+            }
+        }
+        let slot = &self.inner.buf[tail % self.capacity()];
+        // SAFETY: slot index `tail` is exclusively owned by the producer
+        // until the Release store below publishes it; the consumer will not
+        // read it before observing the new tail.
+        unsafe { (*slot.get()).write(value) };
+        self.inner.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Push as many elements from `iter` as fit; returns how many were
+    /// enqueued. The paper's NK devices and CoreEngine batch NQEs in exactly
+    /// this fashion (§4.6 "Batching").
+    pub fn push_batch<I: IntoIterator<Item = T>>(&mut self, iter: I) -> usize {
+        let mut n = 0;
+        for v in iter {
+            if self.push(v).is_err() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.inner.buf.len()
+    }
+
+    /// Number of elements currently queued (approximate from the consumer's
+    /// point of view).
+    pub fn len(&self) -> usize {
+        let tail = self.inner.tail.load(Ordering::Acquire);
+        let head = self.inner.head.load(Ordering::Relaxed);
+        tail - head
+    }
+
+    /// True when no element is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pop one element, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            // Looks empty; refresh the cached tail and re-check.
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = &self.inner.buf[head % self.capacity()];
+        // SAFETY: `head < tail`, so the producer has fully initialised this
+        // slot and will not touch it again until we publish `head + 1`.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        self.inner.head.store(head + 1, Ordering::Release);
+        Some(value)
+    }
+
+    /// Look at the next element without consuming it.
+    pub fn peek(&mut self) -> Option<&T> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        if head == self.cached_tail {
+            self.cached_tail = self.inner.tail.load(Ordering::Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        let slot = &self.inner.buf[head % self.capacity()];
+        // SAFETY: same argument as `pop`, but the element is only borrowed;
+        // the borrow ends before any further `pop` can free the slot because
+        // `peek` takes `&mut self`.
+        Some(unsafe { (*slot.get()).assume_init_ref() })
+    }
+
+    /// Pop up to `max` elements into `out`; returns how many were popped.
+    pub fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+impl<T> Drop for Consumer<T> {
+    fn drop(&mut self) {
+        // Drain remaining elements so their destructors run. The producer may
+        // still push afterwards; those elements are leaked only if T needs
+        // Drop and the producer outlives the consumer, which does not happen
+        // in NetKernel (queue pairs are torn down together), and NQEs are
+        // Copy anyway.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u32>(0);
+    }
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let (mut tx, mut rx) = channel(8);
+        for i in 0..8 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.is_full());
+        assert_eq!(tx.push(99), Err(99));
+        for i in 0..8 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = channel(3);
+        for round in 0..1000u32 {
+            tx.push(round * 2).unwrap();
+            tx.push(round * 2 + 1).unwrap();
+            assert_eq!(rx.pop(), Some(round * 2));
+            assert_eq!(rx.pop(), Some(round * 2 + 1));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut tx, mut rx) = channel(4);
+        tx.push(7).unwrap();
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.peek(), Some(&7));
+        assert_eq!(rx.pop(), Some(7));
+        assert_eq!(rx.peek(), None);
+    }
+
+    #[test]
+    fn batch_push_pop() {
+        let (mut tx, mut rx) = channel(16);
+        let n = tx.push_batch(0..10);
+        assert_eq!(n, 10);
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_batch(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn batch_push_stops_at_capacity() {
+        let (mut tx, _rx) = channel(4);
+        assert_eq!(tx.push_batch(0..100), 4);
+        assert!(tx.is_full());
+        assert_eq!(tx.free(), 0);
+    }
+
+    #[test]
+    fn len_tracks_occupancy() {
+        let (mut tx, mut rx) = channel(8);
+        assert_eq!(tx.len(), 0);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        rx.pop();
+        assert_eq!(rx.len(), 1);
+    }
+
+    #[test]
+    fn cross_thread_stress_preserves_order_and_count() {
+        const N: u64 = 200_000;
+        let (mut tx, mut rx) = channel(1024);
+        let producer = thread::spawn(move || {
+            let mut i = 0u64;
+            while i < N {
+                if tx.push(i).is_ok() {
+                    i += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let consumer = thread::spawn(move || {
+            let mut expected = 0u64;
+            let mut sum = 0u64;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected, "FIFO order violated");
+                    sum += v;
+                    expected += 1;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            sum
+        });
+        producer.join().unwrap();
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn drops_remaining_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let (mut tx, rx) = channel(8);
+            assert!(tx.push(Counted).is_ok());
+            assert!(tx.push(Counted).is_ok());
+            drop(rx);
+            drop(tx);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,706 @@
+//! ServiceLib: translating NQEs to network-stack calls and back.
+
+use crate::fairshare::VmWindowRegistry;
+use nk_netstack::{StackEvent, TcpStack};
+use nk_queue::{NkDevice, ResponderEnd};
+use nk_shmem::HugepageRegion;
+use nk_types::api::ShutdownHow;
+use nk_types::ops::op_data;
+use nk_types::{
+    DataHandle, NkError, NkResult, Nqe, NsmId, OpResult, OpType, QueueSetId, SocketId, StackKind,
+    VmId,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Guest socket ids allocated by ServiceLib (for accepted connections) start
+/// at this value so they can never collide with guest-allocated ids.
+pub const NSM_SOCKET_ID_BASE: u32 = 0x8000_0000;
+
+/// Largest chunk of received payload announced to the guest in one NQE.
+const RX_CHUNK: usize = 16 * 1024;
+/// Per-connection cap on bytes parked in the hugepages awaiting `recv()`.
+const RX_BUDGET: usize = 256 * 1024;
+
+/// Statistics exposed by a ServiceLib instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Request NQEs processed.
+    pub requests: u64,
+    /// Completion / event NQEs emitted.
+    pub responses: u64,
+    /// Payload bytes moved from hugepages into the stack.
+    pub bytes_tx: u64,
+    /// Payload bytes moved from the stack into hugepages.
+    pub bytes_rx: u64,
+    /// Connections accepted on behalf of guests.
+    pub accepted: u64,
+}
+
+/// Per-connection context linking a stack socket back to its guest tuple.
+#[derive(Clone, Copy, Debug)]
+struct ConnCtx {
+    vm: VmId,
+    guest_sock: SocketId,
+    /// VM-side queue set the guest pinned this socket to (used by CoreEngine
+    /// to route responses back to the right vCPU).
+    vm_qs: QueueSetId,
+    /// NSM-side queue set proactive events are pushed on.
+    nsm_qs: usize,
+}
+
+/// The NSM-side library translating between NQEs and the network stack
+/// (paper §4.2, §4.5).
+pub struct ServiceLib {
+    nsm: NsmId,
+    device: NkDevice<ResponderEnd>,
+    regions: HashMap<VmId, HugepageRegion>,
+    /// guest tuple → stack socket.
+    fwd: HashMap<(VmId, SocketId), SocketId>,
+    /// stack socket → guest context.
+    ctx: HashMap<SocketId, ConnCtx>,
+    /// Payload accepted from guests but not yet taken by the stack.
+    pending_send: HashMap<SocketId, VecDeque<Vec<u8>>>,
+    /// Bytes announced to the guest and not yet consumed (receive credit).
+    rx_outstanding: HashMap<SocketId, usize>,
+    /// Per-VM Seawall windows (fair-share NSM only).
+    fair_share: Option<VmWindowRegistry>,
+    next_guest_sock: u32,
+    batch: usize,
+    stats: ServiceStats,
+}
+
+impl ServiceLib {
+    /// Build a ServiceLib for NSM `nsm` around its NK device.
+    pub fn new(nsm: NsmId, device: NkDevice<ResponderEnd>, batch: usize) -> Self {
+        ServiceLib {
+            nsm,
+            device,
+            regions: HashMap::new(),
+            fwd: HashMap::new(),
+            ctx: HashMap::new(),
+            pending_send: HashMap::new(),
+            rx_outstanding: HashMap::new(),
+            fair_share: None,
+            next_guest_sock: NSM_SOCKET_ID_BASE,
+            batch: batch.max(1),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Enable per-VM shared congestion windows (fair-share NSM, §6.2).
+    pub fn enable_fair_share(&mut self) {
+        self.fair_share = Some(VmWindowRegistry::new());
+    }
+
+    /// Register a VM served by this NSM together with the hugepage region it
+    /// shares with us.
+    pub fn add_vm(&mut self, vm: VmId, region: HugepageRegion) {
+        self.regions.insert(vm, region);
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// The NSM this ServiceLib belongs to.
+    pub fn nsm(&self) -> NsmId {
+        self.nsm
+    }
+
+    fn alloc_guest_sock(&mut self) -> SocketId {
+        let id = SocketId(self.next_guest_sock);
+        self.next_guest_sock += 1;
+        id
+    }
+
+    fn respond(&mut self, nsm_qs: usize, nqe: Nqe) {
+        if let Some(end) = self.device.queue_set(nsm_qs) {
+            if end.respond(nqe).is_ok() {
+                self.stats.responses += 1;
+            }
+        }
+    }
+
+    /// Drain request NQEs from every queue set and apply them to `stack`.
+    pub fn process_requests(&mut self, stack: &mut TcpStack, now_ns: u64) -> usize {
+        let mut handled = 0;
+        let sets = self.device.queue_sets();
+        let mut buf = Vec::new();
+        for qs in 0..sets {
+            loop {
+                buf.clear();
+                let n = match self.device.queue_set(qs) {
+                    Some(end) => end.pop_requests(&mut buf, self.batch),
+                    None => 0,
+                };
+                if n == 0 {
+                    break;
+                }
+                let drained: Vec<Nqe> = buf.drain(..).collect();
+                for nqe in drained {
+                    self.handle_request(stack, qs, nqe, now_ns);
+                    handled += 1;
+                }
+            }
+        }
+        handled
+    }
+
+    fn handle_request(&mut self, stack: &mut TcpStack, nsm_qs: usize, nqe: Nqe, now_ns: u64) {
+        self.stats.requests += 1;
+        let key = (nqe.vm, nqe.socket);
+        match nqe.op {
+            OpType::SocketCreate => {
+                let sock = stack.socket();
+                self.fwd.insert(key, sock);
+                self.ctx.insert(
+                    sock,
+                    ConnCtx {
+                        vm: nqe.vm,
+                        guest_sock: nqe.socket,
+                        vm_qs: nqe.queue_set,
+                        nsm_qs,
+                    },
+                );
+                self.reply(nsm_qs, &nqe, Ok(()), sock.raw());
+            }
+            OpType::Bind => {
+                let res = self
+                    .stack_sock(key)
+                    .and_then(|s| stack.bind(s, nqe.addr()));
+                self.reply(nsm_qs, &nqe, res, 0);
+            }
+            OpType::Listen => {
+                let res = self
+                    .stack_sock(key)
+                    .and_then(|s| stack.listen(s, nqe.op_data as u32));
+                self.reply(nsm_qs, &nqe, res, 0);
+            }
+            OpType::Connect => {
+                let res = match self.stack_sock(key) {
+                    Ok(s) => {
+                        let cc = self
+                            .fair_share
+                            .as_mut()
+                            .map(|reg| reg.cc_for(nqe.vm));
+                        stack.connect_with_cc(s, nqe.addr(), now_ns, cc)
+                    }
+                    Err(e) => Err(e),
+                };
+                // Success is reported only when the handshake completes (the
+                // stack raises a Connected event); failures are immediate.
+                if let Err(e) = res {
+                    self.reply(nsm_qs, &nqe, Err(e), 0);
+                }
+            }
+            OpType::Send => {
+                self.handle_send(stack, nsm_qs, &nqe);
+            }
+            OpType::RecvConsumed => {
+                if let Ok(s) = self.stack_sock(key) {
+                    let out = self.rx_outstanding.entry(s).or_insert(0);
+                    *out = out.saturating_sub(nqe.size as usize);
+                }
+            }
+            OpType::Shutdown => {
+                let res = self
+                    .stack_sock(key)
+                    .and_then(|s| stack.shutdown(s, ShutdownHow::decode(nqe.op_data)));
+                self.reply(nsm_qs, &nqe, res, 0);
+            }
+            OpType::Close => {
+                let res = match self.stack_sock(key) {
+                    Ok(s) => {
+                        let r = stack.close(s);
+                        self.fwd.remove(&key);
+                        self.ctx.remove(&s);
+                        self.pending_send.remove(&s);
+                        self.rx_outstanding.remove(&s);
+                        r
+                    }
+                    Err(e) => Err(e),
+                };
+                self.reply(nsm_qs, &nqe, res, 0);
+            }
+            OpType::SetSockOpt => {
+                let res = self.stack_sock(key).and_then(|s| {
+                    stack.set_sockopt(s, op_data::sockopt_opt(nqe.op_data), op_data::sockopt_value(nqe.op_data))
+                });
+                self.reply(nsm_qs, &nqe, res, 0);
+            }
+            OpType::GetSockOpt | OpType::Accept => {
+                self.reply(nsm_qs, &nqe, Err(NkError::Unsupported), 0);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_send(&mut self, stack: &mut TcpStack, nsm_qs: usize, nqe: &Nqe) {
+        let key = (nqe.vm, nqe.socket);
+        let Ok(sock) = self.stack_sock(key) else {
+            self.reply(nsm_qs, nqe, Err(NkError::BadSocket), 0);
+            return;
+        };
+        let Some(region) = self.regions.get(&nqe.vm) else {
+            self.reply(nsm_qs, nqe, Err(NkError::NotFound), 0);
+            return;
+        };
+        // Pull the payload out of the shared hugepages — this is the extra
+        // copy §7.8 attributes NetKernel's throughput overhead to.
+        let len = nqe.size as usize;
+        let data = match region.read_and_free(nqe.data, len) {
+            Ok(d) => d,
+            Err(e) => {
+                self.reply(nsm_qs, nqe, Err(e), 0);
+                return;
+            }
+        };
+        self.stats.bytes_tx += len as u64;
+        self.pending_send.entry(sock).or_default().push_back(data);
+        // Try to push into the stack right away; whatever is accepted is
+        // acknowledged back to the guest as returned send-buffer credit.
+        let flushed = self.flush_socket(stack, sock);
+        if flushed > 0 {
+            self.send_credit(sock, flushed);
+        }
+    }
+
+    fn stack_sock(&self, key: (VmId, SocketId)) -> NkResult<SocketId> {
+        self.fwd.get(&key).copied().ok_or(NkError::BadSocket)
+    }
+
+    fn reply(&mut self, nsm_qs: usize, request: &Nqe, res: NkResult<()>, aux: u32) {
+        let result = match &res {
+            Ok(()) => OpResult::Ok,
+            Err(e) => OpResult::Err(*e),
+        };
+        if let Some(comp) = Nqe::completion_for(request, result, aux) {
+            self.respond(nsm_qs, comp);
+        }
+    }
+
+    fn send_credit(&mut self, sock: SocketId, bytes: usize) {
+        let Some(ctx) = self.ctx.get(&sock).copied() else {
+            return;
+        };
+        let mut comp = Nqe::new(OpType::SendComplete, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+        comp.op_data = op_data::pack(OpResult::Ok, 0);
+        comp.size = bytes as u32;
+        self.respond(ctx.nsm_qs, comp);
+    }
+
+    fn flush_socket(&mut self, stack: &mut TcpStack, sock: SocketId) -> usize {
+        let Some(queue) = self.pending_send.get_mut(&sock) else {
+            return 0;
+        };
+        let mut flushed = 0;
+        while let Some(front) = queue.front_mut() {
+            match stack.send(sock, front) {
+                Ok(n) => {
+                    flushed += n;
+                    if n == front.len() {
+                        queue.pop_front();
+                    } else {
+                        front.drain(..n);
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        flushed
+    }
+
+    /// Push pending payload into the stack and return credit to guests.
+    pub fn flush_pending(&mut self, stack: &mut TcpStack) {
+        let socks: Vec<SocketId> = self
+            .pending_send
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(s, _)| *s)
+            .collect();
+        for sock in socks {
+            let flushed = self.flush_socket(stack, sock);
+            if flushed > 0 {
+                self.send_credit(sock, flushed);
+            }
+        }
+    }
+
+    /// Turn stack events into NQEs and ship received payload to the guests.
+    pub fn process_stack(&mut self, stack: &mut TcpStack, _now_ns: u64) {
+        for event in stack.take_events() {
+            match event {
+                StackEvent::Acceptable(listener) => {
+                    self.drain_accepts(stack, listener);
+                }
+                StackEvent::Connected(sock) => {
+                    if let Some(ctx) = self.ctx.get(&sock).copied() {
+                        let mut comp =
+                            Nqe::new(OpType::ConnectComplete, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+                        comp.op_data = op_data::pack(OpResult::Ok, sock.raw());
+                        self.respond(ctx.nsm_qs, comp);
+                    }
+                }
+                StackEvent::ConnectFailed(sock) => {
+                    if let Some(ctx) = self.ctx.get(&sock).copied() {
+                        let mut comp =
+                            Nqe::new(OpType::ConnectComplete, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+                        comp.op_data =
+                            op_data::pack(OpResult::Err(NkError::ConnRefused), 0);
+                        self.respond(ctx.nsm_qs, comp);
+                    }
+                }
+                StackEvent::PeerClosed(sock) => {
+                    if let Some(ctx) = self.ctx.get(&sock).copied() {
+                        let ev =
+                            Nqe::new(OpType::PeerClosed, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+                        self.respond(ctx.nsm_qs, ev);
+                    }
+                }
+                StackEvent::Readable(_) | StackEvent::Writable(_) => {}
+            }
+        }
+        self.pump_receive(stack);
+        self.flush_pending(stack);
+    }
+
+    fn drain_accepts(&mut self, stack: &mut TcpStack, listener: SocketId) {
+        // The listener context tells us which guest owns it.
+        let Some(lctx) = self.ctx.get(&listener).copied() else {
+            return;
+        };
+        while let Ok((conn, peer)) = stack.accept(listener) {
+            let guest_id = self.alloc_guest_sock();
+            self.fwd.insert((lctx.vm, guest_id), conn);
+            self.ctx.insert(
+                conn,
+                ConnCtx {
+                    vm: lctx.vm,
+                    guest_sock: guest_id,
+                    vm_qs: lctx.vm_qs,
+                    nsm_qs: lctx.nsm_qs,
+                },
+            );
+            self.stats.accepted += 1;
+            let mut ev = Nqe::new(OpType::Accepted, lctx.vm, lctx.vm_qs, lctx.guest_sock);
+            ev.op_data = op_data::pack(OpResult::Ok, guest_id.raw());
+            ev.data = DataHandle(peer.pack());
+            self.respond(lctx.nsm_qs, ev);
+        }
+    }
+
+    fn pump_receive(&mut self, stack: &mut TcpStack) {
+        let socks: Vec<(SocketId, ConnCtx)> =
+            self.ctx.iter().map(|(s, c)| (*s, *c)).collect();
+        for (sock, ctx) in socks {
+            let Some(region) = self.regions.get(&ctx.vm).cloned() else {
+                continue;
+            };
+            loop {
+                let outstanding = *self.rx_outstanding.get(&sock).unwrap_or(&0);
+                let credit = RX_BUDGET.saturating_sub(outstanding);
+                if credit == 0 {
+                    break;
+                }
+                let want = credit.min(RX_CHUNK);
+                let mut buf = vec![0u8; want];
+                match stack.recv(sock, &mut buf) {
+                    Ok(0) => {
+                        // EOF is announced via the PeerClosed event.
+                        break;
+                    }
+                    Ok(n) => {
+                        buf.truncate(n);
+                        let Ok(handle) = region.alloc_and_write(&buf) else {
+                            break;
+                        };
+                        self.stats.bytes_rx += n as u64;
+                        *self.rx_outstanding.entry(sock).or_insert(0) += n;
+                        let mut ev =
+                            Nqe::new(OpType::DataReceived, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+                        ev.data = handle;
+                        ev.size = n as u32;
+                        self.respond(ctx.nsm_qs, ev);
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+/// A Network Stack Module: a ServiceLib bound to a concrete network stack.
+///
+/// Both the kernel-stack NSM and the mTCP NSM are instances of this type —
+/// they run the same from-scratch TCP substrate but are provisioned and cost-
+/// accounted differently (the mTCP NSM uses poll-mode batching and a cheaper
+/// per-operation profile in the host's cost model, mirroring §6.3/§7.4).
+pub struct Nsm {
+    id: NsmId,
+    kind: StackKind,
+    service: ServiceLib,
+    stack: TcpStack,
+}
+
+impl Nsm {
+    /// Assemble an NSM from its parts.
+    pub fn new(id: NsmId, kind: StackKind, mut service: ServiceLib, stack: TcpStack) -> Self {
+        if kind == StackKind::FairShare {
+            service.enable_fair_share();
+        }
+        Nsm {
+            id,
+            kind,
+            service,
+            stack,
+        }
+    }
+
+    /// The NSM's identifier.
+    pub fn id(&self) -> NsmId {
+        self.id
+    }
+
+    /// Which stack flavour this NSM runs.
+    pub fn kind(&self) -> StackKind {
+        self.kind
+    }
+
+    /// Register a VM served by this NSM.
+    pub fn add_vm(&mut self, vm: VmId, region: HugepageRegion) {
+        self.service.add_vm(vm, region);
+    }
+
+    /// ServiceLib statistics.
+    pub fn service_stats(&self) -> ServiceStats {
+        self.service.stats()
+    }
+
+    /// Stack statistics.
+    pub fn stack_stats(&self) -> nk_netstack::stack::StackStats {
+        self.stack.stats()
+    }
+
+    /// Borrow the underlying stack (used by tests and the host).
+    pub fn stack_mut(&mut self) -> &mut TcpStack {
+        &mut self.stack
+    }
+
+    /// One scheduling round: ingest requests, run the stack, emit events.
+    /// Returns the number of NQEs and segments processed.
+    pub fn tick(&mut self, now_ns: u64) -> usize {
+        let mut work = self.service.process_requests(&mut self.stack, now_ns);
+        work += self.stack.tick(now_ns);
+        self.service.process_stack(&mut self.stack, now_ns);
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_fabric::switch::VirtualSwitch;
+    use nk_netstack::{Segment, StackConfig};
+    use nk_queue::{queue_set_pair, RequesterEnd, WakeState};
+    use nk_types::SockAddr;
+
+    const NSM_IP: u32 = 0x0A00_0010;
+    const REMOTE_IP: u32 = 0x0A00_0020;
+
+    /// A little world: one NSM (serving VM 1) and one remote peer stack,
+    /// connected by a switch. The test plays the roles of GuestLib and
+    /// CoreEngine by talking to the requester end directly.
+    struct World {
+        switch: VirtualSwitch<Segment>,
+        nsm: Nsm,
+        remote: TcpStack,
+        guest_end: RequesterEnd,
+        region: HugepageRegion,
+        now: u64,
+    }
+
+    impl World {
+        fn new(kind: StackKind) -> Self {
+            let mut switch = VirtualSwitch::new();
+            let nsm_port = switch.attach(NSM_IP);
+            let remote_port = switch.attach(REMOTE_IP);
+            let (guest_end, nsm_end) = queue_set_pair(1024);
+            let device = NkDevice::new(vec![nsm_end], WakeState::new());
+            let region = HugepageRegion::with_capacity(4 << 20);
+            let service = ServiceLib::new(NsmId(1), device, 8);
+            let stack = TcpStack::new(StackConfig::new(NSM_IP), nsm_port);
+            let mut nsm = Nsm::new(NsmId(1), kind, service, stack);
+            nsm.add_vm(VmId(1), region.clone());
+            World {
+                switch,
+                nsm,
+                remote: TcpStack::new(StackConfig::new(REMOTE_IP), remote_port),
+                guest_end,
+                region,
+                now: 0,
+            }
+        }
+
+        fn run(&mut self, rounds: usize) {
+            for _ in 0..rounds {
+                self.now += 100_000;
+                self.nsm.tick(self.now);
+                self.remote.tick(self.now);
+                self.switch.step(self.now);
+            }
+        }
+
+        fn submit(&mut self, nqe: Nqe) {
+            self.guest_end.submit(nqe).unwrap();
+        }
+
+        fn responses(&mut self) -> Vec<Nqe> {
+            let mut out = Vec::new();
+            self.guest_end.pop_responses(&mut out, 128);
+            out
+        }
+    }
+
+    fn req(op: OpType, sock: u32) -> Nqe {
+        Nqe::new(op, VmId(1), QueueSetId(0), SocketId(sock))
+    }
+
+    #[test]
+    fn socket_create_and_bind_listen_complete() {
+        let mut w = World::new(StackKind::Kernel);
+        w.submit(req(OpType::SocketCreate, 1));
+        w.submit(req(OpType::Bind, 1).with_op_data(SockAddr::new(0, 80).pack()));
+        w.submit(req(OpType::Listen, 1).with_op_data(16));
+        w.run(2);
+        let resp = w.responses();
+        let ops: Vec<OpType> = resp.iter().map(|n| n.op).collect();
+        assert!(ops.contains(&OpType::SocketCreated));
+        assert!(ops.contains(&OpType::BindComplete));
+        assert!(ops.contains(&OpType::ListenComplete));
+        assert!(resp.iter().all(|n| n.result().is_ok()));
+    }
+
+    #[test]
+    fn connect_from_remote_produces_accepted_event() {
+        let mut w = World::new(StackKind::Kernel);
+        w.submit(req(OpType::SocketCreate, 1));
+        w.submit(req(OpType::Bind, 1).with_op_data(SockAddr::new(0, 80).pack()));
+        w.submit(req(OpType::Listen, 1).with_op_data(16));
+        w.run(2);
+        let _ = w.responses();
+
+        // Remote host connects to the NSM-hosted listener.
+        let rs = w.remote.socket();
+        w.remote
+            .connect(rs, SockAddr::new(NSM_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let resp = w.responses();
+        let accepted: Vec<&Nqe> = resp.iter().filter(|n| n.op == OpType::Accepted).collect();
+        assert_eq!(accepted.len(), 1);
+        assert!(accepted[0].aux() >= NSM_SOCKET_ID_BASE);
+        assert_eq!(accepted[0].socket, SocketId(1), "event targets the listener");
+        assert_eq!(w.nsm.service_stats().accepted, 1);
+    }
+
+    #[test]
+    fn guest_connect_send_and_receive_via_nsm() {
+        let mut w = World::new(StackKind::Kernel);
+        // Remote echo listener.
+        let ls = w.remote.socket();
+        w.remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        w.remote.listen(ls, 8).unwrap();
+
+        // Guest: socket + connect.
+        w.submit(req(OpType::SocketCreate, 5));
+        w.submit(req(OpType::Connect, 5).with_op_data(SockAddr::new(REMOTE_IP, 7).pack()));
+        w.run(10);
+        let resp = w.responses();
+        assert!(
+            resp.iter()
+                .any(|n| n.op == OpType::ConnectComplete && n.result().is_ok()),
+            "{resp:?}"
+        );
+
+        // Guest sends payload through the hugepages.
+        let payload = b"ping through netkernel".to_vec();
+        let handle = w.region.alloc_and_write(&payload).unwrap();
+        w.submit(req(OpType::Send, 5).with_data(handle, payload.len() as u32));
+        w.run(10);
+        let resp = w.responses();
+        let credit: u32 = resp
+            .iter()
+            .filter(|n| n.op == OpType::SendComplete)
+            .map(|n| n.size)
+            .sum();
+        assert_eq!(credit as usize, payload.len());
+
+        // The remote server receives it and echoes it back.
+        let (conn, _) = w.remote.accept(ls).unwrap();
+        let mut buf = vec![0u8; 64];
+        let n = w.remote.recv(conn, &mut buf).unwrap();
+        assert_eq!(&buf[..n], payload.as_slice());
+        w.remote.send(conn, &buf[..n]).unwrap();
+        w.run(10);
+
+        // The guest is notified of received data living in the hugepages.
+        let resp = w.responses();
+        let data: Vec<&Nqe> = resp.iter().filter(|n| n.op == OpType::DataReceived).collect();
+        assert_eq!(data.len(), 1);
+        let mut out = vec![0u8; data[0].size as usize];
+        w.region.read(data[0].data, &mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn close_cleans_up_mappings() {
+        let mut w = World::new(StackKind::Kernel);
+        w.submit(req(OpType::SocketCreate, 9));
+        w.run(1);
+        w.submit(req(OpType::Close, 9));
+        w.run(1);
+        let resp = w.responses();
+        assert!(resp.iter().any(|n| n.op == OpType::CloseComplete));
+        // A second close on the same guest socket now fails.
+        w.submit(req(OpType::Close, 9));
+        w.run(1);
+        let resp = w.responses();
+        assert!(resp
+            .iter()
+            .any(|n| n.op == OpType::CloseComplete && !n.result().is_ok()));
+    }
+
+    #[test]
+    fn connect_refused_reports_failure() {
+        let mut w = World::new(StackKind::Kernel);
+        w.submit(req(OpType::SocketCreate, 3));
+        w.submit(req(OpType::Connect, 3).with_op_data(SockAddr::new(REMOTE_IP, 9999).pack()));
+        w.run(15);
+        let resp = w.responses();
+        assert!(
+            resp.iter()
+                .any(|n| n.op == OpType::ConnectComplete && !n.result().is_ok()),
+            "{resp:?}"
+        );
+    }
+
+    #[test]
+    fn fair_share_nsm_builds_with_vm_windows() {
+        let w = World::new(StackKind::FairShare);
+        assert_eq!(w.nsm.kind(), StackKind::FairShare);
+    }
+
+    #[test]
+    fn unsupported_ops_are_rejected_gracefully() {
+        let mut w = World::new(StackKind::Kernel);
+        w.submit(req(OpType::SocketCreate, 1));
+        w.submit(req(OpType::GetSockOpt, 1));
+        w.run(1);
+        let resp = w.responses();
+        assert!(resp
+            .iter()
+            .any(|n| n.op == OpType::GetSockOptComplete && !n.result().is_ok()));
+    }
+}

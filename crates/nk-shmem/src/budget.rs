@@ -1,0 +1,125 @@
+//! Per-socket send/receive buffer accounting.
+//!
+//! GuestLib "increases the send buffer usage for this socket similar to the
+//! send buffer size maintained in an OS" when it copies payload into the
+//! hugepages, and decreases it when the NSM reports the send result; the NSM
+//! does the same for the receive direction (paper §4.5, §4.6). A
+//! [`BufferBudget`] captures that accounting.
+
+use nk_types::{NkError, NkResult};
+
+/// A byte budget with reserve/release semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferBudget {
+    capacity: usize,
+    used: usize,
+}
+
+impl BufferBudget {
+    /// A budget of `capacity` bytes, initially empty.
+    pub fn new(capacity: usize) -> Self {
+        BufferBudget { capacity, used: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// True when nothing can be reserved.
+    pub fn is_full(&self) -> bool {
+        self.used >= self.capacity
+    }
+
+    /// Reserve exactly `bytes`; fails with [`NkError::BufferFull`] when the
+    /// budget cannot cover it.
+    pub fn reserve(&mut self, bytes: usize) -> NkResult<()> {
+        if bytes > self.available() {
+            return Err(NkError::BufferFull);
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Reserve up to `bytes`, returning how many were actually reserved
+    /// (possibly zero). This matches `send()` semantics where a partial write
+    /// is acceptable.
+    pub fn reserve_up_to(&mut self, bytes: usize) -> usize {
+        let granted = bytes.min(self.available());
+        self.used += granted;
+        granted
+    }
+
+    /// Release `bytes` back to the budget. Releasing more than is reserved is
+    /// a protocol error and is clamped (the extra is ignored) so a misbehaving
+    /// peer cannot drive the accounting negative.
+    pub fn release(&mut self, bytes: usize) {
+        self.used = self.used.saturating_sub(bytes);
+    }
+
+    /// Grow or shrink the capacity (e.g. via `SO_SNDBUF`). Shrinking below
+    /// the current usage keeps the usage; new reservations are blocked until
+    /// enough bytes are released.
+    pub fn resize(&mut self, capacity: usize) {
+        self.capacity = capacity;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut b = BufferBudget::new(100);
+        assert_eq!(b.available(), 100);
+        b.reserve(40).unwrap();
+        assert_eq!(b.used(), 40);
+        assert_eq!(b.reserve(70), Err(NkError::BufferFull));
+        b.release(40);
+        assert_eq!(b.used(), 0);
+        b.reserve(100).unwrap();
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn reserve_up_to_grants_partial() {
+        let mut b = BufferBudget::new(10);
+        assert_eq!(b.reserve_up_to(4), 4);
+        assert_eq!(b.reserve_up_to(100), 6);
+        assert_eq!(b.reserve_up_to(1), 0);
+    }
+
+    #[test]
+    fn release_is_clamped() {
+        let mut b = BufferBudget::new(10);
+        b.reserve(5).unwrap();
+        b.release(50);
+        assert_eq!(b.used(), 0);
+        assert_eq!(b.available(), 10);
+    }
+
+    #[test]
+    fn resize_below_usage_blocks_new_reservations() {
+        let mut b = BufferBudget::new(100);
+        b.reserve(80).unwrap();
+        b.resize(50);
+        assert_eq!(b.capacity(), 50);
+        assert!(b.is_full());
+        assert_eq!(b.reserve(1), Err(NkError::BufferFull));
+        b.release(40);
+        assert_eq!(b.used(), 40);
+        assert_eq!(b.available(), 10);
+        b.reserve(10).unwrap();
+    }
+}

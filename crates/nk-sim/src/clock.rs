@@ -1,0 +1,73 @@
+//! Virtual time.
+
+/// Nanoseconds per second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A virtual clock counting nanoseconds since the start of the experiment.
+///
+/// The simulated execution mode advances the clock in fixed steps; every
+/// component reads the same clock, so results are fully deterministic and
+/// independent of the machine running the experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now_ns: u64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock { now_ns: 0 }
+    }
+
+    /// Current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_ns / 1_000
+    }
+
+    /// Current time in seconds (floating point, for reporting).
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Advance the clock by `dt_ns` nanoseconds.
+    pub fn advance_ns(&mut self, dt_ns: u64) {
+        self.now_ns += dt_ns;
+    }
+
+    /// Advance the clock by `dt_us` microseconds.
+    pub fn advance_us(&mut self, dt_us: u64) {
+        self.advance_ns(dt_us * 1_000);
+    }
+
+    /// Convert a duration in seconds to nanoseconds.
+    pub fn secs_to_ns(secs: f64) -> u64 {
+        (secs * NANOS_PER_SEC as f64).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = Clock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_us(5);
+        assert_eq!(c.now_ns(), 5_000);
+        c.advance_ns(500);
+        assert_eq!(c.now_us(), 5);
+        assert!((c.now_secs() - 5.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn secs_conversion() {
+        assert_eq!(Clock::secs_to_ns(1.0), NANOS_PER_SEC);
+        assert_eq!(Clock::secs_to_ns(0.25), NANOS_PER_SEC / 4);
+    }
+}

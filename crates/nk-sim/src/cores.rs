@@ -1,0 +1,211 @@
+//! Per-core cycle accounting.
+//!
+//! The evaluation's CPU-overhead tables (paper §7.8, Tables 6 and 7) compare
+//! "the total number of cycles spent by the VM in Baseline, and the total
+//! cycles spent by the VM and the NSM together in NetKernel". The simulator
+//! reproduces that methodology: every simulated component owns a [`CoreSet`]
+//! whose cores receive a cycle budget each step, work is charged against the
+//! budget, and the cumulative ledger yields utilisation and overhead ratios.
+
+use nk_types::constants::CYCLES_PER_SECOND;
+
+/// Cumulative cycle ledger of one component (a VM, an NSM, or CoreEngine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleLedger {
+    /// Cycles actually spent doing work.
+    pub busy: u64,
+    /// Cycles offered by the cores over the component's lifetime.
+    pub offered: u64,
+}
+
+impl CycleLedger {
+    /// Utilisation in `[0, 1]` over the component's lifetime.
+    pub fn utilisation(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.offered as f64
+        }
+    }
+}
+
+/// A set of cores with a per-step cycle budget.
+///
+/// At the beginning of every simulation step the owner calls
+/// [`CoreSet::begin_step`] with the step length; components then charge work
+/// with [`CoreSet::try_charge`]/[`CoreSet::charge`] until the budget runs out.
+/// The budget models the aggregate capacity of all cores in the set — the
+/// NetKernel data path pins connections to queue sets and queue sets to
+/// cores, so treating the set as a fluid pool is accurate for the workloads
+/// the evaluation uses (many connections spread over all cores).
+#[derive(Clone, Debug)]
+pub struct CoreSet {
+    cores: usize,
+    cycles_per_core_per_sec: u64,
+    /// Remaining cycle budget for the current step.
+    budget: u64,
+    ledger: CycleLedger,
+}
+
+impl CoreSet {
+    /// A set of `cores` cores at the testbed clock rate (2.3 GHz).
+    pub fn new(cores: usize) -> Self {
+        Self::with_clock(cores, CYCLES_PER_SECOND)
+    }
+
+    /// A set of `cores` cores with an explicit per-core clock rate.
+    pub fn with_clock(cores: usize, cycles_per_core_per_sec: u64) -> Self {
+        CoreSet {
+            cores,
+            cycles_per_core_per_sec,
+            budget: 0,
+            ledger: CycleLedger::default(),
+        }
+    }
+
+    /// Number of cores in the set.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Change the number of cores (cores "can be readily added to or removed
+    /// from a NSM", paper §3). Takes effect from the next step.
+    pub fn set_cores(&mut self, cores: usize) {
+        self.cores = cores;
+    }
+
+    /// Start a new step of `dt_ns` nanoseconds: refill the budget.
+    ///
+    /// Unused budget from the previous step is discarded (idle cycles do not
+    /// accumulate).
+    pub fn begin_step(&mut self, dt_ns: u64) {
+        let offered = (self.cores as u128 * self.cycles_per_core_per_sec as u128 * dt_ns as u128
+            / 1_000_000_000u128) as u64;
+        self.budget = offered;
+        self.ledger.offered += offered;
+    }
+
+    /// Remaining budget for this step.
+    pub fn remaining(&self) -> u64 {
+        self.budget
+    }
+
+    /// True when the budget for this step is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.budget == 0
+    }
+
+    /// Charge exactly `cycles` if the budget covers it. Returns `true` on
+    /// success, `false` (charging nothing) otherwise.
+    pub fn try_charge(&mut self, cycles: u64) -> bool {
+        if cycles <= self.budget {
+            self.budget -= cycles;
+            self.ledger.busy += cycles;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Charge up to `cycles`, clamping to the remaining budget. Returns the
+    /// cycles actually charged.
+    pub fn charge_up_to(&mut self, cycles: u64) -> u64 {
+        let charged = cycles.min(self.budget);
+        self.budget -= charged;
+        self.ledger.busy += charged;
+        charged
+    }
+
+    /// How many work items of `cycles_each` the remaining budget can cover.
+    pub fn affordable(&self, cycles_each: u64) -> u64 {
+        if cycles_each == 0 {
+            u64::MAX
+        } else {
+            self.budget / cycles_each
+        }
+    }
+
+    /// Cumulative ledger.
+    pub fn ledger(&self) -> CycleLedger {
+        self.ledger
+    }
+
+    /// Cycles per second offered by the whole set.
+    pub fn capacity_per_sec(&self) -> u64 {
+        self.cores as u64 * self.cycles_per_core_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_scales_with_cores_and_step() {
+        let mut one = CoreSet::with_clock(1, 1_000_000_000);
+        one.begin_step(1_000_000); // 1 ms at 1 GHz = 1M cycles
+        assert_eq!(one.remaining(), 1_000_000);
+
+        let mut four = CoreSet::with_clock(4, 1_000_000_000);
+        four.begin_step(1_000_000);
+        assert_eq!(four.remaining(), 4_000_000);
+        assert_eq!(four.capacity_per_sec(), 4_000_000_000);
+    }
+
+    #[test]
+    fn charging_respects_budget() {
+        let mut c = CoreSet::with_clock(1, 1_000_000_000);
+        c.begin_step(1_000); // 1000 cycles
+        assert!(c.try_charge(400));
+        assert!(c.try_charge(600));
+        assert!(!c.try_charge(1));
+        assert!(c.exhausted());
+        assert_eq!(c.ledger().busy, 1_000);
+        assert_eq!(c.ledger().offered, 1_000);
+        assert!((c.ledger().utilisation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_up_to_clamps() {
+        let mut c = CoreSet::with_clock(1, 1_000_000_000);
+        c.begin_step(1_000);
+        assert_eq!(c.charge_up_to(700), 700);
+        assert_eq!(c.charge_up_to(700), 300);
+        assert_eq!(c.charge_up_to(700), 0);
+    }
+
+    #[test]
+    fn affordable_counts_items() {
+        let mut c = CoreSet::with_clock(2, 1_000_000_000);
+        c.begin_step(1_000);
+        assert_eq!(c.affordable(100), 20);
+        assert_eq!(c.affordable(0), u64::MAX);
+    }
+
+    #[test]
+    fn unused_budget_does_not_accumulate() {
+        let mut c = CoreSet::with_clock(1, 1_000_000_000);
+        c.begin_step(1_000);
+        c.begin_step(1_000);
+        assert_eq!(c.remaining(), 1_000);
+        assert_eq!(c.ledger().offered, 2_000);
+        assert_eq!(c.ledger().busy, 0);
+        assert_eq!(c.ledger().utilisation(), 0.0);
+    }
+
+    #[test]
+    fn empty_ledger_utilisation_is_zero() {
+        assert_eq!(CycleLedger::default().utilisation(), 0.0);
+    }
+
+    #[test]
+    fn resizing_cores_takes_effect_next_step() {
+        let mut c = CoreSet::with_clock(1, 1_000_000_000);
+        c.begin_step(1_000);
+        assert_eq!(c.remaining(), 1_000);
+        c.set_cores(3);
+        assert_eq!(c.cores(), 3);
+        c.begin_step(1_000);
+        assert_eq!(c.remaining(), 3_000);
+    }
+}

@@ -1,0 +1,34 @@
+//! Deterministic simulation substrate for the NetKernel evaluation.
+//!
+//! The paper's evaluation runs on a physical testbed (dual Xeon E5-2698 v3,
+//! Mellanox 100 G NICs). This crate substitutes that testbed with a
+//! deterministic, discrete-time model so every figure and table can be
+//! regenerated on any machine:
+//!
+//! * [`clock`] — a virtual clock in nanoseconds and the step-driven
+//!   simulation loop helpers;
+//! * [`cores`] — per-core cycle accounting: each vCPU contributes a cycle
+//!   budget per step, components charge their work against it, and
+//!   utilisation/overhead metrics (paper Tables 6 and 7) fall out of the
+//!   ledger;
+//! * [`cost`] — the calibrated cost model: cycles per NQE, per byte copied,
+//!   per packet processed by the kernel-style or mTCP-style stack, per
+//!   interrupt, per connection;
+//! * [`bucket`] — token buckets used by CoreEngine for rate-limit isolation
+//!   (paper §7.6, Figure 21);
+//! * [`record`] — time-series recorders and counters used by experiments;
+//! * [`histogram`] — a logarithmic-bucket latency histogram (paper Table 5).
+
+pub mod bucket;
+pub mod clock;
+pub mod cores;
+pub mod cost;
+pub mod histogram;
+pub mod record;
+
+pub use bucket::TokenBucket;
+pub use clock::{Clock, NANOS_PER_SEC};
+pub use cores::{CoreSet, CycleLedger};
+pub use cost::CostModel;
+pub use histogram::Histogram;
+pub use record::{Counter, TimeSeries};

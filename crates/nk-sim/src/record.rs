@@ -1,0 +1,174 @@
+//! Measurement recorders used by the experiments.
+
+use serde::{Deserialize, Serialize};
+
+/// A cumulative counter with rate computation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counter {
+    total: u64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.total += n;
+    }
+
+    /// Current total.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Average rate per second over `elapsed_ns` nanoseconds.
+    pub fn rate_per_sec(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.total as f64 * 1e9 / elapsed_ns as f64
+        }
+    }
+
+    /// Interpret the counter as bytes and return the average throughput in
+    /// Gbps over `elapsed_ns`.
+    pub fn gbps(&self, elapsed_ns: u64) -> f64 {
+        self.rate_per_sec(elapsed_ns) * 8.0 / 1e9
+    }
+}
+
+/// A (time, value) series sampled by the experiments, e.g. the per-VM
+/// throughput curves of Figure 21 or the AG traffic of Figure 7.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Append a sample at time `t_secs`.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        self.points.push((t_secs, value));
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the recorded values (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Maximum recorded value (0 for an empty series).
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Minimum recorded value (0 for an empty series).
+    pub fn min(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Values within the half-open time window `[from_secs, to_secs)`.
+    pub fn window(&self, from_secs: f64, to_secs: f64) -> Vec<f64> {
+        self.points
+            .iter()
+            .filter(|(t, _)| *t >= from_secs && *t < to_secs)
+            .map(|(_, v)| *v)
+            .collect()
+    }
+
+    /// Downsample into bins of `bin_secs`, averaging the values inside each
+    /// bin (used to produce the 1-minute bins of Figure 7).
+    pub fn rebin(&self, bin_secs: f64) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        if self.points.is_empty() || bin_secs <= 0.0 {
+            return out;
+        }
+        let end = self.points.last().unwrap().0;
+        let mut bin_start = 0.0;
+        while bin_start <= end {
+            let vals = self.window(bin_start, bin_start + bin_secs);
+            if !vals.is_empty() {
+                let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                out.push(bin_start, mean);
+            }
+            bin_start += bin_secs;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rates() {
+        let mut c = Counter::new();
+        c.add(1000);
+        c.add(500);
+        assert_eq!(c.total(), 1500);
+        assert!((c.rate_per_sec(1_000_000_000) - 1500.0).abs() < 1e-9);
+        assert_eq!(c.rate_per_sec(0), 0.0);
+        // 125 MB over one second is 1 Gbps.
+        let mut b = Counter::new();
+        b.add(125_000_000);
+        assert!((b.gbps(1_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        s.push(0.0, 10.0);
+        s.push(1.0, 20.0);
+        s.push(2.0, 30.0);
+        assert_eq!(s.len(), 3);
+        assert!((s.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(s.max(), 30.0);
+        assert_eq!(s.min(), 10.0);
+        assert_eq!(s.window(0.5, 2.5), vec![20.0, 30.0]);
+    }
+
+    #[test]
+    fn rebin_averages_bins() {
+        let mut s = TimeSeries::new();
+        for i in 0..10 {
+            s.push(i as f64, i as f64);
+        }
+        let binned = s.rebin(5.0);
+        assert_eq!(binned.len(), 2);
+        assert!((binned.points()[0].1 - 2.0).abs() < 1e-12);
+        assert!((binned.points()[1].1 - 7.0).abs() < 1e-12);
+        assert!(s.rebin(0.0).is_empty());
+    }
+}

@@ -1,0 +1,462 @@
+//! Configuration for hosts, tenant VMs and Network Stack Modules.
+//!
+//! A [`HostConfig`] describes everything the operator controls: which VMs run
+//! on the host, which NSMs are provisioned, how VMs map onto NSMs, how many
+//! cores CoreEngine gets, and what isolation policy applies. The same
+//! configuration drives both the threaded and the simulated execution modes.
+
+use crate::constants::{
+    DEFAULT_BATCH_SIZE, DEFAULT_HUGEPAGE_COUNT, DEFAULT_QUEUE_CAPACITY, LINE_RATE_GBPS,
+};
+use crate::error::{NkError, NkResult};
+use crate::ids::{NsmId, VmId};
+use serde::{Deserialize, Serialize};
+
+/// Which network stack implementation an NSM runs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum StackKind {
+    /// A monolithic kernel-style TCP/IP stack (the paper's "kernel stack NSM",
+    /// modelled on Linux 4.9 behaviour: interrupt-driven RX, per-packet
+    /// processing in softirq context).
+    Kernel,
+    /// A userspace, batched, per-core-partitioned stack in the style of mTCP
+    /// over DPDK: lower per-operation cost, run-to-completion, poll-mode RX.
+    Mtcp,
+    /// The shared-memory fast path for colocated VMs of the same tenant
+    /// (use case 4, §6.4): payload is copied hugepage-to-hugepage and TCP
+    /// processing is bypassed entirely.
+    SharedMem,
+    /// Kernel-style stack with VM-level (Seawall-like) congestion control for
+    /// fair bandwidth sharing (use case 2, §6.2).
+    FairShare,
+}
+
+/// Which congestion-control algorithm a stack uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CcKind {
+    /// TCP NewReno-style AIMD.
+    Reno,
+    /// CUBIC (the Linux default the paper's Baseline runs).
+    Cubic,
+    /// DCTCP, reacting proportionally to ECN marks.
+    Dctcp,
+    /// One shared congestion window per VM, split equally across that VM's
+    /// active flows (Seawall-style VM-level fairness).
+    VmShared,
+}
+
+impl Default for CcKind {
+    fn default() -> Self {
+        CcKind::Cubic
+    }
+}
+
+/// Configuration of one tenant VM.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// VM identifier, unique per host.
+    pub id: VmId,
+    /// Number of vCPUs; the NK device gets one queue set per vCPU (§4.3).
+    pub vcpus: usize,
+    /// Tenant identifier; VMs of the same tenant may use the shared-memory
+    /// NSM when colocated (§6.4).
+    pub tenant: u32,
+    /// Optional egress bandwidth cap in Gbps enforced by CoreEngine (§7.6).
+    pub rate_limit_gbps: Option<f64>,
+}
+
+impl VmConfig {
+    /// A single-vCPU VM with no rate limit.
+    pub fn new(id: VmId) -> Self {
+        VmConfig {
+            id,
+            vcpus: 1,
+            tenant: 0,
+            rate_limit_gbps: None,
+        }
+    }
+
+    /// Set the number of vCPUs (builder style).
+    pub fn with_vcpus(mut self, vcpus: usize) -> Self {
+        self.vcpus = vcpus;
+        self
+    }
+
+    /// Set the tenant id (builder style).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Cap the VM's egress bandwidth (builder style).
+    pub fn with_rate_limit_gbps(mut self, gbps: f64) -> Self {
+        self.rate_limit_gbps = Some(gbps);
+        self
+    }
+}
+
+/// Configuration of one Network Stack Module.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NsmConfig {
+    /// NSM identifier, unique per host.
+    pub id: NsmId,
+    /// Number of vCPUs dedicated to the NSM.
+    pub vcpus: usize,
+    /// Stack implementation the NSM runs.
+    pub stack: StackKind,
+    /// Congestion control used by that stack.
+    pub cc: CcKind,
+    /// Rate of the virtual function / vNIC attached to the NSM, in Gbps.
+    pub nic_rate_gbps: f64,
+}
+
+impl NsmConfig {
+    /// A single-vCPU kernel-stack NSM attached to a full-rate vNIC.
+    pub fn kernel(id: NsmId) -> Self {
+        NsmConfig {
+            id,
+            vcpus: 1,
+            stack: StackKind::Kernel,
+            cc: CcKind::Cubic,
+            nic_rate_gbps: LINE_RATE_GBPS,
+        }
+    }
+
+    /// A single-vCPU mTCP-style NSM attached to a full-rate vNIC.
+    pub fn mtcp(id: NsmId) -> Self {
+        NsmConfig {
+            stack: StackKind::Mtcp,
+            ..NsmConfig::kernel(id)
+        }
+    }
+
+    /// A shared-memory NSM for colocated VMs of the same tenant.
+    pub fn shared_mem(id: NsmId) -> Self {
+        NsmConfig {
+            stack: StackKind::SharedMem,
+            ..NsmConfig::kernel(id)
+        }
+    }
+
+    /// A kernel-style NSM running VM-level fair-share congestion control.
+    pub fn fair_share(id: NsmId) -> Self {
+        NsmConfig {
+            stack: StackKind::FairShare,
+            cc: CcKind::VmShared,
+            ..NsmConfig::kernel(id)
+        }
+    }
+
+    /// Set the number of vCPUs (builder style).
+    pub fn with_vcpus(mut self, vcpus: usize) -> Self {
+        self.vcpus = vcpus;
+        self
+    }
+
+    /// Set the congestion control algorithm (builder style).
+    pub fn with_cc(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Set the vNIC rate in Gbps (builder style).
+    pub fn with_nic_rate_gbps(mut self, gbps: f64) -> Self {
+        self.nic_rate_gbps = gbps;
+        self
+    }
+}
+
+/// How CoreEngine arbitrates between VMs sharing NSMs (§4.4, §7.6).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum IsolationPolicy {
+    /// Plain round-robin polling over the per-VM queue sets: basic fair
+    /// sharing of CoreEngine and NSM attention.
+    RoundRobin,
+    /// Round-robin polling plus per-VM token-bucket rate limiting of egress
+    /// bytes, honouring each VM's `rate_limit_gbps`.
+    RateLimited,
+    /// Round-robin polling plus a cap on NQE operations per second per VM.
+    OpsLimited {
+        /// Maximum NQEs per second each VM may issue.
+        max_ops_per_sec: u64,
+    },
+}
+
+impl Default for IsolationPolicy {
+    fn default() -> Self {
+        IsolationPolicy::RoundRobin
+    }
+}
+
+/// How VMs are assigned to NSMs (§4.3 footnote: offline by the user or
+/// dynamically by CoreEngine).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum VmToNsmPolicy {
+    /// Explicit static assignment.
+    Static(Vec<(VmId, NsmId)>),
+    /// Every VM is served by the (single) NSM with the given id.
+    All(NsmId),
+    /// CoreEngine spreads VMs across NSMs with the fewest attached VMs first.
+    LeastLoaded,
+}
+
+/// Full description of one NetKernel host.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostConfig {
+    /// Tenant VMs provisioned on the host.
+    pub vms: Vec<VmConfig>,
+    /// Network stack modules provisioned on the host.
+    pub nsms: Vec<NsmConfig>,
+    /// VM → NSM assignment policy.
+    pub mapping: VmToNsmPolicy,
+    /// Cores dedicated to CoreEngine NQE switching (the paper always uses 1).
+    pub core_engine_cores: usize,
+    /// Isolation policy applied by CoreEngine.
+    pub isolation: IsolationPolicy,
+    /// Number of 2 MB hugepages shared between each VM–NSM pair.
+    pub hugepages_per_pair: usize,
+    /// NQE batch size used for queue polling and switching.
+    pub batch_size: usize,
+    /// Capacity of each lockless queue, in NQEs.
+    pub queue_capacity: usize,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            vms: Vec::new(),
+            nsms: Vec::new(),
+            mapping: VmToNsmPolicy::LeastLoaded,
+            core_engine_cores: 1,
+            isolation: IsolationPolicy::RoundRobin,
+            hugepages_per_pair: DEFAULT_HUGEPAGE_COUNT,
+            batch_size: DEFAULT_BATCH_SIZE,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+}
+
+impl HostConfig {
+    /// Start from an empty host with default policies.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a VM (builder style).
+    pub fn with_vm(mut self, vm: VmConfig) -> Self {
+        self.vms.push(vm);
+        self
+    }
+
+    /// Add an NSM (builder style).
+    pub fn with_nsm(mut self, nsm: NsmConfig) -> Self {
+        self.nsms.push(nsm);
+        self
+    }
+
+    /// Set the VM → NSM mapping policy (builder style).
+    pub fn with_mapping(mut self, mapping: VmToNsmPolicy) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Set the isolation policy (builder style).
+    pub fn with_isolation(mut self, isolation: IsolationPolicy) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Look up a VM's configuration.
+    pub fn vm(&self, id: VmId) -> Option<&VmConfig> {
+        self.vms.iter().find(|v| v.id == id)
+    }
+
+    /// Look up an NSM's configuration.
+    pub fn nsm(&self, id: NsmId) -> Option<&NsmConfig> {
+        self.nsms.iter().find(|n| n.id == id)
+    }
+
+    /// Resolve the NSM that serves `vm` under the configured mapping policy.
+    ///
+    /// For [`VmToNsmPolicy::LeastLoaded`] the assignment is deterministic:
+    /// VMs are considered in configuration order and assigned to the NSM with
+    /// the fewest VMs assigned so far (ties broken by NSM id).
+    pub fn nsm_for_vm(&self, vm: VmId) -> NkResult<NsmId> {
+        if self.nsms.is_empty() {
+            return Err(NkError::NoNsm);
+        }
+        match &self.mapping {
+            VmToNsmPolicy::All(id) => {
+                if self.nsm(*id).is_some() {
+                    Ok(*id)
+                } else {
+                    Err(NkError::NotFound)
+                }
+            }
+            VmToNsmPolicy::Static(map) => map
+                .iter()
+                .find(|(v, _)| *v == vm)
+                .map(|(_, n)| *n)
+                .ok_or(NkError::NoNsm),
+            VmToNsmPolicy::LeastLoaded => {
+                let mut load: Vec<(NsmId, usize)> =
+                    self.nsms.iter().map(|n| (n.id, 0usize)).collect();
+                load.sort_by_key(|(id, _)| *id);
+                for v in &self.vms {
+                    let slot = load
+                        .iter_mut()
+                        .min_by_key(|(id, c)| (*c, *id))
+                        .expect("nsms non-empty");
+                    if v.id == vm {
+                        return Ok(slot.0);
+                    }
+                    slot.1 += 1;
+                }
+                // The VM is not part of the configuration.
+                Err(NkError::NotFound)
+            }
+        }
+    }
+
+    /// Total vCPUs consumed by the host-side NetKernel machinery plus VMs
+    /// (used by the multiplexing experiments, §6.1 / Table 2).
+    pub fn total_cores(&self) -> usize {
+        self.vms.iter().map(|v| v.vcpus).sum::<usize>()
+            + self.nsms.iter().map(|n| n.vcpus).sum::<usize>()
+            + self.core_engine_cores
+    }
+
+    /// Validate internal consistency (ids unique, counts non-zero, static
+    /// mappings referencing existing entities).
+    pub fn validate(&self) -> NkResult<()> {
+        let mut vm_ids = std::collections::HashSet::new();
+        for v in &self.vms {
+            if v.vcpus == 0 {
+                return Err(NkError::BadConfig);
+            }
+            if !vm_ids.insert(v.id) {
+                return Err(NkError::BadConfig);
+            }
+        }
+        let mut nsm_ids = std::collections::HashSet::new();
+        for n in &self.nsms {
+            if n.vcpus == 0 || n.nic_rate_gbps <= 0.0 {
+                return Err(NkError::BadConfig);
+            }
+            if !nsm_ids.insert(n.id) {
+                return Err(NkError::BadConfig);
+            }
+        }
+        if self.batch_size == 0 || self.queue_capacity == 0 || self.hugepages_per_pair == 0 {
+            return Err(NkError::BadConfig);
+        }
+        if let VmToNsmPolicy::Static(map) = &self.mapping {
+            for (v, n) in map {
+                if !vm_ids.contains(v) || !nsm_ids.contains(n) {
+                    return Err(NkError::BadConfig);
+                }
+            }
+        }
+        if let VmToNsmPolicy::All(n) = &self.mapping {
+            if !self.nsms.is_empty() && !nsm_ids.contains(n) {
+                return Err(NkError::BadConfig);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_vm_one_nsm() -> HostConfig {
+        HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_vm(VmConfig::new(VmId(2)).with_vcpus(2))
+            .with_nsm(NsmConfig::kernel(NsmId(1)).with_vcpus(2))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+    }
+
+    #[test]
+    fn default_host_is_valid() {
+        assert!(HostConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = two_vm_one_nsm();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.vms.len(), 2);
+        assert_eq!(cfg.nsm(NsmId(1)).unwrap().vcpus, 2);
+        assert_eq!(cfg.vm(VmId(2)).unwrap().vcpus, 2);
+        // 1 + 2 VM vCPUs + 2 NSM vCPUs + 1 CoreEngine core.
+        assert_eq!(cfg.total_cores(), 6);
+    }
+
+    #[test]
+    fn mapping_all_and_static() {
+        let cfg = two_vm_one_nsm();
+        assert_eq!(cfg.nsm_for_vm(VmId(1)).unwrap(), NsmId(1));
+
+        let cfg = cfg.with_mapping(VmToNsmPolicy::Static(vec![(VmId(1), NsmId(1))]));
+        assert_eq!(cfg.nsm_for_vm(VmId(1)).unwrap(), NsmId(1));
+        assert_eq!(cfg.nsm_for_vm(VmId(2)), Err(NkError::NoNsm));
+    }
+
+    #[test]
+    fn least_loaded_mapping_spreads_vms() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_vm(VmConfig::new(VmId(2)))
+            .with_vm(VmConfig::new(VmId(3)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(2)))
+            .with_mapping(VmToNsmPolicy::LeastLoaded);
+        assert_eq!(cfg.nsm_for_vm(VmId(1)).unwrap(), NsmId(1));
+        assert_eq!(cfg.nsm_for_vm(VmId(2)).unwrap(), NsmId(2));
+        assert_eq!(cfg.nsm_for_vm(VmId(3)).unwrap(), NsmId(1));
+        assert_eq!(cfg.nsm_for_vm(VmId(9)), Err(NkError::NotFound));
+    }
+
+    #[test]
+    fn mapping_without_nsm_is_an_error() {
+        let cfg = HostConfig::new().with_vm(VmConfig::new(VmId(1)));
+        assert_eq!(cfg.nsm_for_vm(VmId(1)), Err(NkError::NoNsm));
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_zeroes() {
+        let dup = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_vm(VmConfig::new(VmId(1)));
+        assert_eq!(dup.validate(), Err(NkError::BadConfig));
+
+        let zero = HostConfig::new().with_vm(VmConfig::new(VmId(1)).with_vcpus(0));
+        assert_eq!(zero.validate(), Err(NkError::BadConfig));
+
+        let bad_static = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::Static(vec![(VmId(5), NsmId(1))]));
+        assert_eq!(bad_static.validate(), Err(NkError::BadConfig));
+    }
+
+    #[test]
+    fn nsm_constructors_set_stack_kind() {
+        assert_eq!(NsmConfig::kernel(NsmId(1)).stack, StackKind::Kernel);
+        assert_eq!(NsmConfig::mtcp(NsmId(1)).stack, StackKind::Mtcp);
+        assert_eq!(NsmConfig::shared_mem(NsmId(1)).stack, StackKind::SharedMem);
+        let fs = NsmConfig::fair_share(NsmId(1));
+        assert_eq!(fs.stack, StackKind::FairShare);
+        assert_eq!(fs.cc, CcKind::VmShared);
+    }
+
+    #[test]
+    fn config_serializes_to_json() {
+        let cfg = two_vm_one_nsm();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HostConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

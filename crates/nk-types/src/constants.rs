@@ -1,0 +1,76 @@
+//! Constants describing the reproduced testbed.
+//!
+//! The values mirror the evaluation environment of the paper (§5, §7.1):
+//! QEMU/KVM hosts with Xeon E5-2698 v3 cores at 2.3 GHz, Mellanox 100 G NICs,
+//! 2 MB hugepages (128 pages per VM–NSM pair) and an NQE batch size of 4.
+
+/// Size of one shared hugepage, in bytes (2 MB, §5 "Queues and Huge Pages").
+pub const HUGEPAGE_SIZE: usize = 2 * 1024 * 1024;
+
+/// Default number of hugepages shared between a VM and its NSM (§5).
+pub const DEFAULT_HUGEPAGE_COUNT: usize = 128;
+
+/// Default NQE batch size used by CoreEngine and the NK devices (§7.2 uses a
+/// batch size of 4 for all experiments).
+pub const DEFAULT_BATCH_SIZE: usize = 4;
+
+/// Default capacity (in NQEs) of each lockless queue in a queue set.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
+
+/// Line rate of the physical NIC in gigabits per second (Mellanox CX-4 100G).
+pub const LINE_RATE_GBPS: f64 = 100.0;
+
+/// Clock frequency of one physical core in cycles per second (2.3 GHz Xeon
+/// E5-2698 v3, §7.1).
+pub const CYCLES_PER_SECOND: u64 = 2_300_000_000;
+
+/// Ethernet MTU used by the virtual fabric.
+pub const MTU: usize = 1500;
+
+/// TCP maximum segment size corresponding to [`MTU`] (IPv4 + TCP headers).
+pub const MSS: usize = 1460;
+
+/// Interrupt-driven polling window of the guest NK device, in microseconds:
+/// the device polls for this long before arming an interrupt (§4.6).
+pub const GUEST_POLL_WINDOW_US: u64 = 20;
+
+/// Default per-socket send buffer budget in bytes (matches a common Linux
+/// `wmem_default`-style sizing of 256 KB).
+pub const DEFAULT_SEND_BUF: usize = 256 * 1024;
+
+/// Default per-socket receive buffer budget in bytes.
+pub const DEFAULT_RECV_BUF: usize = 256 * 1024;
+
+/// Convert gigabits per second to bytes per second.
+pub fn gbps_to_bytes_per_sec(gbps: f64) -> f64 {
+    gbps * 1e9 / 8.0
+}
+
+/// Convert bytes per second to gigabits per second.
+pub fn bytes_per_sec_to_gbps(bps: f64) -> f64 {
+    bps * 8.0 / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hugepage_region_default_size_is_256mb() {
+        assert_eq!(HUGEPAGE_SIZE * DEFAULT_HUGEPAGE_COUNT, 256 * 1024 * 1024);
+    }
+
+    #[test]
+    fn unit_conversions_are_inverse() {
+        let g = 100.0;
+        let b = gbps_to_bytes_per_sec(g);
+        assert!((bytes_per_sec_to_gbps(b) - g).abs() < 1e-9);
+        assert_eq!(gbps_to_bytes_per_sec(8e-9), 1.0);
+    }
+
+    #[test]
+    fn mss_fits_mtu() {
+        assert!(MSS + 40 <= MTU + 14);
+        assert!(MSS < MTU);
+    }
+}

@@ -1,0 +1,34 @@
+//! Common types shared by every NetKernel crate.
+//!
+//! This crate defines the vocabulary of the NetKernel architecture described
+//! in *"NetKernel: Making Network Stack Part of the Virtualized
+//! Infrastructure"* (Niu et al., USENIX ATC 2020):
+//!
+//! * identifiers for VMs, NSMs, queue sets and sockets ([`ids`]),
+//! * the 32-byte NetKernel Queue Element wire format ([`nqe`]),
+//! * the socket operations and execution results carried by NQEs ([`ops`]),
+//! * simplified socket addresses ([`addr`]),
+//! * error types ([`error`]),
+//! * configuration for hosts, VMs and NSMs ([`config`]),
+//! * the provider-facing constants of the testbed ([`constants`]),
+//! * and the guest-facing non-blocking socket API trait ([`api`]) that both
+//!   the NetKernel `GuestLib` and the in-guest baseline stack implement.
+
+pub mod addr;
+pub mod api;
+pub mod config;
+pub mod constants;
+pub mod error;
+pub mod ids;
+pub mod nqe;
+pub mod ops;
+
+pub use addr::SockAddr;
+pub use api::{EpollEvent, PollEvents, ShutdownHow, SocketApi};
+pub use config::{
+    CcKind, HostConfig, IsolationPolicy, NsmConfig, StackKind, VmConfig, VmToNsmPolicy,
+};
+pub use error::{NkError, NkResult};
+pub use ids::{ConnKey, NsmId, QueueSetId, SocketId, VmId};
+pub use nqe::{DataHandle, Nqe, NQE_SIZE};
+pub use ops::{OpResult, OpType};

@@ -1,0 +1,232 @@
+//! The NetKernel Queue Element (NQE).
+//!
+//! NQEs are the intermediate representation of socket semantics exchanged
+//! between GuestLib and ServiceLib (paper §4.2, Figure 3). Each NQE is exactly
+//! 32 bytes:
+//!
+//! ```text
+//! | 1B op | 1B VM id | 1B queue set id | 4B socket id | 8B op_data |
+//! | 8B data pointer | 4B size | 5B reserved |                      = 32 B
+//! ```
+//!
+//! The `data pointer` is a [`DataHandle`] referencing application payload in
+//! the hugepage region shared between the VM and the NSM; `size` is the length
+//! of that payload.
+
+use crate::addr::SockAddr;
+use crate::error::NkError;
+use crate::ids::{QueueSetId, SocketId, VmId};
+use crate::ops::{op_data, OpResult, OpType};
+
+/// Size in bytes of an encoded NQE.
+pub const NQE_SIZE: usize = 32;
+
+/// Opaque reference to application payload inside a hugepage region.
+///
+/// The handle packs the byte offset of the chunk within the region. The
+/// region itself is implied by the ⟨VM, NSM⟩ pair owning the queues the NQE
+/// travels on, exactly as in the paper where each VM–NSM tuple shares a
+/// dedicated set of hugepages.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct DataHandle(pub u64);
+
+impl DataHandle {
+    /// Handle meaning "no payload attached".
+    pub const NULL: DataHandle = DataHandle(u64::MAX);
+
+    /// Construct a handle from a region byte offset.
+    pub fn from_offset(offset: u64) -> Self {
+        DataHandle(offset)
+    }
+
+    /// Byte offset within the hugepage region.
+    pub fn offset(self) -> u64 {
+        self.0
+    }
+
+    /// True when no payload is attached.
+    pub fn is_null(self) -> bool {
+        self == DataHandle::NULL
+    }
+}
+
+/// A NetKernel Queue Element: the fixed-size descriptor of one socket
+/// operation, completion or event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Nqe {
+    /// Operation or event type.
+    pub op: OpType,
+    /// VM the operation belongs to (the *VM tuple* identity, §4.3).
+    pub vm: VmId,
+    /// Queue set the NQE was submitted on.
+    pub queue_set: QueueSetId,
+    /// VM-side socket id of the connection.
+    pub socket: SocketId,
+    /// Operation payload: packed addresses, results, auxiliary values.
+    pub op_data: u64,
+    /// Reference to application data inside the shared hugepage region.
+    pub data: DataHandle,
+    /// Length in bytes of the referenced data.
+    pub size: u32,
+}
+
+impl Nqe {
+    /// Create an NQE with no payload and zeroed `op_data`.
+    pub fn new(op: OpType, vm: VmId, queue_set: QueueSetId, socket: SocketId) -> Self {
+        Nqe {
+            op,
+            vm,
+            queue_set,
+            socket,
+            op_data: 0,
+            data: DataHandle::NULL,
+            size: 0,
+        }
+    }
+
+    /// Attach an `op_data` value (builder style).
+    pub fn with_op_data(mut self, op_data: u64) -> Self {
+        self.op_data = op_data;
+        self
+    }
+
+    /// Attach a payload reference (builder style).
+    pub fn with_data(mut self, data: DataHandle, size: u32) -> Self {
+        self.data = data;
+        self.size = size;
+        self
+    }
+
+    /// Build a completion NQE answering `request`, carrying `result` and an
+    /// auxiliary 32-bit value.
+    ///
+    /// Returns `None` when the request type has no defined completion (e.g.
+    /// [`OpType::RecvConsumed`]).
+    pub fn completion_for(request: &Nqe, result: OpResult, aux: u32) -> Option<Nqe> {
+        let op = request.op.completion()?;
+        Some(Nqe {
+            op,
+            vm: request.vm,
+            queue_set: request.queue_set,
+            socket: request.socket,
+            op_data: op_data::pack(result, aux),
+            data: DataHandle::NULL,
+            size: 0,
+        })
+    }
+
+    /// The execution result encoded in this (completion) NQE.
+    pub fn result(&self) -> OpResult {
+        op_data::result(self.op_data)
+    }
+
+    /// The auxiliary value encoded in this (completion) NQE.
+    pub fn aux(&self) -> u32 {
+        op_data::aux(self.op_data)
+    }
+
+    /// Interpret `op_data` as a packed socket address (bind/connect requests,
+    /// accepted-peer info).
+    pub fn addr(&self) -> SockAddr {
+        SockAddr::unpack(self.op_data)
+    }
+
+    /// Encode into the 32-byte on-queue representation.
+    pub fn encode(&self) -> [u8; NQE_SIZE] {
+        let mut b = [0u8; NQE_SIZE];
+        b[0] = self.op as u8;
+        b[1] = self.vm.raw();
+        b[2] = self.queue_set.raw();
+        b[3..7].copy_from_slice(&self.socket.raw().to_le_bytes());
+        b[7..15].copy_from_slice(&self.op_data.to_le_bytes());
+        b[15..23].copy_from_slice(&self.data.0.to_le_bytes());
+        b[23..27].copy_from_slice(&self.size.to_le_bytes());
+        // Bytes 27..32 are reserved and stay zero.
+        b
+    }
+
+    /// Decode from the 32-byte on-queue representation.
+    ///
+    /// Fails with [`NkError::MalformedNqe`] when the op byte is unknown.
+    pub fn decode(b: &[u8; NQE_SIZE]) -> Result<Nqe, NkError> {
+        let op = OpType::from_u8(b[0]).ok_or(NkError::MalformedNqe)?;
+        Ok(Nqe {
+            op,
+            vm: VmId(b[1]),
+            queue_set: QueueSetId(b[2]),
+            socket: SocketId(u32::from_le_bytes(b[3..7].try_into().unwrap())),
+            op_data: u64::from_le_bytes(b[7..15].try_into().unwrap()),
+            data: DataHandle(u64::from_le_bytes(b[15..23].try_into().unwrap())),
+            size: u32::from_le_bytes(b[23..27].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Nqe {
+        Nqe::new(OpType::Send, VmId(3), QueueSetId(1), SocketId(0xDEAD))
+            .with_op_data(0x0123_4567_89AB_CDEF)
+            .with_data(DataHandle::from_offset(4096), 8192)
+    }
+
+    #[test]
+    fn encoded_size_is_exactly_32_bytes() {
+        assert_eq!(sample().encode().len(), NQE_SIZE);
+        assert_eq!(NQE_SIZE, 32);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let nqe = sample();
+        let decoded = Nqe::decode(&nqe.encode()).unwrap();
+        assert_eq!(decoded, nqe);
+    }
+
+    #[test]
+    fn decode_rejects_unknown_op() {
+        let mut b = sample().encode();
+        b[0] = 0xFF;
+        assert_eq!(Nqe::decode(&b), Err(NkError::MalformedNqe));
+    }
+
+    #[test]
+    fn reserved_bytes_are_zero() {
+        let b = sample().encode();
+        assert_eq!(&b[27..32], &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn completion_builder_copies_identity() {
+        let req = Nqe::new(OpType::Connect, VmId(1), QueueSetId(0), SocketId(7))
+            .with_op_data(SockAddr::v4(10, 0, 0, 1, 80).pack());
+        let comp = Nqe::completion_for(&req, OpResult::Ok, 42).unwrap();
+        assert_eq!(comp.op, OpType::ConnectComplete);
+        assert_eq!(comp.vm, req.vm);
+        assert_eq!(comp.queue_set, req.queue_set);
+        assert_eq!(comp.socket, req.socket);
+        assert_eq!(comp.result(), OpResult::Ok);
+        assert_eq!(comp.aux(), 42);
+
+        let consumed = Nqe::new(OpType::RecvConsumed, VmId(1), QueueSetId(0), SocketId(7));
+        assert!(Nqe::completion_for(&consumed, OpResult::Ok, 0).is_none());
+    }
+
+    #[test]
+    fn addr_accessor_unpacks_op_data() {
+        let addr = SockAddr::v4(192, 168, 0, 9, 4433);
+        let nqe = Nqe::new(OpType::Bind, VmId(1), QueueSetId(0), SocketId(1))
+            .with_op_data(addr.pack());
+        assert_eq!(nqe.addr(), addr);
+    }
+
+    #[test]
+    fn null_handle_is_preserved() {
+        let nqe = Nqe::new(OpType::Close, VmId(1), QueueSetId(0), SocketId(1));
+        let decoded = Nqe::decode(&nqe.encode()).unwrap();
+        assert!(decoded.data.is_null());
+        assert_eq!(decoded.size, 0);
+    }
+}

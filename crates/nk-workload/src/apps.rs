@@ -1,0 +1,210 @@
+//! Application state machines written against [`SocketApi`].
+//!
+//! These are the "unmodified applications" of the evaluation: because they
+//! only use the BSD-style socket trait, the *same code* runs inside a
+//! NetKernel guest (GuestLib) and inside a baseline VM (in-guest stack), and
+//! switching the NSM under a NetKernel guest requires no change at all
+//! (use case 3, §6.3).
+
+use nk_types::{NkError, NkResult, PollEvents, SockAddr, SocketApi, SocketId};
+use std::collections::HashMap;
+
+/// An epoll-driven echo server: accepts connections, reads requests and
+/// echoes them back — the shape of the multi-threaded epoll servers used
+/// throughout §7.
+pub struct EchoServer {
+    listener: SocketId,
+    connections: HashMap<SocketId, ()>,
+    /// Requests served (one per message echoed).
+    pub requests: u64,
+    /// Bytes echoed back.
+    pub bytes: u64,
+    buf: Vec<u8>,
+}
+
+impl EchoServer {
+    /// Create the server: socket + bind + listen on `addr`.
+    pub fn start(api: &mut dyn SocketApi, addr: SockAddr, backlog: u32) -> NkResult<Self> {
+        let listener = api.socket()?;
+        api.bind(listener, addr)?;
+        api.listen(listener, backlog)?;
+        api.epoll_register(listener, PollEvents::READABLE)?;
+        Ok(EchoServer {
+            listener,
+            connections: HashMap::new(),
+            requests: 0,
+            bytes: 0,
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// The listening socket.
+    pub fn listener(&self) -> SocketId {
+        self.listener
+    }
+
+    /// Number of live connections.
+    pub fn connections(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// One event-loop iteration: accept new connections, echo available data.
+    /// Returns the number of events handled.
+    pub fn poll(&mut self, api: &mut dyn SocketApi) -> usize {
+        let mut handled = 0;
+        // Accept everything pending.
+        loop {
+            match api.accept(self.listener) {
+                Ok((conn, _peer)) => {
+                    let _ = api.epoll_register(conn, PollEvents::READABLE);
+                    self.connections.insert(conn, ());
+                    handled += 1;
+                }
+                Err(NkError::WouldBlock) => break,
+                Err(_) => break,
+            }
+        }
+        // Serve readable connections.
+        let events = api.epoll_wait(64);
+        for ev in events {
+            if ev.socket == self.listener {
+                continue;
+            }
+            if ev.events.readable() {
+                loop {
+                    match api.recv(ev.socket, &mut self.buf) {
+                        Ok(0) => {
+                            let _ = api.close(ev.socket);
+                            self.connections.remove(&ev.socket);
+                            break;
+                        }
+                        Ok(n) => {
+                            let _ = api.send(ev.socket, &self.buf[..n].to_vec());
+                            self.requests += 1;
+                            self.bytes += n as u64;
+                            handled += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+            if ev.events.hup() || ev.events.error() {
+                let _ = api.close(ev.socket);
+                self.connections.remove(&ev.socket);
+            }
+        }
+        handled
+    }
+}
+
+/// A closed-loop `ab`-style client: keeps `concurrency` requests outstanding
+/// against a server, counting completed request/response pairs.
+pub struct ClosedLoopClient {
+    server: SockAddr,
+    message: Vec<u8>,
+    concurrency: usize,
+    /// Connections with a request in flight.
+    in_flight: HashMap<SocketId, ()>,
+    /// Completed request/response exchanges.
+    pub completed: u64,
+    /// Responses bytes received.
+    pub bytes_received: u64,
+    buf: Vec<u8>,
+}
+
+impl ClosedLoopClient {
+    /// A client issuing `message`-sized requests with the given concurrency.
+    pub fn new(server: SockAddr, message_size: usize, concurrency: usize) -> Self {
+        ClosedLoopClient {
+            server,
+            message: vec![0x42u8; message_size.max(1)],
+            concurrency,
+            in_flight: HashMap::new(),
+            completed: 0,
+            bytes_received: 0,
+            buf: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// One event-loop iteration: top up connections to the target
+    /// concurrency, send requests on writable connections, and consume
+    /// responses. Returns the number of responses completed this round.
+    pub fn poll(&mut self, api: &mut dyn SocketApi) -> u64 {
+        // Open new connections until the concurrency target is met.
+        while self.in_flight.len() < self.concurrency {
+            let Ok(sock) = api.socket() else { break };
+            if api.connect(sock, self.server).is_err() {
+                let _ = api.close(sock);
+                break;
+            }
+            let _ = api.epoll_register(sock, PollEvents::READABLE | PollEvents::WRITABLE);
+            self.in_flight.insert(sock, ());
+        }
+        // Drive I/O.
+        let mut done = 0;
+        let events = api.epoll_wait(256);
+        for ev in events {
+            if !self.in_flight.contains_key(&ev.socket) {
+                continue;
+            }
+            if ev.events.error() || ev.events.hup() {
+                let _ = api.close(ev.socket);
+                self.in_flight.remove(&ev.socket);
+                continue;
+            }
+            if ev.events.writable() {
+                let _ = api.send(ev.socket, &self.message);
+                // Only send the request once per connection: deregister the
+                // writable interest afterwards.
+                let _ = api.epoll_register(ev.socket, PollEvents::READABLE);
+            }
+            if ev.events.readable() {
+                if let Ok(n) = api.recv(ev.socket, &mut self.buf) {
+                    if n > 0 {
+                        self.bytes_received += n as u64;
+                        self.completed += 1;
+                        done += 1;
+                        // Non-keepalive: close and let the loop reopen.
+                        let _ = api.close(ev.socket);
+                        self.in_flight.remove(&ev.socket);
+                    }
+                }
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_fabric::switch::VirtualSwitch;
+    use nk_host::BaselineVm;
+
+    /// The workload code knows nothing about which stack it runs on: here it
+    /// runs over two baseline VMs connected by a switch.
+    #[test]
+    fn echo_server_and_client_complete_requests_over_baseline_stacks() {
+        let mut switch = VirtualSwitch::new();
+        let mut server_vm = BaselineVm::new(1, &mut switch);
+        let mut client_vm = BaselineVm::new(2, &mut switch);
+
+        let mut server = EchoServer::start(&mut server_vm, SockAddr::new(0, 80), 64).unwrap();
+        let mut client = ClosedLoopClient::new(SockAddr::new(1, 80), 64, 4);
+
+        for i in 1..400u64 {
+            let now = i * 100_000;
+            client.poll(&mut client_vm);
+            server.poll(&mut server_vm);
+            client_vm.step(now);
+            server_vm.step(now);
+            switch.step(now);
+            if client.completed >= 20 {
+                break;
+            }
+        }
+        assert!(client.completed >= 20, "only {} requests completed", client.completed);
+        assert!(server.requests >= 20);
+        assert_eq!(client.bytes_received, client.completed * 64);
+    }
+}

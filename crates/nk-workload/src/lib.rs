@@ -1,0 +1,18 @@
+//! Workload generators used by the evaluation.
+//!
+//! * [`agtrace`] — a synthetic application-gateway (AG) traffic trace
+//!   generator standing in for the proprietary cloud trace of §6.1: tens of
+//!   gateways whose per-minute request rates are bursty and whose average
+//!   utilisation is far below their provisioned peak — the property the
+//!   multiplexing use case exploits;
+//! * [`apps`] — application state machines written against the
+//!   [`nk_types::SocketApi`] trait: an epoll echo/HTTP-style server and a
+//!   closed-loop `ab`-style client, usable unmodified on both the NetKernel
+//!   GuestLib and the baseline in-guest stack (the property use case 3 relies
+//!   on).
+
+pub mod agtrace;
+pub mod apps;
+
+pub use agtrace::{AgTrace, AgTraceConfig};
+pub use apps::{ClosedLoopClient, EchoServer};

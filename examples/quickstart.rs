@@ -1,0 +1,59 @@
+//! Quickstart: a tenant VM talks to a remote server through NetKernel.
+//!
+//! The VM's application uses plain BSD-style socket calls (the `SocketApi`
+//! trait); GuestLib turns them into NQEs, CoreEngine switches them to a
+//! kernel-stack NSM, and the NSM's TCP stack carries the bytes across the
+//! virtual fabric to a remote host.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use netkernel::host::NetKernelHost;
+use netkernel::types::{
+    HostConfig, NsmConfig, NsmId, SockAddr, SocketApi, VmConfig, VmId, VmToNsmPolicy,
+};
+
+const REMOTE_IP: u32 = 0x0A00_0200;
+
+fn main() {
+    // One VM served by one kernel-stack NSM.
+    let cfg = HostConfig::new()
+        .with_vm(VmConfig::new(VmId(1)))
+        .with_nsm(NsmConfig::kernel(NsmId(1)))
+        .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+    let mut host = NetKernelHost::new(cfg).expect("valid host configuration");
+
+    // A remote machine runs an ordinary TCP server on port 7.
+    let remote = host.add_remote(REMOTE_IP);
+    let listener = remote.socket();
+    remote.bind(listener, SockAddr::new(0, 7)).unwrap();
+    remote.listen(listener, 16).unwrap();
+
+    // The guest application: socket → connect → send → recv.
+    let guest = host.guest_mut(VmId(1)).unwrap();
+    let sock = guest.socket().unwrap();
+    guest.connect(sock, SockAddr::new(REMOTE_IP, 7)).unwrap();
+    host.run(20, 100_000);
+
+    let guest = host.guest_mut(VmId(1)).unwrap();
+    assert!(guest.poll(sock).writable(), "connection should be established");
+    guest.send(sock, b"hello, netkernel!").unwrap();
+    host.run(20, 100_000);
+
+    // The remote echoes the message back.
+    let remote = host.remote_mut(REMOTE_IP).unwrap();
+    let (conn, peer) = remote.accept(listener).unwrap();
+    let mut buf = [0u8; 64];
+    let n = remote.recv(conn, &mut buf).unwrap();
+    println!("remote received {:?} from {peer}", String::from_utf8_lossy(&buf[..n]));
+    remote.send(conn, &buf[..n]).unwrap();
+    host.run(20, 100_000);
+
+    let guest = host.guest_mut(VmId(1)).unwrap();
+    let n = guest.recv(sock, &mut buf).unwrap();
+    println!("guest received echo: {:?}", String::from_utf8_lossy(&buf[..n]));
+    println!(
+        "CoreEngine switched {} NQEs; NSM moved {} bytes into its stack",
+        host.engine_stats().nqes_switched,
+        host.nsm_service_stats(NsmId(1)).unwrap().bytes_tx
+    );
+}

@@ -1,0 +1,31 @@
+//! NetKernel: making the network stack part of the virtualized infrastructure.
+//!
+//! This is the facade crate of the NetKernel reproduction. It re-exports the
+//! public API of every workspace crate so applications (and the examples in
+//! `examples/`) can depend on a single crate:
+//!
+//! * [`types`] — NQEs, ids, errors, configuration, the [`types::SocketApi`] trait.
+//! * [`queue`] — lockless SPSC queues, queue sets and NK devices.
+//! * [`shmem`] — the shared hugepage region and its allocator.
+//! * [`sim`] — the deterministic discrete-event engine and cost model.
+//! * [`fabric`] — virtual NICs, links and the virtual switch.
+//! * [`netstack`] — the from-scratch TCP stack and congestion control.
+//! * [`guest`] — GuestLib: transparent BSD socket redirection.
+//! * [`service`] — ServiceLib and the Network Stack Modules.
+//! * [`engine`] — CoreEngine: NQE switching, connection table, isolation.
+//! * [`host`] — host orchestration (threaded and simulated) and metrics.
+//! * [`workload`] — workload generators used by the evaluation.
+
+pub use nk_engine as engine;
+pub use nk_fabric as fabric;
+pub use nk_guest as guest;
+pub use nk_host as host;
+pub use nk_netstack as netstack;
+pub use nk_queue as queue;
+pub use nk_service as service;
+pub use nk_shmem as shmem;
+pub use nk_sim as sim;
+pub use nk_types as types;
+pub use nk_workload as workload;
+
+pub use nk_types::{NkError, NkResult, SocketApi};
