@@ -213,7 +213,11 @@ fn fig09_fair_sharing() {
         .collect();
     print_table(
         "Figure 9: share of aggregate throughput (VM A / VM B)",
-        &["connections A:B", "Baseline (flow-level)", "NetKernel fair-share NSM (VM-level)"],
+        &[
+            "connections A:B",
+            "Baseline (flow-level)",
+            "NetKernel fair-share NSM (VM-level)",
+        ],
         &rows,
     );
 }
@@ -284,12 +288,7 @@ fn fig10_shared_memory(model: &PerfModel) {
 fn fig11_nqe_switching(model: &PerfModel) {
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .iter()
-        .map(|&batch| {
-            vec![
-                batch.to_string(),
-                f(model.nqe_switch_rate(batch) / 1e6, 1),
-            ]
-        })
+        .map(|&batch| vec![batch.to_string(), f(model.nqe_switch_rate(batch) / 1e6, 1)])
         .collect();
     print_table(
         "Figure 11: CoreEngine switching throughput (million NQEs/s, one core)",
@@ -311,7 +310,12 @@ fn fig12_memcopy(model: &PerfModel) {
     );
 }
 
-fn bulk_rows(model: &PerfModel, dir: TrafficDirection, streams: usize, cores: usize) -> Vec<Vec<String>> {
+fn bulk_rows(
+    model: &PerfModel,
+    dir: TrafficDirection,
+    streams: usize,
+    cores: usize,
+) -> Vec<Vec<String>> {
     [64usize, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
         .iter()
         .map(|&msg| {
@@ -370,7 +374,12 @@ fn fig17_short_connections(model: &PerfModel) {
         .collect();
     print_table(
         "Figure 17: short-connection RPS (x1000) and goodput, kernel-stack NSM, 1 vCPU",
-        &["msg size (B)", "Baseline RPS", "NetKernel RPS", "NetKernel Gbps"],
+        &[
+            "msg size (B)",
+            "Baseline RPS",
+            "NetKernel RPS",
+            "NetKernel Gbps",
+        ],
         &rows,
     );
 }
@@ -379,16 +388,54 @@ fn fig17_short_connections(model: &PerfModel) {
 fn fig18_19_stack_scaling(model: &PerfModel) {
     let rows: Vec<Vec<String>> = (1usize..=8)
         .map(|cores| {
-            let bs = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Send, 8192, 8, cores, false, 1);
-            let ns = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Send, 8192, 8, cores, true, 1);
-            let br = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Receive, 8192, 8, cores, false, 1);
-            let nr = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Receive, 8192, 8, cores, true, 1);
+            let bs = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Send,
+                8192,
+                8,
+                cores,
+                false,
+                1,
+            );
+            let ns = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Send,
+                8192,
+                8,
+                cores,
+                true,
+                1,
+            );
+            let br = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Receive,
+                8192,
+                8,
+                cores,
+                false,
+                1,
+            );
+            let nr = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Receive,
+                8192,
+                8,
+                cores,
+                true,
+                1,
+            );
             vec![cores.to_string(), f(bs, 1), f(ns, 1), f(br, 1), f(nr, 1)]
         })
         .collect();
     print_table(
         "Figures 18/19: 8-stream throughput (Gbps) vs vCPUs, 8KB messages",
-        &["vCPUs", "send Baseline", "send NetKernel", "recv Baseline", "recv NetKernel"],
+        &[
+            "vCPUs",
+            "send Baseline",
+            "send NetKernel",
+            "recv Baseline",
+            "recv NetKernel",
+        ],
         &rows,
     );
 }
@@ -411,7 +458,12 @@ fn fig20_rps_scaling(model: &PerfModel) {
         .collect();
     print_table(
         "Figure 20: short-connection RPS (x1000) vs vCPUs, 64B messages",
-        &["vCPUs", "Baseline", "NetKernel (kernel NSM)", "NetKernel (mTCP NSM)"],
+        &[
+            "vCPUs",
+            "Baseline",
+            "NetKernel (kernel NSM)",
+            "NetKernel (mTCP NSM)",
+        ],
         &rows,
     );
 }
@@ -420,8 +472,24 @@ fn fig20_rps_scaling(model: &PerfModel) {
 fn tab04_nsm_scaling(model: &PerfModel) {
     let rows: Vec<Vec<String>> = (1usize..=4)
         .map(|nsms| {
-            let send = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Send, 8192, 8, 2, true, nsms);
-            let recv = model.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Receive, 8192, 8, 2, true, nsms);
+            let send = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Send,
+                8192,
+                8,
+                2,
+                true,
+                nsms,
+            );
+            let recv = model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Receive,
+                8192,
+                8,
+                2,
+                true,
+                nsms,
+            );
             let rps = model.rps(StackKind::Kernel, 2, 64, true, nsms);
             vec![nsms.to_string(), f(send, 1), f(recv, 1), f(rps / 1e3, 1)]
         })
@@ -475,7 +543,12 @@ fn fig21_isolation() {
     }
     print_table(
         "Figure 21: per-VM throughput (Gbps) under CoreEngine token-bucket isolation",
-        &["time (s)", "VM1 (cap 1G)", "VM2 (cap 0.5G)", "VM3 (uncapped)"],
+        &[
+            "time (s)",
+            "VM1 (cap 1G)",
+            "VM2 (cap 0.5G)",
+            "VM3 (uncapped)",
+        ],
         &rows,
     );
 }
@@ -510,12 +583,7 @@ fn tab05_latency(model: &PerfModel) {
 fn tab06_cpu_overhead_throughput(model: &PerfModel) {
     let rows: Vec<Vec<String>> = [20.0f64, 40.0, 60.0, 80.0, 100.0]
         .iter()
-        .map(|&gbps| {
-            vec![
-                f(gbps, 0),
-                f(model.cpu_overhead_throughput(8192), 2),
-            ]
-        })
+        .map(|&gbps| vec![f(gbps, 0), f(model.cpu_overhead_throughput(8192), 2)])
         .collect();
     print_table(
         "Table 6: normalised CPU usage (NetKernel / Baseline) at matched throughput, 8KB messages",

@@ -210,11 +210,9 @@ impl CoreEngine {
         // Round-robin start position for fairness across VMs.
         let start = self.rr_cursor % self.vm_order.len();
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
-        let order: Vec<VmId> = (0..self.vm_order.len())
-            .map(|i| self.vm_order[(start + i) % self.vm_order.len()])
-            .collect();
 
-        for vm in order {
+        for i in 0..self.vm_order.len() {
+            let vm = self.vm_order[(start + i) % self.vm_order.len()];
             let Some(nsm_id) = self.mapping.get(&vm).copied() else {
                 continue;
             };
@@ -246,14 +244,15 @@ impl CoreEngine {
                     continue;
                 }
                 'queue_set: loop {
-                    self.scratch.clear();
                     let n = port.ends[qs].pop_requests(&mut self.scratch, self.batch);
                     if n == 0 {
                         break;
                     }
-                    let drained: Vec<Nqe> = self.scratch.drain(..).collect();
                     let mut stalled = false;
-                    for nqe in drained {
+                    // Drained in place: `scratch`, `nsms`, `table` and the
+                    // `port` borrow are disjoint fields, so no per-batch
+                    // Vec is allocated on this hot path.
+                    for nqe in self.scratch.drain(..) {
                         if stalled {
                             // Order must be preserved: once one NQE stalls,
                             // the rest of the batch queues up behind it.
@@ -346,13 +345,13 @@ impl CoreEngine {
         for nsm in self.nsms.values_mut() {
             for end in nsm.ends.iter_mut() {
                 loop {
-                    self.scratch.clear();
                     let n = end.pop_responses(&mut self.scratch, self.batch);
                     if n == 0 {
                         break;
                     }
-                    let drained: Vec<Nqe> = self.scratch.drain(..).collect();
-                    for nqe in drained {
+                    // Drained in place (disjoint field borrows), no
+                    // per-batch allocation.
+                    for nqe in self.scratch.drain(..) {
                         let Some(port) = self.vms.get_mut(&nqe.vm) else {
                             continue;
                         };
@@ -361,8 +360,7 @@ impl CoreEngine {
                         // carry one (Figure 6, step 4).
                         if nqe.aux() != 0 {
                             let key = ConnKey::vm(nqe.vm, nqe.queue_set, nqe.socket);
-                            self.table
-                                .complete(&key, nk_types::SocketId(nqe.aux()));
+                            self.table.complete(&key, nk_types::SocketId(nqe.aux()));
                         }
                         if port.ends[qs].respond(nqe).is_ok() {
                             port.stats.nqes_delivered += 1;
@@ -376,6 +374,14 @@ impl CoreEngine {
             }
         }
         switched
+    }
+}
+
+impl nk_sim::Pollable for CoreEngine {
+    /// One switching round; the host's scheduler repeats this until the
+    /// engine (and everything else) is quiescent.
+    fn poll(&mut self, now_ns: u64) -> usize {
+        CoreEngine::poll(self, now_ns)
     }
 }
 

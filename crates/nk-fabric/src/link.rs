@@ -206,7 +206,10 @@ mod tests {
         }
         let out = link.deliverable(0);
         assert_eq!(out.len(), 5);
-        assert_eq!(out.iter().map(|f| f.payload).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            out.iter().map(|f| f.payload).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
         assert_eq!(link.stats().dropped, 0);
     }
 

@@ -49,7 +49,10 @@ impl<P> VirtualSwitch<P> {
     pub fn attach_with_link(&mut self, addr: u32, link: LinkConfig) -> Port<P> {
         let port = Port::new(addr);
         self.ports.insert(addr, port.clone());
-        self.seed = self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(addr as u64);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(addr as u64);
         self.links.insert(addr, Link::new(link, self.seed));
         port
     }
@@ -102,6 +105,14 @@ impl<P> VirtualSwitch<P> {
     /// Statistics of the egress link towards `addr`.
     pub fn link_stats(&self, addr: u32) -> Option<LinkStats> {
         self.links.get(&addr).map(|l| l.stats())
+    }
+}
+
+impl<P> nk_sim::Pollable for VirtualSwitch<P> {
+    /// One forwarding pass: ingress collection plus delivery of every frame
+    /// whose link latency has elapsed at `now_ns`.
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.step(now_ns)
     }
 }
 

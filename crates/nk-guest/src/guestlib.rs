@@ -331,7 +331,8 @@ impl SocketApi for GuestLib {
         // Free fully consumed chunks and return receive credit to the NSM.
         for (handle, len) in consumed_chunks {
             let _ = region.free(handle);
-            let credit = Nqe::new(OpType::RecvConsumed, vm, qs, sock).with_data(DataHandle::NULL, len as u32);
+            let credit = Nqe::new(OpType::RecvConsumed, vm, qs, sock)
+                .with_data(DataHandle::NULL, len as u32);
             let _ = self.submit(qs, credit);
         }
         if copied > 0 {
@@ -392,7 +393,8 @@ impl SocketApi for GuestLib {
                 continue;
             }
             let ready = s.readiness();
-            let masked = PollEvents(ready.0 & (s.interest.0 | PollEvents::HUP.0 | PollEvents::ERROR.0));
+            let masked =
+                PollEvents(ready.0 & (s.interest.0 | PollEvents::HUP.0 | PollEvents::ERROR.0));
             if !masked.is_empty() {
                 out.push(EpollEvent {
                     socket: *id,
@@ -494,9 +496,7 @@ mod tests {
         let (mut guest, mut resp, _region) = guest_with_responders(1);
         let s = guest.socket().unwrap();
         let _ = pop_request(&mut resp); // SocketCreate
-        guest
-            .connect(s, SockAddr::v4(10, 0, 0, 2, 80))
-            .unwrap();
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
         let connect_req = pop_request(&mut resp).unwrap();
         assert_eq!(connect_req.op, OpType::Connect);
         assert_eq!(connect_req.addr(), SockAddr::v4(10, 0, 0, 2, 80));
@@ -514,8 +514,7 @@ mod tests {
         let _ = pop_request(&mut resp);
         guest.connect(s, SockAddr::v4(10, 0, 0, 2, 81)).unwrap();
         let req = pop_request(&mut resp).unwrap();
-        let comp =
-            Nqe::completion_for(&req, OpResult::Err(NkError::ConnRefused), 0).unwrap();
+        let comp = Nqe::completion_for(&req, OpResult::Err(NkError::ConnRefused), 0).unwrap();
         respond(&mut resp, comp);
         assert!(guest.poll(s).error());
         assert_eq!(guest.recv(s, &mut [0u8; 4]), Err(NkError::ConnRefused));
@@ -528,7 +527,10 @@ mod tests {
         let _ = pop_request(&mut resp);
         guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
         let req = pop_request(&mut resp).unwrap();
-        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        respond(
+            &mut resp,
+            Nqe::completion_for(&req, OpResult::Ok, 0).unwrap(),
+        );
         guest.drive();
 
         let n = guest.send(s, b"payload through hugepages").unwrap();
@@ -558,7 +560,10 @@ mod tests {
         let _ = pop_request(&mut resp);
         guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
         let req = pop_request(&mut resp).unwrap();
-        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        respond(
+            &mut resp,
+            Nqe::completion_for(&req, OpResult::Ok, 0).unwrap(),
+        );
         guest.drive();
 
         assert_eq!(guest.send(s, &[0u8; 64]).unwrap(), 64);
@@ -572,13 +577,16 @@ mod tests {
         let create = pop_request(&mut resp).unwrap();
         guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
         let req = pop_request(&mut resp).unwrap();
-        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        respond(
+            &mut resp,
+            Nqe::completion_for(&req, OpResult::Ok, 0).unwrap(),
+        );
         guest.drive();
 
         // ServiceLib parks received payload in the region and announces it.
         let handle = region.alloc_and_write(b"hello guest").unwrap();
-        let data_nqe = Nqe::new(OpType::DataReceived, VmId(1), create.queue_set, s)
-            .with_data(handle, 11);
+        let data_nqe =
+            Nqe::new(OpType::DataReceived, VmId(1), create.queue_set, s).with_data(handle, 11);
         respond(&mut resp, data_nqe);
 
         assert!(guest.poll(s).readable());
@@ -632,7 +640,10 @@ mod tests {
         let create = pop_request(&mut resp).unwrap();
         guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
         let req = pop_request(&mut resp).unwrap();
-        respond(&mut resp, Nqe::completion_for(&req, OpResult::Ok, 0).unwrap());
+        respond(
+            &mut resp,
+            Nqe::completion_for(&req, OpResult::Ok, 0).unwrap(),
+        );
         guest.drive();
 
         guest
@@ -673,7 +684,10 @@ mod tests {
         while let Some(nqe) = pop_request(&mut resp) {
             seen.insert(nqe.queue_set);
         }
-        assert!(seen.len() >= 3, "sockets pinned to too few queue sets: {seen:?}");
+        assert!(
+            seen.len() >= 3,
+            "sockets pinned to too few queue sets: {seen:?}"
+        );
     }
 
     #[test]

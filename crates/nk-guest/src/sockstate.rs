@@ -92,15 +92,11 @@ impl GuestSocket {
     pub fn readiness(&self) -> PollEvents {
         let mut ev = PollEvents::NONE;
         match self.state {
-            GuestSocketState::Listening => {
-                if !self.accept_queue.is_empty() {
-                    ev |= PollEvents::READABLE;
-                }
+            GuestSocketState::Listening if !self.accept_queue.is_empty() => {
+                ev |= PollEvents::READABLE;
             }
             GuestSocketState::Established | GuestSocketState::PeerClosed => {
-                if self.rx_available() > 0
-                    || matches!(self.state, GuestSocketState::PeerClosed)
-                {
+                if self.rx_available() > 0 || matches!(self.state, GuestSocketState::PeerClosed) {
                     ev |= PollEvents::READABLE;
                 }
                 if matches!(self.state, GuestSocketState::Established)

@@ -1,5 +1,6 @@
 //! Assembling a NetKernel host (and the baseline it is compared against).
 
+use crate::sched::{Pollable, SchedStats, Scheduler};
 use nk_engine::CoreEngine;
 use nk_fabric::link::LinkConfig;
 use nk_fabric::switch::VirtualSwitch;
@@ -14,14 +15,25 @@ use nk_types::{
     HostConfig, NkError, NkResult, NsmId, PollEvents, SockAddr, SocketApi, SocketId, StackKind,
     VmId,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Base IP of NSM vNICs: 10.0.0.x with x = NSM id.
 pub const NSM_IP_BASE: u32 = 0x0A00_0000;
 
 enum NsmInstance {
-    Tcp(Nsm),
-    SharedMem(SharedMemNsm),
+    /// Both variants are boxed: the instances are large (a TCP NSM carries
+    /// a whole stack) and live in a map the host iterates every step.
+    Tcp(Box<Nsm>),
+    SharedMem(Box<SharedMemNsm>),
+}
+
+impl Pollable for NsmInstance {
+    fn poll(&mut self, now_ns: u64) -> usize {
+        match self {
+            NsmInstance::Tcp(n) => Pollable::poll(n.as_mut(), now_ns),
+            NsmInstance::SharedMem(n) => Pollable::poll(n.as_mut(), now_ns),
+        }
+    }
 }
 
 /// A remote endpoint on the fabric (another machine the VMs talk to).
@@ -37,9 +49,10 @@ pub struct NetKernelHost {
     cfg: HostConfig,
     switch: VirtualSwitch<Segment>,
     engine: CoreEngine,
-    guests: HashMap<VmId, GuestLib>,
-    nsms: HashMap<NsmId, NsmInstance>,
-    remotes: HashMap<u32, RemoteHost>,
+    guests: BTreeMap<VmId, GuestLib>,
+    nsms: BTreeMap<NsmId, NsmInstance>,
+    remotes: BTreeMap<u32, RemoteHost>,
+    sched: Scheduler,
     now_ns: u64,
 }
 
@@ -49,7 +62,7 @@ impl NetKernelHost {
         cfg.validate()?;
         let mut switch = VirtualSwitch::new();
         let mut engine = CoreEngine::new(cfg.isolation.clone(), cfg.batch_size);
-        let mut nsms = HashMap::new();
+        let mut nsms = BTreeMap::new();
 
         // Bring up the NSMs first so VMs can be mapped onto them.
         for nsm_cfg in &cfg.nsms {
@@ -63,28 +76,29 @@ impl NetKernelHost {
             engine.register_nsm(nsm_cfg.id, engine_ends)?;
             let device = NkDevice::new(service_ends, WakeState::new());
             let instance = match nsm_cfg.stack {
-                StackKind::SharedMem => NsmInstance::SharedMem(SharedMemNsm::new(
+                StackKind::SharedMem => NsmInstance::SharedMem(Box::new(SharedMemNsm::new(
                     nsm_cfg.id,
                     device,
                     cfg.batch_size,
-                )),
+                ))),
                 kind => {
                     let ip = NSM_IP_BASE + nsm_cfg.id.raw() as u32;
                     let port = switch.attach_with_link(
                         ip,
                         LinkConfig::ideal().with_rate_gbps(nsm_cfg.nic_rate_gbps),
                     );
-                    let stack_cfg = StackConfig::new(ip).with_cc(CcAlgorithm::from_kind(nsm_cfg.cc));
+                    let stack_cfg =
+                        StackConfig::new(ip).with_cc(CcAlgorithm::from_kind(nsm_cfg.cc));
                     let stack = TcpStack::new(stack_cfg, port);
                     let service = ServiceLib::new(nsm_cfg.id, device, cfg.batch_size);
-                    NsmInstance::Tcp(Nsm::new(nsm_cfg.id, kind, service, stack))
+                    NsmInstance::Tcp(Box::new(Nsm::new(nsm_cfg.id, kind, service, stack)))
                 }
             };
             nsms.insert(nsm_cfg.id, instance);
         }
 
         // Bring up the VMs.
-        let mut guests = HashMap::new();
+        let mut guests = BTreeMap::new();
         for vm_cfg in &cfg.vms {
             let nsm_id = cfg.nsm_for_vm(vm_cfg.id)?;
             let mut guest_ends = Vec::new();
@@ -113,13 +127,15 @@ impl NetKernelHost {
             guests.insert(vm_cfg.id, GuestLib::new(vm_cfg.id, device, region));
         }
 
+        let sched = Scheduler::new(cfg.max_poll_rounds);
         Ok(NetKernelHost {
             cfg,
             switch,
             engine,
             guests,
             nsms,
-            remotes: HashMap::new(),
+            remotes: BTreeMap::new(),
+            sched,
             now_ns: 0,
         })
     }
@@ -179,29 +195,42 @@ impl NetKernelHost {
         }
     }
 
-    /// Advance the host by `dt_ns`: switch NQEs, run every NSM and remote
-    /// stack, and move frames across the fabric. Returns the amount of work
-    /// (NQEs + segments) processed.
+    /// Scheduler behaviour counters (rounds per step, quiescent exits,
+    /// round-limit hits).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
+    }
+
+    /// Advance the host by `dt_ns`: every datapath component — CoreEngine,
+    /// the NSMs, remote stacks and the virtual switch — is driven through
+    /// the [`Pollable`] scheduler until a full round reports no work (or the
+    /// configured round bound is hit), so request → NSM → response round
+    /// trips complete within one step regardless of queue depth. Returns the
+    /// amount of work (NQEs + segments + frames) processed.
     pub fn step(&mut self, dt_ns: u64) -> usize {
         self.now_ns += dt_ns;
         let now = self.now_ns;
-        let mut work = 0;
-        // Two passes per step so request → NSM → response round trips
-        // complete within one host step when queues are short.
-        for _ in 0..2 {
-            work += self.engine.poll(now);
-            for nsm in self.nsms.values_mut() {
-                work += match nsm {
-                    NsmInstance::Tcp(n) => n.tick(now),
-                    NsmInstance::SharedMem(n) => n.tick(now),
-                };
+        // Split borrows so the closure can poll the components while the
+        // scheduler (also a field) runs the drain loop — no per-step
+        // allocation of a trait-object slice on this hot path.
+        let NetKernelHost {
+            engine,
+            nsms,
+            remotes,
+            switch,
+            sched,
+            ..
+        } = self;
+        sched.drain_rounds(now, |now| {
+            let mut work = Pollable::poll(engine, now);
+            for nsm in nsms.values_mut() {
+                work += Pollable::poll(nsm, now);
             }
-            for remote in self.remotes.values_mut() {
-                work += remote.stack.tick(now);
+            for remote in remotes.values_mut() {
+                work += Pollable::poll(&mut remote.stack, now);
             }
-            work += self.switch.step(now);
-        }
-        work
+            work + Pollable::poll(switch, now)
+        })
     }
 
     /// Step repeatedly with a fixed increment.
@@ -251,6 +280,12 @@ impl BaselineVm {
     /// Direct access to the in-guest stack.
     pub fn stack_mut(&mut self) -> &mut TcpStack {
         &mut self.stack
+    }
+}
+
+impl Pollable for BaselineVm {
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.step(now_ns)
     }
 }
 
@@ -493,6 +528,96 @@ mod tests {
     #[test]
     fn invalid_config_is_rejected() {
         let cfg = HostConfig::new().with_vm(VmConfig::new(VmId(1)).with_vcpus(0));
+        assert!(NetKernelHost::new(cfg).is_err());
+    }
+
+    /// A deep backlog of requests drains within a single host step: the
+    /// scheduler keeps polling until the datapath is quiescent instead of
+    /// sweeping a fixed number of passes.
+    #[test]
+    fn deep_queue_round_trips_complete_in_one_step() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "connect did not complete");
+
+        // Pile up a deep backlog before letting the host move at all.
+        let payload = [0x5Au8; 16];
+        for _ in 0..32 {
+            assert_eq!(guest.send(s, &payload).unwrap(), payload.len());
+        }
+        host.step(100_000);
+
+        // Everything crossed guest → engine → NSM → switch → remote in that
+        // one step.
+        let remote = host.remote_mut(REMOTE_IP).unwrap();
+        let (conn, _) = remote.accept(ls).unwrap();
+        let mut buf = [0u8; 1024];
+        let mut received = 0;
+        while let Ok(n) = remote.recv(conn, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            received += n;
+        }
+        assert_eq!(received, 32 * payload.len());
+    }
+
+    /// Every step either reaches quiescence or hits the round bound, and the
+    /// default configuration reaches quiescence on idle steps.
+    #[test]
+    fn scheduler_accounts_for_every_step() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        host.run(10, 100_000);
+        let stats = host.sched_stats();
+        assert_eq!(stats.steps, 10);
+        assert_eq!(stats.quiescent_exits + stats.round_limit_hits, stats.steps);
+        assert!(
+            stats.quiescent_exits > 0,
+            "idle steps must exit on quiescence, not the round bound"
+        );
+    }
+
+    /// A round bound of 1 degrades gracefully: progress is slower (one poll
+    /// round per step) but the datapath still works end to end.
+    #[test]
+    fn single_round_bound_still_serves_traffic() {
+        let nsm = NsmConfig::kernel(NsmId(1));
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(nsm)
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+            .with_max_poll_rounds(1);
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(60, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "connect did not complete");
+        assert_eq!(host.sched_stats().rounds, host.sched_stats().steps);
+    }
+
+    #[test]
+    fn zero_poll_rounds_is_rejected() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+            .with_max_poll_rounds(0);
         assert!(NetKernelHost::new(cfg).is_err());
     }
 

@@ -11,14 +11,18 @@
 //!   guest, exposed through the same [`nk_types::SocketApi`] so identical
 //!   application code runs on both.
 //!
-//! [`model`] contains the calibrated performance model used to regenerate the
-//! paper's throughput / RPS / CPU-overhead figures, and [`metrics`] the
-//! throughput and latency meters used by experiments.
+//! [`sched`] is the drain-until-quiescent scheduler driving every datapath
+//! component through the uniform [`nk_sim::Pollable`] interface, [`model`]
+//! contains the calibrated performance model used to regenerate the paper's
+//! throughput / RPS / CPU-overhead figures, and [`metrics`] the throughput
+//! and latency meters used by experiments.
 
 pub mod host;
 pub mod metrics;
 pub mod model;
+pub mod sched;
 
 pub use host::{BaselineVm, NetKernelHost, RemoteHost};
 pub use metrics::{LatencyMeter, ThroughputMeter};
 pub use model::{PerfModel, TrafficDirection};
+pub use sched::{SchedStats, Scheduler};

@@ -85,6 +85,7 @@ impl PerfModel {
     ///   machinery, §4.5) is interposed;
     /// * `nsm_count` — number of NSMs serving the VM (Table 4); each NSM gets
     ///   `stack_cores` cores and scaling across NSMs is independent.
+    #[allow(clippy::too_many_arguments)]
     pub fn bulk_throughput_gbps(
         &self,
         stack: StackKind,
@@ -102,17 +103,16 @@ impl PerfModel {
         // on the VM's core) but pays the extra hugepage copy instead (§7.8).
         let mut stack_cost = costs.cost_one(msg);
         if netkernel {
-            stack_cost = stack_cost - self.costs.guest_syscall
-                - self.costs.copy_per_byte * msg as f64
-                + self.costs.nsm_copy(msg);
+            stack_cost =
+                stack_cost - self.costs.guest_syscall - self.costs.copy_per_byte * msg as f64
+                    + self.costs.nsm_copy(msg);
             if stack_cost < 1.0 {
                 stack_cost = 1.0;
             }
         }
         let serial = self.serial_fraction(stack, dir);
         let speedup = CostModel::speedup(stack_cores, serial);
-        let per_nsm_bytes_per_sec =
-            self.cycles_per_sec as f64 / stack_cost * msg as f64 * speedup;
+        let per_nsm_bytes_per_sec = self.cycles_per_sec as f64 / stack_cost * msg as f64 * speedup;
         let stack_cap_gbps = per_nsm_bytes_per_sec * 8.0 / 1e9 * nsm_count.max(1) as f64;
 
         // The guest side of the NetKernel path (syscall, NQE translation,
@@ -128,8 +128,8 @@ impl PerfModel {
         // Per-stream serialisation: a single TCP stream cannot saturate the
         // aggregate capacity (Figure 13 vs 15).
         let single = self.single_stream_factor(stack, dir);
-        let base_single_core = self.cycles_per_sec as f64 / costs.cost_one(msg) * msg as f64 * 8.0
-            / 1e9;
+        let base_single_core =
+            self.cycles_per_sec as f64 / costs.cost_one(msg) * msg as f64 * 8.0 / 1e9;
         let stream_cap = streams as f64 * single * base_single_core;
 
         stack_cap_gbps
@@ -179,7 +179,8 @@ impl PerfModel {
         let msg = msg_size as u64;
         let baseline = self.costs.kernel_tx.cost_one(msg);
         let netkernel = self.costs.guest_data_path(msg)
-            + (self.costs.kernel_tx.cost_one(msg) - self.costs.guest_syscall
+            + (self.costs.kernel_tx.cost_one(msg)
+                - self.costs.guest_syscall
                 - self.costs.copy_per_byte * msg as f64)
             + self.costs.nsm_copy(msg)
             + 2.0 * self.costs.nqe_translate;
@@ -234,8 +235,15 @@ mod tests {
     #[test]
     fn single_stream_send_and_receive_match_figure_13_14_shape() {
         let m = m();
-        let send =
-            m.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Send, 16384, 1, 1, true, 1);
+        let send = m.bulk_throughput_gbps(
+            StackKind::Kernel,
+            TrafficDirection::Send,
+            16384,
+            1,
+            1,
+            true,
+            1,
+        );
         let recv = m.bulk_throughput_gbps(
             StackKind::Kernel,
             TrafficDirection::Receive,
@@ -265,10 +273,8 @@ mod tests {
         let m = m();
         for dir in [TrafficDirection::Send, TrafficDirection::Receive] {
             for msg in [4096usize, 8192, 16384] {
-                let nk =
-                    m.bulk_throughput_gbps(StackKind::Kernel, dir, msg, 8, 1, true, 1);
-                let base =
-                    m.bulk_throughput_gbps(StackKind::Kernel, dir, msg, 8, 1, false, 1);
+                let nk = m.bulk_throughput_gbps(StackKind::Kernel, dir, msg, 8, 1, true, 1);
+                let base = m.bulk_throughput_gbps(StackKind::Kernel, dir, msg, 8, 1, false, 1);
                 let ratio = nk / base;
                 assert!(
                     ratio > 0.85 && ratio < 1.2,
@@ -282,7 +288,15 @@ mod tests {
     fn send_reaches_line_rate_with_three_cores() {
         let m = m();
         let at = |cores| {
-            m.bulk_throughput_gbps(StackKind::Kernel, TrafficDirection::Send, 8192, 8, cores, true, 1)
+            m.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Send,
+                8192,
+                8,
+                cores,
+                true,
+                1,
+            )
         };
         assert!(at(1) < 60.0);
         assert!(at(2) > 75.0 && at(2) < 100.0);

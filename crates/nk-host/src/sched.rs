@@ -1,0 +1,165 @@
+//! The drain-until-quiescent scheduler driving the host datapath.
+//!
+//! The host used to advance its components with a hard-coded two-pass sweep
+//! (engine → NSMs → remotes → switch, twice), which capped how much of a
+//! request → NSM → response round trip could complete in one step and baked
+//! scheduling policy into the host layer. The scheduler replaces that sweep:
+//! every component is a [`Pollable`], and each host step polls all of them
+//! in rounds until a full round reports no work (quiescence) or the
+//! configured round bound is hit. Round trips therefore complete within one
+//! step regardless of queue depth, while the bound keeps a misbehaving
+//! component from stalling virtual time.
+
+pub use nk_sim::poll::{poll_round, Pollable};
+
+/// Cumulative scheduler behaviour counters, for observability and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Host steps executed.
+    pub steps: u64,
+    /// Scheduler rounds executed across all steps.
+    pub rounds: u64,
+    /// Steps that ended early because a full round reported no work.
+    pub quiescent_exits: u64,
+    /// Steps whose final allowed round still reported work. Quiescence was
+    /// never observed in such a step — the backlog may have drained exactly
+    /// on the last round, or work may remain for the next step.
+    pub round_limit_hits: u64,
+    /// Total work items (NQEs, segments, frames) reported by components.
+    pub work_items: u64,
+}
+
+/// Polls a set of [`Pollable`] components until quiescence, within a bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Scheduler {
+    max_rounds: usize,
+    stats: SchedStats,
+}
+
+impl Scheduler {
+    /// A scheduler running at most `max_rounds` rounds per step (clamped to
+    /// at least one).
+    pub fn new(max_rounds: usize) -> Self {
+        Scheduler {
+            max_rounds: max_rounds.max(1),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The configured per-step round bound.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// Behaviour counters accumulated so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Drive `parts` at virtual time `now_ns` until a full round reports no
+    /// work or the round bound is reached. Returns the total work done.
+    pub fn drain(&mut self, parts: &mut [&mut dyn Pollable], now_ns: u64) -> usize {
+        self.drain_rounds(now_ns, |now| poll_round(parts, now))
+    }
+
+    /// Like [`Scheduler::drain`], but the caller supplies the round itself:
+    /// `round(now_ns)` must poll every component once and return the work
+    /// total. This lets a host with statically known components run the
+    /// drain loop without building a slice of trait objects per step.
+    pub fn drain_rounds(&mut self, now_ns: u64, mut round: impl FnMut(u64) -> usize) -> usize {
+        self.stats.steps += 1;
+        let mut total = 0;
+        let mut quiescent = false;
+        for _ in 0..self.max_rounds {
+            let work = round(now_ns);
+            self.stats.rounds += 1;
+            total += work;
+            if work == 0 {
+                quiescent = true;
+                break;
+            }
+        }
+        if quiescent {
+            self.stats.quiescent_exits += 1;
+        } else {
+            self.stats.round_limit_hits += 1;
+        }
+        self.stats.work_items += total as u64;
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reports `work` items once per distinct poll instant, mimicking a
+    /// component that has a fixed amount of queued work per step.
+    struct OneShot {
+        work: usize,
+        last_polled: Option<u64>,
+    }
+
+    impl OneShot {
+        fn new(work: usize) -> Self {
+            OneShot {
+                work,
+                last_polled: None,
+            }
+        }
+    }
+
+    impl Pollable for OneShot {
+        fn poll(&mut self, now_ns: u64) -> usize {
+            if self.last_polled == Some(now_ns) {
+                0
+            } else {
+                self.last_polled = Some(now_ns);
+                self.work
+            }
+        }
+    }
+
+    /// Always reports work: the round bound must stop it.
+    struct Chatterbox;
+
+    impl Pollable for Chatterbox {
+        fn poll(&mut self, _now_ns: u64) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn drain_stops_at_quiescence() {
+        let mut a = OneShot::new(3);
+        let mut b = OneShot::new(2);
+        let mut sched = Scheduler::new(16);
+        let mut parts: Vec<&mut dyn Pollable> = vec![&mut a, &mut b];
+        assert_eq!(sched.drain(&mut parts, 100), 5);
+        // One working round plus the quiescent round that ended the step.
+        assert_eq!(sched.stats().rounds, 2);
+        assert_eq!(sched.stats().quiescent_exits, 1);
+        assert_eq!(sched.stats().round_limit_hits, 0);
+    }
+
+    #[test]
+    fn drain_is_bounded_for_always_busy_components() {
+        let mut noisy = Chatterbox;
+        let mut sched = Scheduler::new(4);
+        let mut parts: Vec<&mut dyn Pollable> = vec![&mut noisy];
+        assert_eq!(sched.drain(&mut parts, 0), 4);
+        assert_eq!(sched.stats().rounds, 4);
+        assert_eq!(sched.stats().round_limit_hits, 1);
+        assert_eq!(sched.stats().quiescent_exits, 0);
+    }
+
+    #[test]
+    fn zero_round_bound_is_clamped_to_one() {
+        let mut sched = Scheduler::new(0);
+        assert_eq!(sched.max_rounds(), 1);
+        let mut parts: Vec<&mut dyn Pollable> = Vec::new();
+        // An empty component set is immediately quiescent.
+        assert_eq!(sched.drain(&mut parts, 0), 0);
+        assert_eq!(sched.stats().quiescent_exits, 1);
+    }
+}

@@ -135,7 +135,11 @@ mod tests {
         let before = cc.cwnd() as f64;
         cc.on_fast_retransmit(now);
         let after = cc.cwnd() as f64;
-        assert!((after / before - BETA).abs() < 0.05, "ratio {}", after / before);
+        assert!(
+            (after / before - BETA).abs() < 0.05,
+            "ratio {}",
+            after / before
+        );
     }
 
     #[test]

@@ -123,7 +123,11 @@ mod tests {
                 cc.on_ack(MSS, 100_000, false, now);
             }
             let grown = cc.cwnd();
-            assert!(grown > initial, "{} did not grow: {initial} -> {grown}", cc.name());
+            assert!(
+                grown > initial,
+                "{} did not grow: {initial} -> {grown}",
+                cc.name()
+            );
             cc.on_timeout(now);
             assert!(
                 cc.cwnd() < grown,

@@ -373,15 +373,13 @@ impl TcpConnection {
                 }
                 return;
             }
-            ConnState::SynReceived => {
-                if seg.flags.ack && seg.ack == self.snd_nxt {
-                    self.snd_una = seg.ack;
-                    self.snd_wnd = seg.window.max(MSS as u32);
-                    self.state = ConnState::Established;
-                    self.rto_deadline = None;
-                }
-                // Fall through: the ACK may carry data.
+            ConnState::SynReceived if seg.flags.ack && seg.ack == self.snd_nxt => {
+                self.snd_una = seg.ack;
+                self.snd_wnd = seg.window.max(MSS as u32);
+                self.state = ConnState::Established;
+                self.rto_deadline = None;
             }
+            // Fall through: the ACK may carry data.
             ConnState::TimeWait | ConnState::Closed => {
                 return;
             }
@@ -417,7 +415,8 @@ impl TcpConnection {
             self.stats.bytes_acked += data_acked as u64;
             self.take_rtt_sample(ack, now_ns);
             let rtt = self.srtt_ns.unwrap_or(0);
-            self.cc.on_ack(data_acked.max(1), rtt, seg.flags.ece, now_ns);
+            self.cc
+                .on_ack(data_acked.max(1), rtt, seg.flags.ece, now_ns);
 
             // Re-arm or clear the retransmission timer.
             if self.snd_una == self.snd_nxt {
@@ -495,10 +494,7 @@ impl TcpConnection {
     }
 
     fn drain_ooo(&mut self) {
-        loop {
-            let Some((&seq, _)) = self.ooo.iter().next() else {
-                break;
-            };
+        while let Some((&seq, _)) = self.ooo.iter().next() {
             if seq_gt(seq, self.rcv_nxt) {
                 break;
             }
@@ -707,7 +703,8 @@ impl TcpConnection {
     }
 
     fn on_rto(&mut self, now_ns: u64) {
-        if self.snd_una == self.snd_nxt && !matches!(self.state, ConnState::SynSent | ConnState::SynReceived)
+        if self.snd_una == self.snd_nxt
+            && !matches!(self.state, ConnState::SynSent | ConnState::SynReceived)
         {
             self.rto_deadline = None;
             return;
@@ -866,7 +863,11 @@ mod tests {
             s.on_segment(seg, 1_000);
         }
         let acks = s.poll_transmit(1_000);
-        assert!(acks.len() >= 3, "expected >=3 duplicate ACKs, got {}", acks.len());
+        assert!(
+            acks.len() >= 3,
+            "expected >=3 duplicate ACKs, got {}",
+            acks.len()
+        );
         assert!(acks.iter().all(|a| a.ack == segs[0].seq));
         for ack in &acks {
             c.on_segment(ack, 2_000);
@@ -874,7 +875,9 @@ mod tests {
         assert_eq!(c.stats().fast_retransmits, 1, "fast retransmit must fire");
         // The retransmission fills the hole without waiting for the RTO.
         let out = c.poll_transmit(2_500);
-        assert!(out.iter().any(|seg| seg.seq == segs[0].seq && !seg.payload.is_empty()));
+        assert!(out
+            .iter()
+            .any(|seg| seg.seq == segs[0].seq && !seg.payload.is_empty()));
         for seg in &out {
             s.on_segment(seg, 2_500);
         }
@@ -1004,7 +1007,7 @@ mod tests {
         }
         assert!(c.srtt_ns.is_some());
         let srtt = c.srtt_ns.unwrap();
-        assert!(srtt >= 4_000_000 && srtt <= 6_000_000, "srtt {srtt}");
+        assert!((4_000_000..=6_000_000).contains(&srtt), "srtt {srtt}");
         assert!(c.rto_ns >= MIN_RTO_NS);
     }
 

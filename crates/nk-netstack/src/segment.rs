@@ -120,9 +120,7 @@ impl Segment {
     /// Sequence space consumed by this segment (payload plus one for SYN and
     /// one for FIN).
     pub fn seq_len(&self) -> u32 {
-        self.payload.len() as u32
-            + u32::from(self.flags.syn)
-            + u32::from(self.flags.fin)
+        self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
     /// The sequence number immediately after this segment.

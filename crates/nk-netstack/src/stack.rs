@@ -205,7 +205,10 @@ impl TcpStack {
         // SO_REUSEPORT on either side.
         let reuse_requested = matches!(
             self.sockets.get(&sock),
-            Some(SocketEntry::Idle { reuseport: true, .. })
+            Some(SocketEntry::Idle {
+                reuseport: true,
+                ..
+            })
         );
         if let Some(existing) = self.listeners.get(&addr.port) {
             if !existing.is_empty() && !reuse_requested {
@@ -226,7 +229,9 @@ impl TcpStack {
     pub fn listen(&mut self, sock: SocketId, backlog: u32) -> NkResult<()> {
         let entry = self.sockets.get_mut(&sock).ok_or(NkError::BadSocket)?;
         match entry {
-            SocketEntry::Idle { bound: Some(addr), .. } => {
+            SocketEntry::Idle {
+                bound: Some(addr), ..
+            } => {
                 let local = *addr;
                 *entry = SocketEntry::Listener {
                     local,
@@ -509,9 +514,11 @@ impl TcpStack {
     fn handle_syn(&mut self, listener_id: SocketId, syn: &Segment, now_ns: u64) {
         // Enforce the backlog across embryonic + ready connections.
         let (local, backlog, ready_len) = match self.sockets.get(&listener_id) {
-            Some(SocketEntry::Listener { local, backlog, ready }) => {
-                (*local, *backlog, ready.len())
-            }
+            Some(SocketEntry::Listener {
+                local,
+                backlog,
+                ready,
+            }) => (*local, *backlog, ready.len()),
             _ => return,
         };
         let embryonic_count = self
@@ -642,6 +649,14 @@ impl TcpStack {
                 self.was_writable.remove(&id);
             }
         }
+    }
+}
+
+impl nk_sim::Pollable for TcpStack {
+    /// Protocol work only. The inherent `TcpStack::poll(sock)` readiness
+    /// query is unrelated; this is the scheduler-facing entry point.
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.tick(now_ns)
     }
 }
 
@@ -795,7 +810,10 @@ mod tests {
         assert!(events.contains(&StackEvent::Readable(conn)), "{events:?}");
 
         let client_events = w.client.take_events();
-        assert!(client_events.contains(&StackEvent::Connected(cs)), "{client_events:?}");
+        assert!(
+            client_events.contains(&StackEvent::Connected(cs)),
+            "{client_events:?}"
+        );
     }
 
     #[test]
@@ -829,7 +847,10 @@ mod tests {
             accepted += n;
         }
         assert_eq!(accepted, 16);
-        assert!(busy_listeners >= 3, "connections concentrated on {busy_listeners} listeners");
+        assert!(
+            busy_listeners >= 3,
+            "connections concentrated on {busy_listeners} listeners"
+        );
     }
 
     #[test]
@@ -839,7 +860,10 @@ mod tests {
         w.server.bind(a, SockAddr::new(0, 80)).unwrap();
         w.server.listen(a, 8).unwrap();
         let b = w.server.socket();
-        assert_eq!(w.server.bind(b, SockAddr::new(0, 80)), Err(NkError::AddrInUse));
+        assert_eq!(
+            w.server.bind(b, SockAddr::new(0, 80)),
+            Err(NkError::AddrInUse)
+        );
     }
 
     #[test]
@@ -859,7 +883,9 @@ mod tests {
         assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 10);
         assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 0, "EOF expected");
         let events = w.server.take_events();
-        assert!(events.iter().any(|e| matches!(e, StackEvent::PeerClosed(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, StackEvent::PeerClosed(_))));
     }
 
     #[test]

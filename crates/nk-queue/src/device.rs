@@ -265,6 +265,32 @@ mod tests {
         assert!(!w.is_armed());
     }
 
+    /// After a wake-up is consumed the device is back in polling mode: a
+    /// further wake without re-arming must not deliver another interrupt.
+    /// CoreEngine relies on this to count at most one wake-up per sleep.
+    #[test]
+    fn wake_after_take_requires_rearm() {
+        let w = WakeState::new();
+        w.arm();
+        assert!(w.wake());
+        assert!(w.take_wake());
+        assert!(!w.wake(), "woke a device that never re-armed");
+        w.arm();
+        assert!(w.wake(), "re-armed device must be wakeable again");
+    }
+
+    /// Resuming polling from the armed state discards the pending arm: the
+    /// device found work on its own, so no interrupt should fire afterwards.
+    #[test]
+    fn resume_polling_discards_armed_state() {
+        let w = WakeState::new();
+        w.arm();
+        w.resume_polling();
+        assert!(!w.is_armed());
+        assert!(!w.wake());
+        assert!(!w.take_wake());
+    }
+
     #[test]
     fn wake_state_is_shared_between_clones() {
         let device_side = WakeState::new();

@@ -196,7 +196,10 @@ mod tests {
         assert_eq!(QueueKind::for_op(OpType::Send), QueueKind::Send);
         assert_eq!(QueueKind::for_op(OpType::Connect), QueueKind::Job);
         assert_eq!(QueueKind::for_op(OpType::DataReceived), QueueKind::Receive);
-        assert_eq!(QueueKind::for_op(OpType::SendComplete), QueueKind::Completion);
+        assert_eq!(
+            QueueKind::for_op(OpType::SendComplete),
+            QueueKind::Completion
+        );
     }
 
     #[test]
@@ -257,7 +260,10 @@ mod tests {
         let (mut requester, _responder) = queue_set_pair(2);
         requester.submit(req(OpType::Connect)).unwrap();
         requester.submit(req(OpType::Close)).unwrap();
-        assert_eq!(requester.submit(req(OpType::Accept)), Err(NkError::QueueFull));
+        assert_eq!(
+            requester.submit(req(OpType::Accept)),
+            Err(NkError::QueueFull)
+        );
         assert_eq!(requester.job_free(), 0);
         assert_eq!(requester.send_free(), 2);
     }

@@ -304,6 +304,56 @@ mod tests {
         assert_eq!(rx.len(), 1);
     }
 
+    /// The tightest ring: every push wraps. Exercises the cached-index
+    /// refresh on both sides every single operation.
+    #[test]
+    fn capacity_one_ring_alternates() {
+        let (mut tx, mut rx) = channel(1);
+        for i in 0..100u32 {
+            tx.push(i).unwrap();
+            assert!(tx.is_full());
+            assert_eq!(tx.push(u32::MAX), Err(u32::MAX));
+            assert_eq!(rx.pop(), Some(i));
+            assert_eq!(rx.pop(), None);
+        }
+    }
+
+    /// Backpressure releases exactly one slot per pop when the ring is full,
+    /// across the index wrap boundary: the producer's stale cached head must
+    /// be refreshed on the looks-full path, never sooner.
+    #[test]
+    fn backpressure_releases_one_slot_per_pop_at_wrap() {
+        let (mut tx, mut rx) = channel(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        // 20 iterations walk the head/tail pair well past one wrap.
+        for i in 4..24u32 {
+            assert_eq!(tx.push(999), Err(999), "ring must be full before pop");
+            assert_eq!(rx.pop(), Some(i - 4));
+            tx.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_batch(&mut out, 10), 4);
+        assert_eq!(out, vec![20, 21, 22, 23]);
+    }
+
+    /// Alternating full-drain cycles leave both sides with maximally stale
+    /// caches; every cycle must still move exactly `capacity` elements.
+    #[test]
+    fn repeated_fill_drain_cycles_with_stale_caches() {
+        let (mut tx, mut rx) = channel(8);
+        for round in 0..50u32 {
+            assert_eq!(tx.push_batch((0..100).map(|i| round * 100 + i)), 8);
+            assert!(tx.is_full());
+            let mut out = Vec::new();
+            assert_eq!(rx.pop_batch(&mut out, 100), 8);
+            assert_eq!(out[0], round * 100);
+            assert_eq!(out[7], round * 100 + 7);
+            assert!(rx.is_empty());
+        }
+    }
+
     #[test]
     fn cross_thread_stress_preserves_order_and_count() {
         const N: u64 = 200_000;

@@ -67,6 +67,9 @@ pub struct ServiceLib {
     next_guest_sock: u32,
     batch: usize,
     stats: ServiceStats,
+    /// Reusable NQE drain buffer (swapped out during a tick because the
+    /// request handlers need `&mut self`).
+    scratch: Vec<Nqe>,
 }
 
 impl ServiceLib {
@@ -84,6 +87,7 @@ impl ServiceLib {
             next_guest_sock: NSM_SOCKET_ID_BASE,
             batch: batch.max(1),
             stats: ServiceStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -126,10 +130,9 @@ impl ServiceLib {
     pub fn process_requests(&mut self, stack: &mut TcpStack, now_ns: u64) -> usize {
         let mut handled = 0;
         let sets = self.device.queue_sets();
-        let mut buf = Vec::new();
+        let mut buf = std::mem::take(&mut self.scratch);
         for qs in 0..sets {
             loop {
-                buf.clear();
                 let n = match self.device.queue_set(qs) {
                     Some(end) => end.pop_requests(&mut buf, self.batch),
                     None => 0,
@@ -137,13 +140,13 @@ impl ServiceLib {
                 if n == 0 {
                     break;
                 }
-                let drained: Vec<Nqe> = buf.drain(..).collect();
-                for nqe in drained {
+                for nqe in buf.drain(..) {
                     self.handle_request(stack, qs, nqe, now_ns);
                     handled += 1;
                 }
             }
         }
+        self.scratch = buf;
         handled
     }
 
@@ -166,9 +169,7 @@ impl ServiceLib {
                 self.reply(nsm_qs, &nqe, Ok(()), sock.raw());
             }
             OpType::Bind => {
-                let res = self
-                    .stack_sock(key)
-                    .and_then(|s| stack.bind(s, nqe.addr()));
+                let res = self.stack_sock(key).and_then(|s| stack.bind(s, nqe.addr()));
                 self.reply(nsm_qs, &nqe, res, 0);
             }
             OpType::Listen => {
@@ -180,10 +181,7 @@ impl ServiceLib {
             OpType::Connect => {
                 let res = match self.stack_sock(key) {
                     Ok(s) => {
-                        let cc = self
-                            .fair_share
-                            .as_mut()
-                            .map(|reg| reg.cc_for(nqe.vm));
+                        let cc = self.fair_share.as_mut().map(|reg| reg.cc_for(nqe.vm));
                         stack.connect_with_cc(s, nqe.addr(), now_ns, cc)
                     }
                     Err(e) => Err(e),
@@ -225,7 +223,11 @@ impl ServiceLib {
             }
             OpType::SetSockOpt => {
                 let res = self.stack_sock(key).and_then(|s| {
-                    stack.set_sockopt(s, op_data::sockopt_opt(nqe.op_data), op_data::sockopt_value(nqe.op_data))
+                    stack.set_sockopt(
+                        s,
+                        op_data::sockopt_opt(nqe.op_data),
+                        op_data::sockopt_value(nqe.op_data),
+                    )
                 });
                 self.reply(nsm_qs, &nqe, res, 0);
             }
@@ -347,15 +349,13 @@ impl ServiceLib {
                     if let Some(ctx) = self.ctx.get(&sock).copied() {
                         let mut comp =
                             Nqe::new(OpType::ConnectComplete, ctx.vm, ctx.vm_qs, ctx.guest_sock);
-                        comp.op_data =
-                            op_data::pack(OpResult::Err(NkError::ConnRefused), 0);
+                        comp.op_data = op_data::pack(OpResult::Err(NkError::ConnRefused), 0);
                         self.respond(ctx.nsm_qs, comp);
                     }
                 }
                 StackEvent::PeerClosed(sock) => {
                     if let Some(ctx) = self.ctx.get(&sock).copied() {
-                        let ev =
-                            Nqe::new(OpType::PeerClosed, ctx.vm, ctx.vm_qs, ctx.guest_sock);
+                        let ev = Nqe::new(OpType::PeerClosed, ctx.vm, ctx.vm_qs, ctx.guest_sock);
                         self.respond(ctx.nsm_qs, ev);
                     }
                 }
@@ -392,8 +392,7 @@ impl ServiceLib {
     }
 
     fn pump_receive(&mut self, stack: &mut TcpStack) {
-        let socks: Vec<(SocketId, ConnCtx)> =
-            self.ctx.iter().map(|(s, c)| (*s, *c)).collect();
+        let socks: Vec<(SocketId, ConnCtx)> = self.ctx.iter().map(|(s, c)| (*s, *c)).collect();
         for (sock, ctx) in socks {
             let Some(region) = self.regions.get(&ctx.vm).cloned() else {
                 continue;
@@ -495,6 +494,12 @@ impl Nsm {
         work += self.stack.tick(now_ns);
         self.service.process_stack(&mut self.stack, now_ns);
         work
+    }
+}
+
+impl nk_sim::Pollable for Nsm {
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.tick(now_ns)
     }
 }
 
@@ -601,7 +606,11 @@ mod tests {
         let accepted: Vec<&Nqe> = resp.iter().filter(|n| n.op == OpType::Accepted).collect();
         assert_eq!(accepted.len(), 1);
         assert!(accepted[0].aux() >= NSM_SOCKET_ID_BASE);
-        assert_eq!(accepted[0].socket, SocketId(1), "event targets the listener");
+        assert_eq!(
+            accepted[0].socket,
+            SocketId(1),
+            "event targets the listener"
+        );
         assert_eq!(w.nsm.service_stats().accepted, 1);
     }
 
@@ -647,7 +656,10 @@ mod tests {
 
         // The guest is notified of received data living in the hugepages.
         let resp = w.responses();
-        let data: Vec<&Nqe> = resp.iter().filter(|n| n.op == OpType::DataReceived).collect();
+        let data: Vec<&Nqe> = resp
+            .iter()
+            .filter(|n| n.op == OpType::DataReceived)
+            .collect();
         assert_eq!(data.len(), 1);
         let mut out = vec![0u8; data[0].size as usize];
         w.region.read(data[0].data, &mut out).unwrap();

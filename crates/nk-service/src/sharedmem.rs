@@ -48,6 +48,9 @@ pub struct SharedMemNsm {
     next_guest_sock: u32,
     batch: usize,
     stats: SharedMemStats,
+    /// Reusable NQE drain buffer (swapped out during a tick because the
+    /// request handlers need `&mut self`).
+    scratch: Vec<Nqe>,
 }
 
 impl SharedMemNsm {
@@ -62,6 +65,7 @@ impl SharedMemNsm {
             next_guest_sock: NSM_SOCKET_ID_BASE,
             batch: batch.max(1),
             stats: SharedMemStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -96,10 +100,9 @@ impl SharedMemNsm {
     pub fn tick(&mut self, _now_ns: u64) -> usize {
         let mut handled = 0;
         let sets = self.device.queue_sets();
-        let mut buf = Vec::new();
+        let mut buf = std::mem::take(&mut self.scratch);
         for qs in 0..sets {
             loop {
-                buf.clear();
                 let n = match self.device.queue_set(qs) {
                     Some(end) => end.pop_requests(&mut buf, self.batch),
                     None => 0,
@@ -107,13 +110,13 @@ impl SharedMemNsm {
                 if n == 0 {
                     break;
                 }
-                let drained: Vec<Nqe> = buf.drain(..).collect();
-                for nqe in drained {
+                for nqe in buf.drain(..) {
                     self.handle(qs, nqe);
                     handled += 1;
                 }
             }
         }
+        self.scratch = buf;
         handled
     }
 
@@ -273,6 +276,12 @@ impl SharedMemNsm {
     }
 }
 
+impl nk_sim::Pollable for SharedMemNsm {
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.tick(now_ns)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,7 +386,10 @@ mod tests {
         w.nsm.tick(0);
 
         let vm1 = w.responses(1);
-        let data: Vec<&Nqe> = vm1.iter().filter(|n| n.op == OpType::DataReceived).collect();
+        let data: Vec<&Nqe> = vm1
+            .iter()
+            .filter(|n| n.op == OpType::DataReceived)
+            .collect();
         assert_eq!(data.len(), 1);
         let mut out = vec![0u8; data[0].size as usize];
         w.region1.read(data[0].data, &mut out).unwrap();
@@ -399,10 +411,8 @@ mod tests {
             .unwrap();
         w.nsm.tick(0);
         let vm2 = w.responses(2);
-        assert!(vm2
-            .iter()
-            .any(|n| n.op == OpType::ConnectComplete
-                && n.result() == OpResult::Err(NkError::ConnRefused)));
+        assert!(vm2.iter().any(|n| n.op == OpType::ConnectComplete
+            && n.result() == OpResult::Err(NkError::ConnRefused)));
     }
 
     #[test]

@@ -97,7 +97,7 @@ impl Allocator {
 }
 
 fn round_up(len: usize) -> usize {
-    (len + ALIGN - 1) / ALIGN * ALIGN
+    len.div_ceil(ALIGN) * ALIGN
 }
 
 struct Inner {

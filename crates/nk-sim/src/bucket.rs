@@ -120,6 +120,45 @@ mod tests {
         assert!(b.try_consume(5.0, 0));
     }
 
+    /// Fractional refills must accumulate: polling every 100 µs at 1000
+    /// tokens/s adds 0.1 token per refill, and the CoreEngine stalled-NQE
+    /// retry path depends on these crumbs eventually adding up.
+    #[test]
+    fn sub_token_refills_accumulate() {
+        let mut b = TokenBucket::new(1000.0, 10.0, 0);
+        assert!(b.try_consume(10.0, 0));
+        for poll in 1..=100u64 {
+            b.available(poll * 100_000);
+        }
+        // 10 ms elapsed at 1000/s: ~10 tokens back (modulo float rounding,
+        // so ask for a hair less than the exact sum).
+        assert!((b.available(10_000_000) - 10.0).abs() < 1e-6);
+        assert!(b.try_consume(10.0 - 1e-6, 10_000_000));
+    }
+
+    /// Virtual time observed out of order (e.g. components polled with an
+    /// older timestamp) must neither panic nor mint tokens.
+    #[test]
+    fn backwards_time_is_ignored() {
+        let mut b = TokenBucket::new(1000.0, 5.0, 1_000_000_000);
+        assert!(b.try_consume(5.0, 1_000_000_000));
+        assert_eq!(b.available(0), 0.0);
+        assert!(!b.try_consume(1.0, 500_000_000));
+        // Time moving forward again resumes refilling from the high-water
+        // mark, not from the stale timestamp.
+        assert!(b.available(1_500_000_000) > 0.0);
+    }
+
+    /// A zero-rate bucket is a pure burst allowance: once spent, it throttles
+    /// forever.
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let mut b = TokenBucket::new(0.0, 3.0, 0);
+        assert!(b.try_consume(3.0, 0));
+        assert!(!b.try_consume(1.0, u64::MAX / 2));
+        assert_eq!(b.available(u64::MAX / 2), 0.0);
+    }
+
     #[test]
     fn gbps_constructor_rate() {
         let mut b = TokenBucket::for_gbps(1.0, 0);

@@ -117,12 +117,9 @@ impl CoreSet {
     }
 
     /// How many work items of `cycles_each` the remaining budget can cover.
+    /// A zero cost means everything is affordable.
     pub fn affordable(&self, cycles_each: u64) -> u64 {
-        if cycles_each == 0 {
-            u64::MAX
-        } else {
-            self.budget / cycles_each
-        }
+        self.budget.checked_div(cycles_each).unwrap_or(u64::MAX)
     }
 
     /// Cumulative ledger.

@@ -183,7 +183,10 @@ impl CostModel {
     /// Cycles for the guest-side data path of one `send()`/`recv()` of `len`
     /// bytes: syscall, NQE translation, hugepage allocation and copy.
     pub fn guest_data_path(&self, len: u64) -> f64 {
-        self.guest_syscall + self.nqe_translate + self.hugepage_alloc + self.copy_per_byte * len as f64
+        self.guest_syscall
+            + self.nqe_translate
+            + self.hugepage_alloc
+            + self.copy_per_byte * len as f64
     }
 
     /// Cycles for the NSM-side extra copy between the hugepage region and the
@@ -225,7 +228,10 @@ mod tests {
         let m = CostModel::default();
         let unbatched = m.switch_cost(1000, 1) / 1000.0;
         let batched = m.switch_cost(1000, 64) / 1000.0;
-        assert!(unbatched > 3.0 * batched, "batching must amortise the fixed cost");
+        assert!(
+            unbatched > 3.0 * batched,
+            "batching must amortise the fixed cost"
+        );
         assert_eq!(m.switch_cost(0, 16), 0.0);
     }
 
@@ -236,9 +242,15 @@ mod tests {
         let r1 = m.switch_rate(1, CYCLES_PER_SECOND) / 1e6;
         let r4 = m.switch_rate(4, CYCLES_PER_SECOND) / 1e6;
         let r256 = m.switch_rate(256, CYCLES_PER_SECOND) / 1e6;
-        assert!(r1 > 6.0 && r1 < 16.0, "unbatched rate {r1} M/s out of range");
+        assert!(
+            r1 > 6.0 && r1 < 16.0,
+            "unbatched rate {r1} M/s out of range"
+        );
         assert!(r4 > 30.0 && r4 < 55.0, "batch-4 rate {r4} M/s out of range");
-        assert!(r256 > 150.0 && r256 < 230.0, "batch-256 rate {r256} M/s out of range");
+        assert!(
+            r256 > 150.0 && r256 < 230.0,
+            "batch-256 rate {r256} M/s out of range"
+        );
         assert!(r1 < r4 && r4 < r256);
     }
 
@@ -255,8 +267,14 @@ mod tests {
         // Figure 20 calibration: ~70 K rps/core kernel, ~190 K rps/core mTCP.
         let kernel_rps = CYCLES_PER_SECOND as f64 / (m.kernel_conn + m.app_request);
         let mtcp_rps = CYCLES_PER_SECOND as f64 / (m.mtcp_conn + m.app_request);
-        assert!(kernel_rps > 55_000.0 && kernel_rps < 85_000.0, "kernel {kernel_rps}");
-        assert!(mtcp_rps > 150_000.0 && mtcp_rps < 230_000.0, "mtcp {mtcp_rps}");
+        assert!(
+            kernel_rps > 55_000.0 && kernel_rps < 85_000.0,
+            "kernel {kernel_rps}"
+        );
+        assert!(
+            mtcp_rps > 150_000.0 && mtcp_rps < 230_000.0,
+            "mtcp {mtcp_rps}"
+        );
     }
 
     #[test]

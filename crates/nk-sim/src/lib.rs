@@ -16,6 +16,8 @@
 //!   interrupt, per connection;
 //! * [`bucket`] — token buckets used by CoreEngine for rate-limit isolation
 //!   (paper §7.6, Figure 21);
+//! * [`poll`] — the [`Pollable`] work-reporting trait every datapath
+//!   component implements so the host can schedule them uniformly;
 //! * [`record`] — time-series recorders and counters used by experiments;
 //! * [`histogram`] — a logarithmic-bucket latency histogram (paper Table 5).
 
@@ -24,6 +26,7 @@ pub mod clock;
 pub mod cores;
 pub mod cost;
 pub mod histogram;
+pub mod poll;
 pub mod record;
 
 pub use bucket::TokenBucket;
@@ -31,4 +34,5 @@ pub use clock::{Clock, NANOS_PER_SEC};
 pub use cores::{CoreSet, CycleLedger};
 pub use cost::CostModel;
 pub use histogram::Histogram;
+pub use poll::Pollable;
 pub use record::{Counter, TimeSeries};

@@ -92,7 +92,10 @@ impl TimeSeries {
         if self.points.is_empty() {
             0.0
         } else {
-            self.points.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
+            self.points
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::INFINITY, f64::min)
         }
     }
 

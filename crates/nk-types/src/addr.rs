@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn display_is_dotted_quad() {
-        assert_eq!(SockAddr::v4(192, 168, 1, 2, 80).to_string(), "192.168.1.2:80");
+        assert_eq!(
+            SockAddr::v4(192, 168, 1, 2, 80).to_string(),
+            "192.168.1.2:80"
+        );
     }
 
     #[test]

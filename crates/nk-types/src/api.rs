@@ -209,7 +209,7 @@ mod tests {
         let mut e = PollEvents::NONE;
         assert!(e.is_empty());
         e |= PollEvents::READABLE;
-        e = e | PollEvents::WRITABLE;
+        e |= PollEvents::WRITABLE;
         assert!(e.readable());
         assert!(e.writable());
         assert!(!e.hup());

@@ -6,7 +6,8 @@
 //! configuration drives both the threaded and the simulated execution modes.
 
 use crate::constants::{
-    DEFAULT_BATCH_SIZE, DEFAULT_HUGEPAGE_COUNT, DEFAULT_QUEUE_CAPACITY, LINE_RATE_GBPS,
+    DEFAULT_BATCH_SIZE, DEFAULT_HUGEPAGE_COUNT, DEFAULT_POLL_ROUNDS, DEFAULT_QUEUE_CAPACITY,
+    LINE_RATE_GBPS,
 };
 use crate::error::{NkError, NkResult};
 use crate::ids::{NsmId, VmId};
@@ -32,23 +33,18 @@ pub enum StackKind {
 }
 
 /// Which congestion-control algorithm a stack uses.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, Default)]
 pub enum CcKind {
     /// TCP NewReno-style AIMD.
     Reno,
     /// CUBIC (the Linux default the paper's Baseline runs).
+    #[default]
     Cubic,
     /// DCTCP, reacting proportionally to ECN marks.
     Dctcp,
     /// One shared congestion window per VM, split equally across that VM's
     /// active flows (Seawall-style VM-level fairness).
     VmShared,
-}
-
-impl Default for CcKind {
-    fn default() -> Self {
-        CcKind::Cubic
-    }
 }
 
 /// Configuration of one tenant VM.
@@ -167,10 +163,11 @@ impl NsmConfig {
 }
 
 /// How CoreEngine arbitrates between VMs sharing NSMs (§4.4, §7.6).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum IsolationPolicy {
     /// Plain round-robin polling over the per-VM queue sets: basic fair
     /// sharing of CoreEngine and NSM attention.
+    #[default]
     RoundRobin,
     /// Round-robin polling plus per-VM token-bucket rate limiting of egress
     /// bytes, honouring each VM's `rate_limit_gbps`.
@@ -180,12 +177,6 @@ pub enum IsolationPolicy {
         /// Maximum NQEs per second each VM may issue.
         max_ops_per_sec: u64,
     },
-}
-
-impl Default for IsolationPolicy {
-    fn default() -> Self {
-        IsolationPolicy::RoundRobin
-    }
 }
 
 /// How VMs are assigned to NSMs (§4.3 footnote: offline by the user or
@@ -219,6 +210,10 @@ pub struct HostConfig {
     pub batch_size: usize,
     /// Capacity of each lockless queue, in NQEs.
     pub queue_capacity: usize,
+    /// Upper bound on scheduler rounds per host step. Each round polls every
+    /// datapath component once; the step ends early as soon as a full round
+    /// reports no work.
+    pub max_poll_rounds: usize,
 }
 
 impl Default for HostConfig {
@@ -232,6 +227,7 @@ impl Default for HostConfig {
             hugepages_per_pair: DEFAULT_HUGEPAGE_COUNT,
             batch_size: DEFAULT_BATCH_SIZE,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_poll_rounds: DEFAULT_POLL_ROUNDS,
         }
     }
 }
@@ -263,6 +259,12 @@ impl HostConfig {
     /// Set the isolation policy (builder style).
     pub fn with_isolation(mut self, isolation: IsolationPolicy) -> Self {
         self.isolation = isolation;
+        self
+    }
+
+    /// Bound the scheduler rounds per host step (builder style).
+    pub fn with_max_poll_rounds(mut self, rounds: usize) -> Self {
+        self.max_poll_rounds = rounds;
         self
     }
 
@@ -348,6 +350,9 @@ impl HostConfig {
             }
         }
         if self.batch_size == 0 || self.queue_capacity == 0 || self.hugepages_per_pair == 0 {
+            return Err(NkError::BadConfig);
+        }
+        if self.max_poll_rounds == 0 {
             return Err(NkError::BadConfig);
         }
         if let VmToNsmPolicy::Static(map) = &self.mapping {

@@ -17,6 +17,13 @@ pub const DEFAULT_BATCH_SIZE: usize = 4;
 /// Default capacity (in NQEs) of each lockless queue in a queue set.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 4096;
 
+/// Default bound on scheduler rounds per host step: the host polls every
+/// datapath component repeatedly until a full round reports no work (a
+/// request → NSM → response round trip therefore completes within one step
+/// regardless of queue depth), giving up after this many rounds so a
+/// misbehaving component cannot stall virtual time.
+pub const DEFAULT_POLL_ROUNDS: usize = 16;
+
 /// Line rate of the physical NIC in gigabits per second (Mellanox CX-4 100G).
 pub const LINE_RATE_GBPS: f64 = 100.0;
 
@@ -68,7 +75,10 @@ mod tests {
         assert_eq!(gbps_to_bytes_per_sec(8e-9), 1.0);
     }
 
+    /// Compile-time sanity relation between MSS and MTU, kept as a test so
+    /// a bad edit to either constant fails loudly.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn mss_fits_mtu() {
         assert!(MSS + 40 <= MTU + 14);
         assert!(MSS < MTU);

@@ -217,8 +217,8 @@ mod tests {
     #[test]
     fn addr_accessor_unpacks_op_data() {
         let addr = SockAddr::v4(192, 168, 0, 9, 4433);
-        let nqe = Nqe::new(OpType::Bind, VmId(1), QueueSetId(0), SocketId(1))
-            .with_op_data(addr.pack());
+        let nqe =
+            Nqe::new(OpType::Bind, VmId(1), QueueSetId(0), SocketId(1)).with_op_data(addr.pack());
         assert_eq!(nqe.addr(), addr);
     }
 

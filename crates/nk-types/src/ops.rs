@@ -305,7 +305,10 @@ mod tests {
 
     #[test]
     fn completion_mapping() {
-        assert_eq!(OpType::SocketCreate.completion(), Some(OpType::SocketCreated));
+        assert_eq!(
+            OpType::SocketCreate.completion(),
+            Some(OpType::SocketCreated)
+        );
         assert_eq!(OpType::Accept.completion(), Some(OpType::Accepted));
         assert_eq!(OpType::RecvConsumed.completion(), None);
         assert_eq!(OpType::DataReceived.completion(), None);

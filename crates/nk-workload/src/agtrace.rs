@@ -72,8 +72,7 @@ impl AgTrace {
             // Each AG gets its own baseline level and diurnal-ish wobble.
             let ag_level = base * (0.5 + uniform(&mut state));
             for m in 0..cfg.minutes {
-                let wobble =
-                    1.0 + 0.3 * ((m as f64 / 10.0 + g as f64).sin());
+                let wobble = 1.0 + 0.3 * ((m as f64 / 10.0 + g as f64).sin());
                 let mut rate = ag_level * wobble * (0.6 + 0.8 * uniform(&mut state));
                 if uniform(&mut state) < cfg.burst_probability {
                     // A burst spikes towards the provisioned peak.
@@ -175,8 +174,14 @@ mod tests {
         for g in 0..trace.gateways() {
             let mean = trace.mean_of(g);
             let peak = trace.peak_of(g);
-            assert!(mean < 0.55 * trace.peak_rps, "gateway {g} mean {mean} too high");
-            assert!(peak > 1.5 * mean, "gateway {g} is not bursty (peak {peak}, mean {mean})");
+            assert!(
+                mean < 0.55 * trace.peak_rps,
+                "gateway {g} mean {mean} too high"
+            );
+            assert!(
+                peak > 1.5 * mean,
+                "gateway {g} is not bursty (peak {peak}, mean {mean})"
+            );
         }
     }
 

@@ -79,7 +79,7 @@ impl EchoServer {
                             break;
                         }
                         Ok(n) => {
-                            let _ = api.send(ev.socket, &self.buf[..n].to_vec());
+                            let _ = api.send(ev.socket, &self.buf[..n]);
                             self.requests += 1;
                             self.bytes += n as u64;
                             handled += 1;
@@ -203,7 +203,11 @@ mod tests {
                 break;
             }
         }
-        assert!(client.completed >= 20, "only {} requests completed", client.completed);
+        assert!(
+            client.completed >= 20,
+            "only {} requests completed",
+            client.completed
+        );
         assert!(server.requests >= 20);
         assert_eq!(client.bytes_received, client.completed * 64);
     }

@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the surface the workspace's benches use — benchmark groups,
+//! throughput annotations, parameterised inputs, `criterion_group!` /
+//! `criterion_main!` — over a simple wall-clock harness: a short warm-up,
+//! then a fixed measurement window, reporting mean time per iteration and
+//! derived throughput. Under `cargo test` the benches therefore double as
+//! smoke tests; `cargo bench` prints the measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.0), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finish the group (a no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark case.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a case by its parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identify a case by a function name plus parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// How much work one iteration of a benchmark performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up briefly, then measuring for a fixed window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        const WARMUP: Duration = Duration::from_millis(20);
+        const MEASURE: Duration = Duration::from_millis(200);
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < MEASURE {
+            std::hint::black_box(f());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations.max(1);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" ({:.3} Melem/s)", n as f64 / per_iter / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!(" ({:.3} GiB/s)", n as f64 / per_iter / (1u64 << 30) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label}: {:.1} ns/iter over {} iters{rate}",
+        per_iter * 1e9,
+        bencher.iterations
+    );
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

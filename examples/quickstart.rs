@@ -35,7 +35,10 @@ fn main() {
     host.run(20, 100_000);
 
     let guest = host.guest_mut(VmId(1)).unwrap();
-    assert!(guest.poll(sock).writable(), "connection should be established");
+    assert!(
+        guest.poll(sock).writable(),
+        "connection should be established"
+    );
     guest.send(sock, b"hello, netkernel!").unwrap();
     host.run(20, 100_000);
 
@@ -44,13 +47,19 @@ fn main() {
     let (conn, peer) = remote.accept(listener).unwrap();
     let mut buf = [0u8; 64];
     let n = remote.recv(conn, &mut buf).unwrap();
-    println!("remote received {:?} from {peer}", String::from_utf8_lossy(&buf[..n]));
+    println!(
+        "remote received {:?} from {peer}",
+        String::from_utf8_lossy(&buf[..n])
+    );
     remote.send(conn, &buf[..n]).unwrap();
     host.run(20, 100_000);
 
     let guest = host.guest_mut(VmId(1)).unwrap();
     let n = guest.recv(sock, &mut buf).unwrap();
-    println!("guest received echo: {:?}", String::from_utf8_lossy(&buf[..n]));
+    println!(
+        "guest received echo: {:?}",
+        String::from_utf8_lossy(&buf[..n])
+    );
     println!(
         "CoreEngine switched {} NQEs; NSM moved {} bytes into its stack",
         host.engine_stats().nqes_switched,

@@ -74,5 +74,7 @@ fn main() {
     println!(
         "mTCP-style NSM served the same, unmodified app: {mtcp_reqs} NQE requests, {mtcp_bytes} bytes sent"
     );
-    println!("no application change was needed to switch stacks — only the NSM configuration differs");
+    println!(
+        "no application change was needed to switch stacks — only the NSM configuration differs"
+    );
 }

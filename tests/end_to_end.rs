@@ -129,7 +129,11 @@ fn workloads_run_unmodified_on_netkernel_and_baseline() {
             break;
         }
     }
-    assert!(client.completed >= 50, "baseline: {} completed", client.completed);
+    assert!(
+        client.completed >= 50,
+        "baseline: {} completed",
+        client.completed
+    );
     assert!(server.requests >= 50);
 }
 
@@ -210,9 +214,15 @@ fn shared_nsm_isolation_of_errors() {
 
     let g1 = host.guest_mut(VmId(1)).unwrap();
     let ev1 = g1.poll(bad);
-    assert!(ev1.error() || ev1.hup(), "failed connect must be reported: {ev1:?}");
+    assert!(
+        ev1.error() || ev1.hup(),
+        "failed connect must be reported: {ev1:?}"
+    );
     assert_eq!(g1.recv(bad, &mut [0u8; 4]), Err(NkError::ConnRefused));
 
     let g2 = host.guest_mut(VmId(2)).unwrap();
-    assert!(g2.poll(good).writable(), "VM2's connection must be unaffected");
+    assert!(
+        g2.poll(good).writable(),
+        "VM2's connection must be unaffected"
+    );
 }
