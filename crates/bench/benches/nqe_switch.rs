@@ -14,7 +14,7 @@ fn bench_nqe_switching(c: &mut Criterion) {
             let (mut guest, vm_end) = queue_set_pair(4096);
             let (nsm_switch, mut nsm) = queue_set_pair(4096);
             let mut ce = CoreEngine::new(IsolationPolicy::RoundRobin, batch);
-            ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, 0)
+            ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, None, 0)
                 .unwrap();
             ce.register_nsm(NsmId(1), vec![nsm_switch]).unwrap();
             ce.map_vm(VmId(1), NsmId(1)).unwrap();

@@ -2,9 +2,12 @@
 
 use crate::table::ConnTable;
 use nk_queue::{RequesterEnd, ResponderEnd, WakeState};
+use nk_shmem::HugepageRegion;
 use nk_sim::TokenBucket;
-use nk_types::{ConnKey, IsolationPolicy, NkError, NkResult, Nqe, NsmId, QueueSetId, VmId};
-use std::collections::HashMap;
+use nk_types::{
+    ConnKey, IsolationPolicy, NkError, NkResult, Nqe, NsmId, OpResult, OpType, QueueSetId, VmId,
+};
+use std::collections::BTreeMap;
 
 /// Per-VM switching statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -17,6 +20,9 @@ pub struct VmSwitchStats {
     pub bytes_forwarded: u64,
     /// NQEs deferred by rate limiting (they stay queued and are retried).
     pub throttled: u64,
+    /// Request NQEs dropped because no NSM was serving the VM (each is
+    /// answered with an error completion so the guest observes the failure).
+    pub dropped: u64,
 }
 
 /// Aggregate CoreEngine statistics.
@@ -28,6 +34,8 @@ pub struct EngineStats {
     pub poll_rounds: u64,
     /// Virtual interrupts (wake-ups) delivered to guest NK devices.
     pub wakeups: u64,
+    /// Connections reset because their NSM crashed (fault injection).
+    pub conn_resets: u64,
 }
 
 struct VmPort {
@@ -41,6 +49,13 @@ struct VmPort {
     /// NQEs that could not be forwarded yet (rate limit or full NSM queue);
     /// retried first, in order, on later polls.
     stalled: Vec<std::collections::VecDeque<Nqe>>,
+    /// Engine-originated events (connection resets from an NSM crash) that
+    /// did not fit the guest's completion queue; redelivered, in order, on
+    /// later polls so a crash notification is never lost.
+    pending_events: std::collections::VecDeque<Nqe>,
+    /// The hugepage region shared between the VM and its NSMs, so payload of
+    /// requests dropped by the engine (NSM crashed) can be reclaimed.
+    region: Option<HugepageRegion>,
     tenant: u32,
     stats: VmSwitchStats,
 }
@@ -50,11 +65,27 @@ struct NsmPort {
     ends: Vec<RequesterEnd>,
 }
 
+/// Outcome of attempting to forward one request NQE.
+enum Forward {
+    /// Forwarded to the NSM.
+    Done,
+    /// Dropped with an error reply to the guest (no NSM serving the VM);
+    /// carries whether the reply delivered a wakeup, which the caller
+    /// accounts into [`EngineStats::wakeups`].
+    Dropped { woken: bool },
+    /// Could not go through yet (throttle or backpressure); retry later.
+    Stalled(Nqe),
+}
+
 /// The CoreEngine software switch.
+///
+/// All port maps are `BTreeMap`s so every polling round visits VMs and NSMs
+/// in id order — the engine is bit-for-bit deterministic across runs, which
+/// the seeded fault-injection scenarios rely on.
 pub struct CoreEngine {
-    vms: HashMap<VmId, VmPort>,
-    nsms: HashMap<NsmId, NsmPort>,
-    mapping: HashMap<VmId, NsmId>,
+    vms: BTreeMap<VmId, VmPort>,
+    nsms: BTreeMap<NsmId, NsmPort>,
+    mapping: BTreeMap<VmId, NsmId>,
     table: ConnTable,
     isolation: IsolationPolicy,
     batch: usize,
@@ -69,9 +100,9 @@ impl CoreEngine {
     /// A CoreEngine with the given isolation policy and NQE batch size.
     pub fn new(isolation: IsolationPolicy, batch: usize) -> Self {
         CoreEngine {
-            vms: HashMap::new(),
-            nsms: HashMap::new(),
-            mapping: HashMap::new(),
+            vms: BTreeMap::new(),
+            nsms: BTreeMap::new(),
+            mapping: BTreeMap::new(),
             table: ConnTable::new(),
             isolation,
             batch: batch.max(1),
@@ -83,6 +114,12 @@ impl CoreEngine {
     }
 
     /// Register a VM's NK device (switch-side queue ends plus its wake flag).
+    ///
+    /// `region` is the hugepage region the VM shares with its NSMs; the
+    /// engine uses it to reclaim the payload of requests it has to drop
+    /// (e.g. a `Send` in flight when the serving NSM crashed). `None` keeps
+    /// the engine out of payload management entirely.
+    #[allow(clippy::too_many_arguments)]
     pub fn register_vm(
         &mut self,
         vm: VmId,
@@ -90,6 +127,7 @@ impl CoreEngine {
         wake: WakeState,
         tenant: u32,
         rate_limit_gbps: Option<f64>,
+        region: Option<HugepageRegion>,
         now_ns: u64,
     ) -> NkResult<()> {
         if self.vms.contains_key(&vm) {
@@ -124,6 +162,8 @@ impl CoreEngine {
                 rate_bucket,
                 ops_bucket,
                 stalled,
+                pending_events: std::collections::VecDeque::new(),
+                region,
                 tenant,
                 stats: VmSwitchStats::default(),
             },
@@ -166,6 +206,64 @@ impl CoreEngine {
     /// connections use the new one.
     pub fn remap_vm(&mut self, vm: VmId, nsm: NsmId) -> NkResult<()> {
         self.map_vm(vm, nsm)
+    }
+
+    /// Hard-crash an NSM: its queue ends are dropped and every connection
+    /// pinned to it is torn out of the table, with a [`NkError::ConnReset`]
+    /// error event delivered to the owning guest socket. Returns the number
+    /// of connections reset. The NSM id may be registered again afterwards
+    /// (restart with fresh queues).
+    pub fn crash_nsm(&mut self, nsm: NsmId) -> NkResult<usize> {
+        self.nsms.remove(&nsm).ok_or(NkError::NotFound)?;
+        let mut resets = 0;
+        for key in self.table.remove_nsm(nsm) {
+            let vm = VmId(key.entity);
+            let Some(port) = self.vms.get_mut(&vm) else {
+                continue;
+            };
+            resets += 1;
+            let ev = Nqe::error_event(vm, key.queue_set, key.socket, NkError::ConnReset);
+            let qs = key.queue_set.raw() as usize % port.ends.len().max(1);
+            if port.ends[qs].respond(ev).is_ok() {
+                if port.wake.wake() {
+                    self.stats.wakeups += 1;
+                }
+            } else {
+                // The guest's completion queue is full right now; the reset
+                // notification must not be lost — park it for redelivery.
+                port.pending_events.push_back(ev);
+            }
+        }
+        self.stats.conn_resets += resets as u64;
+        Ok(resets)
+    }
+
+    /// True when an NSM with this id is currently registered.
+    pub fn has_nsm(&self, nsm: NsmId) -> bool {
+        self.nsms.contains_key(&nsm)
+    }
+
+    /// The NSM currently mapped to serve a VM's new connections.
+    pub fn nsm_of(&self, vm: VmId) -> Option<NsmId> {
+        self.mapping.get(&vm).copied()
+    }
+
+    /// VMs currently mapped onto `nsm`, in id order.
+    pub fn mapped_vms(&self, nsm: NsmId) -> Vec<VmId> {
+        self.mapping
+            .iter()
+            .filter(|(_, n)| **n == nsm)
+            .map(|(v, _)| *v)
+            .collect()
+    }
+
+    /// Request NQEs parked in per-VM stall queues awaiting retry (throttled
+    /// or backpressured). Used by conservation invariants in tests.
+    pub fn stalled_nqes(&self) -> usize {
+        self.vms
+            .values()
+            .map(|p| p.stalled.iter().map(|q| q.len()).sum::<usize>())
+            .sum()
     }
 
     /// Aggregate statistics.
@@ -232,8 +330,14 @@ impl CoreEngine {
                         nqe,
                         now_ns,
                     ) {
-                        Ok(()) => switched += 1,
-                        Err(nqe) => {
+                        Forward::Done => switched += 1,
+                        Forward::Dropped { woken } => {
+                            switched += 1;
+                            if woken {
+                                self.stats.wakeups += 1;
+                            }
+                        }
+                        Forward::Stalled(nqe) => {
                             port.stalled[qs].push_front(nqe);
                             blocked = true;
                             break;
@@ -267,8 +371,14 @@ impl CoreEngine {
                             nqe,
                             now_ns,
                         ) {
-                            Ok(()) => switched += 1,
-                            Err(nqe) => {
+                            Forward::Done => switched += 1,
+                            Forward::Dropped { woken } => {
+                                switched += 1;
+                                if woken {
+                                    self.stats.wakeups += 1;
+                                }
+                            }
+                            Forward::Stalled(nqe) => {
                                 port.stalled[qs].push_back(nqe);
                                 stalled = true;
                             }
@@ -283,27 +393,29 @@ impl CoreEngine {
         switched
     }
 
-    /// Attempt to forward one request NQE; hands the NQE back on throttle or
-    /// backpressure so the caller can retry later.
+    /// Attempt to forward one request NQE. Throttled or backpressured NQEs
+    /// are handed back for retry; NQEs whose target NSM no longer exists are
+    /// dropped with an error reply so the guest fails fast instead of
+    /// waiting on a queue nobody drains.
     fn try_forward(
-        nsms: &mut HashMap<NsmId, NsmPort>,
+        nsms: &mut BTreeMap<NsmId, NsmPort>,
         table: &mut ConnTable,
         port: &mut VmPort,
         nsm_id: NsmId,
         nqe: Nqe,
         now_ns: u64,
-    ) -> Result<(), Nqe> {
+    ) -> Forward {
         // Isolation: bandwidth cap applies to payload bytes, op cap to NQEs.
         if let Some(bucket) = &mut port.rate_bucket {
             if nqe.size > 0 && !bucket.try_consume(nqe.size as f64, now_ns) {
                 port.stats.throttled += 1;
-                return Err(nqe);
+                return Forward::Stalled(nqe);
             }
         }
         if let Some(bucket) = &mut port.ops_bucket {
             if !bucket.try_consume(1.0, now_ns) {
                 port.stats.throttled += 1;
-                return Err(nqe);
+                return Forward::Stalled(nqe);
             }
         }
         // Existing connections stay pinned to the NSM recorded in the table;
@@ -313,7 +425,13 @@ impl CoreEngine {
         let (target_nsm, target_qs) = match table.get(&key) {
             Some(e) => (e.nsm, e.nsm_queue_set),
             None => {
-                let sets = nsms.get(&nsm_id).map(|n| n.ends.len().max(1)).unwrap_or(1);
+                let Some(sets) = nsms.get(&nsm_id).map(|n| n.ends.len().max(1)) else {
+                    // The VM's mapped NSM crashed and nothing replaced it
+                    // yet: fail the request instead of pinning the tuple to
+                    // a dead NSM.
+                    let woken = Self::drop_with_error(port, &nqe, NkError::NsmUnavailable);
+                    return Forward::Dropped { woken };
+                };
                 // Hash the VM tuple onto an NSM queue set (§4.3 step 2).
                 let h = (nqe.vm.raw() as usize)
                     .wrapping_mul(31)
@@ -326,22 +444,63 @@ impl CoreEngine {
             }
         };
         let Some(nsm) = nsms.get_mut(&target_nsm) else {
-            return Err(nqe);
+            // Pinned NSM vanished between table lookup and delivery (crash
+            // mid-batch): unpin and fail the request.
+            table.remove(&key);
+            let woken = Self::drop_with_error(port, &nqe, NkError::ConnReset);
+            return Forward::Dropped { woken };
         };
         let target_qs = target_qs.raw() as usize % nsm.ends.len().max(1);
         match nsm.ends[target_qs].submit(nqe) {
             Ok(()) => {
                 port.stats.nqes_forwarded += 1;
                 port.stats.bytes_forwarded += nqe.size as u64;
-                Ok(())
+                Forward::Done
             }
-            Err(_) => Err(nqe),
+            Err(_) => Forward::Stalled(nqe),
         }
+    }
+
+    /// Drop a request whose NSM is gone: reclaim its payload and answer the
+    /// guest with an error completion (or nothing for fire-and-forget ops).
+    /// Returns whether the reply delivered a wakeup.
+    fn drop_with_error(port: &mut VmPort, nqe: &Nqe, err: NkError) -> bool {
+        port.stats.dropped += 1;
+        // A dropped Send's payload sits in the shared hugepages and nobody
+        // downstream will ever free it.
+        if nqe.op == OpType::Send && !nqe.data.is_null() {
+            if let Some(region) = &port.region {
+                let _ = region.free(nqe.data);
+            }
+        }
+        let Some(mut reply) = Nqe::completion_for(nqe, OpResult::Err(err), 0) else {
+            return false;
+        };
+        // A failed Send still returns the reserved send-buffer budget.
+        reply.size = nqe.size;
+        let qs = nqe.queue_set.raw() as usize % port.ends.len().max(1);
+        port.ends[qs].respond(reply).is_ok() && port.wake.wake()
     }
 
     /// NSM → VM direction.
     fn deliver_responses(&mut self) -> usize {
         let mut switched = 0;
+        // Redeliver engine-originated events (crash resets) that found the
+        // guest's completion queue full earlier.
+        for port in self.vms.values_mut() {
+            while let Some(ev) = port.pending_events.front().copied() {
+                let qs = ev.queue_set.raw() as usize % port.ends.len().max(1);
+                if port.ends[qs].respond(ev).is_err() {
+                    break;
+                }
+                port.pending_events.pop_front();
+                port.stats.nqes_delivered += 1;
+                switched += 1;
+                if port.wake.wake() {
+                    self.stats.wakeups += 1;
+                }
+            }
+        }
         for nsm in self.nsms.values_mut() {
             for end in nsm.ends.iter_mut() {
                 loop {
@@ -406,6 +565,7 @@ mod tests {
             WakeState::new(),
             0,
             rate_limit,
+            None,
             0,
         )
         .unwrap();
@@ -447,7 +607,7 @@ mod tests {
         ce.deregister_vm(VmId(1)).unwrap();
         // Re-register without a mapping.
         let (mut guest2, vm_end) = queue_set_pair(16);
-        ce.register_vm(VmId(2), vec![vm_end], WakeState::new(), 0, None, 0)
+        ce.register_vm(VmId(2), vec![vm_end], WakeState::new(), 0, None, None, 0)
             .unwrap();
         guest2.submit(request(OpType::SocketCreate, 1)).unwrap();
         ce.poll(0);
@@ -461,7 +621,7 @@ mod tests {
         let (_guest, _nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
         let (_g, vm_end) = queue_set_pair(16);
         assert_eq!(
-            ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, 0),
+            ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, None, 0),
             Err(NkError::AlreadyRegistered)
         );
         let (nsm_end, _r) = queue_set_pair(16);
@@ -484,7 +644,7 @@ mod tests {
             nsm_ends.push(b);
         }
         let mut ce = CoreEngine::new(IsolationPolicy::RoundRobin, 4);
-        ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, 0)
+        ce.register_vm(VmId(1), vec![vm_end], WakeState::new(), 0, None, None, 0)
             .unwrap();
         ce.register_nsm(NsmId(1), nsm_guest_ends).unwrap();
         ce.map_vm(VmId(1), NsmId(1)).unwrap();
@@ -564,6 +724,112 @@ mod tests {
         nsm.respond(comp).unwrap();
         ce.poll(0);
         assert_eq!(ce.stats().wakeups, 0);
+    }
+
+    /// Crashing an NSM resets every connection pinned to it: the guest
+    /// receives an ErrorEvent carrying ConnReset per connection, and the
+    /// table forgets them.
+    #[test]
+    fn crash_nsm_resets_pinned_connections() {
+        let (mut guest, mut nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        for sock in [1u32, 2, 3] {
+            guest.submit(request(OpType::SocketCreate, sock)).unwrap();
+        }
+        ce.poll(0);
+        let mut v = Vec::new();
+        assert_eq!(nsm.pop_requests(&mut v, 8), 3);
+        assert_eq!(ce.connections(), 3);
+
+        let resets = ce.crash_nsm(NsmId(1)).unwrap();
+        assert_eq!(resets, 3);
+        assert_eq!(ce.connections(), 0);
+        assert_eq!(ce.stats().conn_resets, 3);
+        assert!(!ce.has_nsm(NsmId(1)));
+        let mut seen = Vec::new();
+        while let Some(ev) = guest.pop_completion() {
+            assert_eq!(ev.op, OpType::ErrorEvent);
+            assert_eq!(ev.result(), OpResult::Err(NkError::ConnReset));
+            seen.push(ev.socket.raw());
+        }
+        seen.sort();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(ce.crash_nsm(NsmId(1)), Err(NkError::NotFound));
+    }
+
+    /// Requests routed while the VM's mapped NSM is gone fail fast with an
+    /// error completion instead of stalling forever, and a dropped Send's
+    /// hugepage payload is reclaimed.
+    #[test]
+    fn requests_to_a_crashed_nsm_fail_fast_and_reclaim_payload() {
+        let region = nk_shmem::HugepageRegion::with_capacity(1 << 20);
+        let (mut guest, vm_end) = queue_set_pair(64);
+        let (nsm_switch, _nsm_end) = queue_set_pair(64);
+        let mut ce = CoreEngine::new(IsolationPolicy::RoundRobin, 4);
+        ce.register_vm(
+            VmId(1),
+            vec![vm_end],
+            WakeState::new(),
+            0,
+            None,
+            Some(region.clone()),
+            0,
+        )
+        .unwrap();
+        ce.register_nsm(NsmId(1), vec![nsm_switch]).unwrap();
+        ce.map_vm(VmId(1), NsmId(1)).unwrap();
+        ce.crash_nsm(NsmId(1)).unwrap();
+
+        let before = region.available();
+        let handle = region.alloc_and_write(&[7u8; 4096]).unwrap();
+        let send = request(OpType::Send, 9).with_data(handle, 4096);
+        guest.submit(send).unwrap();
+        guest.submit(request(OpType::SocketCreate, 10)).unwrap();
+        let switched = ce.poll(0);
+        assert_eq!(switched, 2, "dropped requests still count as work");
+        assert_eq!(ce.vm_stats(VmId(1)).unwrap().dropped, 2);
+        assert_eq!(ce.stalled_nqes(), 0, "nothing may stall on a dead NSM");
+        assert_eq!(region.available(), before, "dropped payload leaked");
+
+        let mut replies = Vec::new();
+        while let Some(r) = guest.pop_completion() {
+            replies.push(r);
+        }
+        assert_eq!(replies.len(), 2);
+        assert!(replies
+            .iter()
+            .all(|r| r.result() == OpResult::Err(NkError::NsmUnavailable)));
+        let send_reply = replies.iter().find(|r| r.op == OpType::SendComplete);
+        assert_eq!(send_reply.unwrap().size, 4096, "send budget must come back");
+        assert!(replies.iter().any(|r| r.op == OpType::SocketCreated));
+        // The tuple must not be pinned to the dead NSM.
+        assert_eq!(ce.connections(), 0);
+    }
+
+    /// After a crash the NSM id can be registered again (restart) and the
+    /// datapath recovers for new work.
+    #[test]
+    fn nsm_id_is_reusable_after_crash() {
+        let (mut guest, _old_nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        ce.crash_nsm(NsmId(1)).unwrap();
+        let (fresh_switch, mut fresh_nsm) = queue_set_pair(64);
+        ce.register_nsm(NsmId(1), vec![fresh_switch]).unwrap();
+        assert!(ce.has_nsm(NsmId(1)));
+        guest.submit(request(OpType::SocketCreate, 5)).unwrap();
+        ce.poll(0);
+        let mut v = Vec::new();
+        assert_eq!(fresh_nsm.pop_requests(&mut v, 8), 1);
+    }
+
+    #[test]
+    fn mapped_vms_reports_current_mapping() {
+        let (_guest, _nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        assert_eq!(ce.mapped_vms(NsmId(1)), vec![VmId(1)]);
+        assert_eq!(ce.nsm_of(VmId(1)), Some(NsmId(1)));
+        let (nsm2_switch, _n2) = queue_set_pair(16);
+        ce.register_nsm(NsmId(2), vec![nsm2_switch]).unwrap();
+        ce.remap_vm(VmId(1), NsmId(2)).unwrap();
+        assert!(ce.mapped_vms(NsmId(1)).is_empty());
+        assert_eq!(ce.mapped_vms(NsmId(2)), vec![VmId(1)]);
     }
 
     #[test]

@@ -10,5 +10,5 @@
 pub mod engine;
 pub mod table;
 
-pub use engine::{CoreEngine, EngineStats};
+pub use engine::{CoreEngine, EngineStats, VmSwitchStats};
 pub use table::{ConnEntry, ConnTable};

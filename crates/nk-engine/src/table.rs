@@ -83,6 +83,23 @@ impl ConnTable {
     pub fn connections_for_nsm(&self, nsm: NsmId) -> usize {
         self.entries.values().filter(|e| e.nsm == nsm).count()
     }
+
+    /// Remove every entry pinned to `nsm` (the NSM crashed) and return the
+    /// affected VM tuples, sorted so callers notify guests in a
+    /// deterministic order.
+    pub fn remove_nsm(&mut self, nsm: NsmId) -> Vec<ConnKey> {
+        let mut victims: Vec<ConnKey> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.nsm == nsm)
+            .map(|(k, _)| *k)
+            .collect();
+        victims.sort();
+        for k in &victims {
+            self.entries.remove(k);
+        }
+        victims
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +141,19 @@ mod tests {
         assert_eq!(t.remove_vm(VmId(1)), 5);
         assert_eq!(t.len(), 5);
         assert_eq!(t.connections_for_nsm(NsmId(1)), 5);
+    }
+
+    #[test]
+    fn remove_nsm_returns_sorted_victims_and_clears_entries() {
+        let mut t = ConnTable::new();
+        t.get_or_insert_with(key(2, 0, 9), || (NsmId(1), QueueSetId(0)));
+        t.get_or_insert_with(key(1, 0, 3), || (NsmId(1), QueueSetId(0)));
+        t.get_or_insert_with(key(1, 0, 1), || (NsmId(2), QueueSetId(0)));
+        let victims = t.remove_nsm(NsmId(1));
+        assert_eq!(victims, vec![key(1, 0, 3), key(2, 0, 9)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.connections_for_nsm(NsmId(1)), 0);
+        assert!(t.remove_nsm(NsmId(1)).is_empty());
     }
 
     #[test]

@@ -80,9 +80,18 @@ impl<P> Port<P> {
 
     /// Switch side: drain up to `max` frames queued for transmission.
     pub fn drain_tx(&self, max: usize) -> Vec<Frame<P>> {
+        let mut out = Vec::new();
+        self.drain_tx_into(max, &mut out);
+        out
+    }
+
+    /// Switch side: drain up to `max` queued frames, appending them to `out`
+    /// (no per-call allocation). Returns how many were drained.
+    pub fn drain_tx_into(&self, max: usize, out: &mut Vec<Frame<P>>) -> usize {
         let mut q = self.shared.tx.lock().unwrap();
         let n = max.min(q.len());
-        q.drain(..n).collect()
+        out.extend(q.drain(..n));
+        n
     }
 
     /// Switch side: number of frames awaiting pickup.

@@ -7,19 +7,25 @@
 //! loss can be configured.
 
 use crate::link::{Link, LinkConfig, LinkStats};
-use crate::port::Port;
-use std::collections::HashMap;
+use crate::port::{Frame, Port};
+use std::collections::BTreeMap;
 
 /// A virtual switch over frames with payload `P`.
+///
+/// Ports and links live in `BTreeMap`s so every forwarding pass visits them
+/// in address order: the whole fabric stays deterministic across runs, which
+/// the seeded fault-injection scenarios depend on.
 pub struct VirtualSwitch<P> {
-    ports: HashMap<u32, Port<P>>,
+    ports: BTreeMap<u32, Port<P>>,
     /// Egress link (impairments applied on the way *out* of the switch
     /// towards the destination port), keyed by destination address.
-    links: HashMap<u32, Link<P>>,
+    links: BTreeMap<u32, Link<P>>,
     default_link: LinkConfig,
     /// Frames dropped because the destination is unknown.
     unroutable: u64,
     seed: u64,
+    /// Reusable frame buffer for the ingress/egress drains (hot path).
+    scratch: Vec<Frame<P>>,
 }
 
 impl<P> VirtualSwitch<P> {
@@ -31,11 +37,12 @@ impl<P> VirtualSwitch<P> {
     /// A switch applying `default_link` to every port unless overridden.
     pub fn with_default_link(default_link: LinkConfig) -> Self {
         VirtualSwitch {
-            ports: HashMap::new(),
-            links: HashMap::new(),
+            ports: BTreeMap::new(),
+            links: BTreeMap::new(),
             default_link,
             unroutable: 0,
             seed: 0x5EED,
+            scratch: Vec::new(),
         }
     }
 
@@ -63,6 +70,19 @@ impl<P> VirtualSwitch<P> {
         self.links.remove(&addr);
     }
 
+    /// Reconfigure the egress link towards `addr` mid-flight (fault
+    /// injection: rate, loss, latency or reordering changes under live
+    /// traffic). In-flight frames keep their original delivery schedule.
+    pub fn set_link_config(&mut self, addr: u32, config: LinkConfig, now_ns: u64) -> bool {
+        match self.links.get_mut(&addr) {
+            Some(link) => {
+                link.set_config(config, now_ns);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Number of attached ports.
     pub fn ports(&self) -> usize {
         self.ports.len()
@@ -73,11 +93,13 @@ impl<P> VirtualSwitch<P> {
     ///
     /// Returns the number of frames delivered to ports during this call.
     pub fn step(&mut self, now_ns: u64) -> usize {
-        // Ingress: collect from all ports.
-        let addrs: Vec<u32> = self.ports.keys().copied().collect();
-        for addr in &addrs {
-            let frames = self.ports[addr].drain_tx(usize::MAX);
-            for f in frames {
+        // Ingress: collect from all ports, in address order, through the
+        // reusable scratch buffer (no per-port allocation).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for port in self.ports.values() {
+            scratch.clear();
+            port.drain_tx_into(usize::MAX, &mut scratch);
+            for f in scratch.drain(..) {
                 match self.links.get_mut(&f.dst) {
                     Some(link) if self.ports.contains_key(&f.dst) => link.offer(f, now_ns),
                     _ => self.unroutable += 1,
@@ -88,12 +110,15 @@ impl<P> VirtualSwitch<P> {
         let mut delivered = 0;
         for (addr, link) in self.links.iter_mut() {
             if let Some(port) = self.ports.get(addr) {
-                for f in link.deliverable(now_ns) {
+                scratch.clear();
+                link.drain_deliverable(now_ns, &mut scratch);
+                for f in scratch.drain(..) {
                     port.deliver(f);
                     delivered += 1;
                 }
             }
         }
+        self.scratch = scratch;
         delivered
     }
 
@@ -181,6 +206,24 @@ mod tests {
         assert_eq!(b.rx_pending(), 0);
         sw.step(100_000);
         assert_eq!(b.recv().unwrap().payload, 5);
+    }
+
+    /// Degrading a port's egress link mid-flight affects only frames
+    /// forwarded after the change; already-queued frames still arrive.
+    #[test]
+    fn link_reconfiguration_applies_mid_flight() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let b = sw.attach_with_link(2, LinkConfig::ideal().with_latency_us(10));
+        a.send(frame(1, 2, 1));
+        sw.step(0); // frame admitted at 10 µs latency
+        assert!(sw.set_link_config(2, LinkConfig::ideal().with_loss(1.0), 0));
+        a.send(frame(1, 2, 2)); // hits the fully lossy link
+        sw.step(10_000);
+        assert_eq!(b.recv().unwrap().payload, 1, "in-flight frame survives");
+        assert!(b.recv().is_none(), "post-change frame was dropped");
+        assert_eq!(sw.link_stats(2).unwrap().dropped, 1);
+        assert!(!sw.set_link_config(99, LinkConfig::ideal(), 0));
     }
 
     #[test]

@@ -8,7 +8,7 @@ use nk_types::{
     DataHandle, NkError, NkResult, Nqe, OpResult, OpType, PollEvents, QueueSetId, SockAddr,
     SocketApi, SocketId, VmId,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Guest-allocated socket ids live below this bit; ids with the bit set are
 /// allocated by ServiceLib for accepted connections, so the two sides never
@@ -26,6 +26,9 @@ pub struct GuestStats {
     pub bytes_sent: u64,
     /// Payload bytes copied out of the hugepages by `recv()`.
     pub bytes_received: u64,
+    /// Asynchronous error events observed (e.g. the serving NSM crashed and
+    /// the connection was reset underneath the application).
+    pub errors: u64,
 }
 
 /// The guest side of NetKernel: a complete BSD-socket implementation that
@@ -34,7 +37,8 @@ pub struct GuestLib {
     vm: VmId,
     device: NkDevice<RequesterEnd>,
     region: HugepageRegion,
-    sockets: HashMap<SocketId, GuestSocket>,
+    /// Ordered so `epoll_wait` reports events deterministically across runs.
+    sockets: BTreeMap<SocketId, GuestSocket>,
     next_socket: u32,
     send_buf: usize,
     batch: usize,
@@ -50,7 +54,7 @@ impl GuestLib {
             vm,
             device,
             region,
-            sockets: HashMap::new(),
+            sockets: BTreeMap::new(),
             next_socket: 1,
             send_buf: nk_types::constants::DEFAULT_SEND_BUF,
             batch: nk_types::constants::DEFAULT_BATCH_SIZE,
@@ -189,6 +193,7 @@ impl GuestLib {
                 }
             }
             OpType::ErrorEvent => {
+                self.stats.errors += 1;
                 if let Some(s) = self.sockets.get_mut(&nqe.socket) {
                     let err = match nqe.result() {
                         OpResult::Err(e) => e,

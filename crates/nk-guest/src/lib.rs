@@ -11,5 +11,5 @@
 pub mod guestlib;
 pub mod sockstate;
 
-pub use guestlib::GuestLib;
+pub use guestlib::{GuestLib, GuestStats};
 pub use sockstate::{GuestSocket, GuestSocketState};

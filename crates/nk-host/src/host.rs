@@ -1,6 +1,7 @@
 //! Assembling a NetKernel host (and the baseline it is compared against).
 
-use crate::sched::{Pollable, SchedStats, Scheduler};
+use crate::faults::{FaultInjector, FaultStats};
+use crate::sched::{Pollable, SchedPhase, SchedStats, Scheduler};
 use nk_engine::CoreEngine;
 use nk_fabric::link::LinkConfig;
 use nk_fabric::switch::VirtualSwitch;
@@ -11,11 +12,12 @@ use nk_queue::{queue_set_pair, NkDevice, WakeState};
 use nk_service::{Nsm, ServiceLib, SharedMemNsm};
 use nk_shmem::HugepageRegion;
 use nk_types::api::{EpollEvent, ShutdownHow};
+use nk_types::faults::{FaultAction, FaultPlan, LinkFault};
 use nk_types::{
-    HostConfig, NkError, NkResult, NsmId, PollEvents, SockAddr, SocketApi, SocketId, StackKind,
-    VmId,
+    HostConfig, NkError, NkResult, NsmConfig, NsmId, PollEvents, SockAddr, SocketApi, SocketId,
+    StackKind, VmId,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Base IP of NSM vNICs: 10.0.0.x with x = NSM id.
 pub const NSM_IP_BASE: u32 = 0x0A00_0000;
@@ -25,6 +27,17 @@ enum NsmInstance {
     /// a whole stack) and live in a map the host iterates every step.
     Tcp(Box<Nsm>),
     SharedMem(Box<SharedMemNsm>),
+}
+
+impl NsmInstance {
+    /// Register a VM (and its hugepage region) with whichever NSM flavour
+    /// this is.
+    fn add_vm(&mut self, vm: VmId, region: HugepageRegion) {
+        match self {
+            NsmInstance::Tcp(n) => n.add_vm(vm, region),
+            NsmInstance::SharedMem(n) => n.add_vm(vm, region),
+        }
+    }
 }
 
 impl Pollable for NsmInstance {
@@ -52,7 +65,15 @@ pub struct NetKernelHost {
     guests: BTreeMap<VmId, GuestLib>,
     nsms: BTreeMap<NsmId, NsmInstance>,
     remotes: BTreeMap<u32, RemoteHost>,
+    /// Hugepage region of each VM, kept so a restarted or takeover NSM can
+    /// be wired to the VMs it serves.
+    regions: BTreeMap<VmId, HugepageRegion>,
+    /// Restart generation per NSM: a restarted NSM's stack starts its
+    /// ephemeral-port scan elsewhere, like a rebooted kernel would, so new
+    /// connections cannot collide with peers' stale pre-crash state.
+    generations: BTreeMap<NsmId, u32>,
     sched: Scheduler,
+    injector: FaultInjector,
     now_ns: u64,
 }
 
@@ -66,39 +87,13 @@ impl NetKernelHost {
 
         // Bring up the NSMs first so VMs can be mapped onto them.
         for nsm_cfg in &cfg.nsms {
-            let mut service_ends = Vec::new();
-            let mut engine_ends = Vec::new();
-            for _ in 0..nsm_cfg.vcpus {
-                let (req, resp) = queue_set_pair(cfg.queue_capacity);
-                engine_ends.push(req);
-                service_ends.push(resp);
-            }
-            engine.register_nsm(nsm_cfg.id, engine_ends)?;
-            let device = NkDevice::new(service_ends, WakeState::new());
-            let instance = match nsm_cfg.stack {
-                StackKind::SharedMem => NsmInstance::SharedMem(Box::new(SharedMemNsm::new(
-                    nsm_cfg.id,
-                    device,
-                    cfg.batch_size,
-                ))),
-                kind => {
-                    let ip = NSM_IP_BASE + nsm_cfg.id.raw() as u32;
-                    let port = switch.attach_with_link(
-                        ip,
-                        LinkConfig::ideal().with_rate_gbps(nsm_cfg.nic_rate_gbps),
-                    );
-                    let stack_cfg =
-                        StackConfig::new(ip).with_cc(CcAlgorithm::from_kind(nsm_cfg.cc));
-                    let stack = TcpStack::new(stack_cfg, port);
-                    let service = ServiceLib::new(nsm_cfg.id, device, cfg.batch_size);
-                    NsmInstance::Tcp(Box::new(Nsm::new(nsm_cfg.id, kind, service, stack)))
-                }
-            };
+            let instance = Self::build_nsm(&cfg, nsm_cfg, 0, &mut engine, &mut switch)?;
             nsms.insert(nsm_cfg.id, instance);
         }
 
         // Bring up the VMs.
         let mut guests = BTreeMap::new();
+        let mut regions = BTreeMap::new();
         for vm_cfg in &cfg.vms {
             let nsm_id = cfg.nsm_for_vm(vm_cfg.id)?;
             let mut guest_ends = Vec::new();
@@ -109,22 +104,23 @@ impl NetKernelHost {
                 engine_ends.push(resp);
             }
             let wake = WakeState::new();
+            let region = HugepageRegion::new(cfg.hugepages_per_pair);
             engine.register_vm(
                 vm_cfg.id,
                 engine_ends,
                 wake.clone(),
                 vm_cfg.tenant,
                 vm_cfg.rate_limit_gbps,
+                Some(region.clone()),
                 0,
             )?;
             engine.map_vm(vm_cfg.id, nsm_id)?;
-            let region = HugepageRegion::new(cfg.hugepages_per_pair);
-            match nsms.get_mut(&nsm_id).ok_or(NkError::NotFound)? {
-                NsmInstance::Tcp(nsm) => nsm.add_vm(vm_cfg.id, region.clone()),
-                NsmInstance::SharedMem(nsm) => nsm.add_vm(vm_cfg.id, region.clone()),
-            }
+            nsms.get_mut(&nsm_id)
+                .ok_or(NkError::NotFound)?
+                .add_vm(vm_cfg.id, region.clone());
             let device = NkDevice::new(guest_ends, wake);
-            guests.insert(vm_cfg.id, GuestLib::new(vm_cfg.id, device, region));
+            guests.insert(vm_cfg.id, GuestLib::new(vm_cfg.id, device, region.clone()));
+            regions.insert(vm_cfg.id, region);
         }
 
         let sched = Scheduler::new(cfg.max_poll_rounds);
@@ -135,8 +131,52 @@ impl NetKernelHost {
             guests,
             nsms,
             remotes: BTreeMap::new(),
+            regions,
+            generations: BTreeMap::new(),
             sched,
+            injector: FaultInjector::idle(),
             now_ns: 0,
+        })
+    }
+
+    /// Provision one NSM instance: queue pairs registered with the engine
+    /// and, for TCP-stack NSMs, a vNIC attached to the switch. Shared
+    /// between initial bring-up and [`NetKernelHost::restart_nsm`].
+    fn build_nsm(
+        cfg: &HostConfig,
+        nsm_cfg: &NsmConfig,
+        generation: u32,
+        engine: &mut CoreEngine,
+        switch: &mut VirtualSwitch<Segment>,
+    ) -> NkResult<NsmInstance> {
+        let mut service_ends = Vec::new();
+        let mut engine_ends = Vec::new();
+        for _ in 0..nsm_cfg.vcpus {
+            let (req, resp) = queue_set_pair(cfg.queue_capacity);
+            engine_ends.push(req);
+            service_ends.push(resp);
+        }
+        engine.register_nsm(nsm_cfg.id, engine_ends)?;
+        let device = NkDevice::new(service_ends, WakeState::new());
+        Ok(match nsm_cfg.stack {
+            StackKind::SharedMem => NsmInstance::SharedMem(Box::new(SharedMemNsm::new(
+                nsm_cfg.id,
+                device,
+                cfg.batch_size,
+            ))),
+            kind => {
+                let ip = NSM_IP_BASE + nsm_cfg.id.raw() as u32;
+                let port = switch.attach_with_link(
+                    ip,
+                    LinkConfig::ideal().with_rate_gbps(nsm_cfg.nic_rate_gbps),
+                );
+                let stack_cfg = StackConfig::new(ip)
+                    .with_cc(CcAlgorithm::from_kind(nsm_cfg.cc))
+                    .with_ephemeral_start((generation as u16).wrapping_mul(4099));
+                let stack = TcpStack::new(stack_cfg, port);
+                let service = ServiceLib::new(nsm_cfg.id, device, cfg.batch_size);
+                NsmInstance::Tcp(Box::new(Nsm::new(nsm_cfg.id, kind, service, stack)))
+            }
         })
     }
 
@@ -195,48 +235,201 @@ impl NetKernelHost {
         }
     }
 
+    /// Per-VM CoreEngine switching statistics.
+    pub fn vm_switch_stats(&self, vm: VmId) -> Option<nk_engine::VmSwitchStats> {
+        self.engine.vm_stats(vm)
+    }
+
+    /// Request NQEs parked in the engine's stall queues awaiting retry.
+    pub fn stalled_nqes(&self) -> usize {
+        self.engine.stalled_nqes()
+    }
+
     /// Scheduler behaviour counters (rounds per step, quiescent exits,
     /// round-limit hits).
     pub fn sched_stats(&self) -> SchedStats {
         self.sched.stats()
     }
 
-    /// Advance the host by `dt_ns`: every datapath component — CoreEngine,
-    /// the NSMs, remote stacks and the virtual switch — is driven through
-    /// the [`Pollable`] scheduler until a full round reports no work (or the
-    /// configured round bound is hit), so request → NSM → response round
-    /// trips complete within one step regardless of queue depth. Returns the
-    /// amount of work (NQEs + segments + frames) processed.
+    /// Advance the host by `dt_ns`: fault events due at the new virtual time
+    /// are applied first (the scheduler's inject phase), then every datapath
+    /// component — CoreEngine, the NSMs, remote stacks and the virtual
+    /// switch — is driven through the [`Pollable`] scheduler until a full
+    /// round reports no work (or the configured round bound is hit), so
+    /// request → NSM → response round trips complete within one step
+    /// regardless of queue depth. Returns the amount of work (fault events +
+    /// NQEs + segments + frames) processed.
     pub fn step(&mut self, dt_ns: u64) -> usize {
         self.now_ns += dt_ns;
         let now = self.now_ns;
-        // Split borrows so the closure can poll the components while the
-        // scheduler (also a field) runs the drain loop — no per-step
-        // allocation of a trait-object slice on this hot path.
-        let NetKernelHost {
-            engine,
-            nsms,
-            remotes,
-            switch,
-            sched,
-            ..
-        } = self;
-        sched.drain_rounds(now, |now| {
-            let mut work = Pollable::poll(engine, now);
-            for nsm in nsms.values_mut() {
-                work += Pollable::poll(nsm, now);
-            }
-            for remote in remotes.values_mut() {
-                work += Pollable::poll(&mut remote.stack, now);
-            }
-            work + Pollable::poll(switch, now)
-        })
+        // The inject phase needs the whole host (crashing an NSM touches the
+        // engine, the switch and the NSM map at once), so the scheduler is
+        // copied out for the duration of the step and a single closure
+        // serves both phases.
+        let mut sched = self.sched;
+        let total = sched.drain_with_hook(now, |phase, now| match phase {
+            SchedPhase::Inject => self.apply_due_faults(now),
+            SchedPhase::Poll => self.poll_datapath(now),
+        });
+        self.sched = sched;
+        total
+    }
+
+    /// One poll round over every datapath component, in a fixed order.
+    fn poll_datapath(&mut self, now_ns: u64) -> usize {
+        let mut work = Pollable::poll(&mut self.engine, now_ns);
+        for nsm in self.nsms.values_mut() {
+            work += Pollable::poll(nsm, now_ns);
+        }
+        for remote in self.remotes.values_mut() {
+            work += Pollable::poll(&mut remote.stack, now_ns);
+        }
+        work + Pollable::poll(&mut self.switch, now_ns)
+    }
+
+    /// Apply every fault event due at `now_ns`; returns how many applied.
+    fn apply_due_faults(&mut self, now_ns: u64) -> usize {
+        let mut applied = 0;
+        while let Some(action) = self.injector.take_due(now_ns) {
+            // Plans are validated at install time; an application that still
+            // fails (e.g. a link change for an NSM crashed by an earlier
+            // event) is deliberately a no-op rather than a panic.
+            let _ = self.apply_fault(action);
+            applied += 1;
+        }
+        applied
     }
 
     /// Step repeatedly with a fixed increment.
     pub fn run(&mut self, steps: usize, dt_ns: u64) {
         for _ in 0..steps {
             self.step(dt_ns);
+        }
+    }
+
+    // ---- Fault injection and live handover ----------------------------------
+
+    /// Install a fault plan to be replayed against virtual time. Events
+    /// already in the past apply on the next step. Replaces any previous
+    /// plan.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) -> NkResult<()> {
+        plan.validate(&self.cfg)?;
+        self.injector = FaultInjector::new(plan);
+        Ok(())
+    }
+
+    /// Counters of the fault events applied so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.injector.stats()
+    }
+
+    /// Fault events installed but not yet applied.
+    pub fn pending_faults(&self) -> usize {
+        self.injector.pending()
+    }
+
+    /// True when an NSM with this id is currently alive.
+    pub fn has_nsm(&self, nsm: NsmId) -> bool {
+        self.nsms.contains_key(&nsm)
+    }
+
+    /// The NSM currently serving a VM's new connections.
+    pub fn nsm_of(&self, vm: VmId) -> Option<NsmId> {
+        self.engine.nsm_of(vm)
+    }
+
+    /// Apply one fault action immediately (the injector calls this; tests
+    /// and operators may too).
+    pub fn apply_fault(&mut self, action: FaultAction) -> NkResult<usize> {
+        match action {
+            FaultAction::CrashNsm(nsm) => self.crash_nsm(nsm),
+            FaultAction::RestartNsm(nsm) => self.restart_nsm(nsm).map(|()| 0),
+            FaultAction::MigrateVm { vm, to } => self.migrate_vm(vm, to).map(|()| 0),
+            FaultAction::DegradeLink { nsm, link } => self.degrade_nsm_link(nsm, link).map(|()| 0),
+        }
+    }
+
+    /// Hard-crash an NSM: the instance (stack state, queues, vNIC) is torn
+    /// down, and every connection pinned to it observes
+    /// [`NkError::ConnReset`] on its guest socket. Subsequent requests from
+    /// VMs still mapped to the crashed NSM fail fast with
+    /// [`NkError::NsmUnavailable`] until it is restarted or the VMs are
+    /// migrated. Returns the number of connections reset.
+    pub fn crash_nsm(&mut self, nsm: NsmId) -> NkResult<usize> {
+        let instance = self.nsms.remove(&nsm).ok_or(NkError::NotFound)?;
+        if matches!(instance, NsmInstance::Tcp(_)) {
+            self.switch.detach(Self::nsm_ip(nsm));
+        }
+        drop(instance);
+        self.engine.crash_nsm(nsm)
+    }
+
+    /// Re-provision a crashed NSM from its original configuration: fresh
+    /// queues, an empty stack, and a new vNIC at the same address. VMs
+    /// currently mapped to it are re-attached so their new connections work
+    /// immediately; connections lost in the crash stay lost.
+    pub fn restart_nsm(&mut self, nsm: NsmId) -> NkResult<()> {
+        if self.nsms.contains_key(&nsm) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let nsm_cfg = self.cfg.nsm(nsm).ok_or(NkError::NotFound)?.clone();
+        let generation = {
+            let g = self.generations.entry(nsm).or_insert(0);
+            *g += 1;
+            *g
+        };
+        let mut instance = Self::build_nsm(
+            &self.cfg,
+            &nsm_cfg,
+            generation,
+            &mut self.engine,
+            &mut self.switch,
+        )?;
+        for vm in self.engine.mapped_vms(nsm) {
+            if let Some(region) = self.regions.get(&vm) {
+                instance.add_vm(vm, region.clone());
+            }
+        }
+        self.nsms.insert(nsm, instance);
+        Ok(())
+    }
+
+    /// Live-migrate a VM onto a different NSM ("switch her NSM on the fly",
+    /// §3): the target NSM is wired to the VM's hugepage region and new
+    /// connections route to it; existing connections stay pinned to
+    /// whichever NSM they were opened on.
+    pub fn migrate_vm(&mut self, vm: VmId, to: NsmId) -> NkResult<()> {
+        if !self.guests.contains_key(&vm) {
+            return Err(NkError::NotFound);
+        }
+        let region = self.regions.get(&vm).ok_or(NkError::NotFound)?.clone();
+        let instance = self.nsms.get_mut(&to).ok_or(NkError::NotFound)?;
+        instance.add_vm(vm, region);
+        self.engine.remap_vm(vm, to)
+    }
+
+    /// Reconfigure the egress link towards an NSM's vNIC mid-flight (rate,
+    /// loss, latency, reordering). Frames already in flight keep their
+    /// original delivery schedule.
+    pub fn degrade_nsm_link(&mut self, nsm: NsmId, fault: LinkFault) -> NkResult<()> {
+        let nsm_cfg = self.cfg.nsm(nsm).ok_or(NkError::NotFound)?;
+        let config = LinkConfig {
+            // A fault with no explicit cap falls back to the vNIC's
+            // configured line rate — restoring a degraded link must never
+            // leave it faster than it was provisioned.
+            rate_gbps: Some(fault.rate_gbps.unwrap_or(nsm_cfg.nic_rate_gbps)),
+            latency_us: fault.latency_us,
+            loss: fault.loss,
+            reorder: fault.reorder,
+            ..LinkConfig::default()
+        };
+        if self
+            .switch
+            .set_link_config(Self::nsm_ip(nsm), config, self.now_ns)
+        {
+            Ok(())
+        } else {
+            Err(NkError::NotFound)
         }
     }
 }
@@ -246,7 +439,8 @@ impl NetKernelHost {
 /// application code runs against either (paper §7.1 "Baseline").
 pub struct BaselineVm {
     stack: TcpStack,
-    interest: HashMap<SocketId, PollEvents>,
+    /// Ordered so `epoll_wait` reports events deterministically.
+    interest: BTreeMap<SocketId, PollEvents>,
     now_ns: u64,
 }
 
@@ -256,7 +450,7 @@ impl BaselineVm {
         let port = switch.attach(ip);
         BaselineVm {
             stack: TcpStack::new(StackConfig::new(ip), port),
-            interest: HashMap::new(),
+            interest: BTreeMap::new(),
             now_ns: 0,
         }
     }
@@ -266,7 +460,7 @@ impl BaselineVm {
         let port = switch.attach(ip);
         BaselineVm {
             stack: TcpStack::new(StackConfig::new(ip).with_cc(cc), port),
-            interest: HashMap::new(),
+            interest: BTreeMap::new(),
             now_ns: 0,
         }
     }
@@ -619,6 +813,139 @@ mod tests {
             .with_mapping(VmToNsmPolicy::All(NsmId(1)))
             .with_max_poll_rounds(0);
         assert!(NetKernelHost::new(cfg).is_err());
+    }
+
+    use nk_types::faults::{FaultAction, FaultPlan, LinkFault};
+
+    /// Crash the serving NSM mid-connection: the guest socket observes a
+    /// reset, and after a restart the guest reconnects with no app changes.
+    #[test]
+    fn nsm_crash_resets_sockets_and_restart_recovers() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "connect did not complete");
+
+        // Crash. The established connection dies with ConnReset.
+        let resets = host.crash_nsm(NsmId(1)).unwrap();
+        assert!(resets >= 1, "the live connection must be reset");
+        assert!(!host.has_nsm(NsmId(1)));
+        host.run(2, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).error());
+        assert_eq!(guest.recv(s, &mut [0u8; 8]), Err(NkError::ConnReset));
+        assert!(guest.stats().errors >= 1);
+
+        // While the NSM is down, new sockets fail fast.
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let dead = guest.socket().unwrap();
+        host.run(2, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        guest.drive();
+        assert_eq!(guest.send(dead, b"x"), Err(NkError::NsmUnavailable));
+
+        // Restart and reconnect: same application pattern, fresh socket.
+        host.restart_nsm(NsmId(1)).unwrap();
+        assert!(host.has_nsm(NsmId(1)));
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let _ = guest.close(s);
+        let _ = guest.close(dead);
+        let s2 = guest.socket().unwrap();
+        guest.connect(s2, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s2).writable(), "reconnect after restart failed");
+    }
+
+    /// Live migration: after `migrate_vm` new connections are served by the
+    /// standby NSM while the crashed primary stays down.
+    #[test]
+    fn vm_migrates_to_standby_nsm_after_crash() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(2)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        host.crash_nsm(NsmId(1)).unwrap();
+        host.migrate_vm(VmId(1), NsmId(2)).unwrap();
+        assert_eq!(host.nsm_of(VmId(1)), Some(NsmId(2)));
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "standby NSM must serve the VM");
+        assert!(host.nsm_service_stats(NsmId(2)).unwrap().requests > 0);
+    }
+
+    /// An installed fault plan fires through the scheduler's inject phase at
+    /// the configured virtual times.
+    #[test]
+    fn fault_plan_applies_at_scheduled_times() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(2)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        let plan = FaultPlan::new()
+            .at(250_000, FaultAction::CrashNsm(NsmId(1)))
+            .at(
+                250_000,
+                FaultAction::MigrateVm {
+                    vm: VmId(1),
+                    to: NsmId(2),
+                },
+            )
+            .at(
+                450_000,
+                FaultAction::DegradeLink {
+                    nsm: NsmId(2),
+                    link: LinkFault::default().with_latency_us(100),
+                },
+            )
+            .at(650_000, FaultAction::RestartNsm(NsmId(1)));
+        host.install_fault_plan(&plan).unwrap();
+        assert_eq!(host.pending_faults(), 4);
+
+        host.step(100_000); // t=100µs: nothing due
+        assert_eq!(host.fault_stats().applied, 0);
+        assert!(host.has_nsm(NsmId(1)));
+        host.step(200_000); // t=300µs: crash + migrate fire together
+        assert_eq!(host.fault_stats().applied, 2);
+        assert!(!host.has_nsm(NsmId(1)));
+        assert_eq!(host.nsm_of(VmId(1)), Some(NsmId(2)));
+        host.step(200_000); // t=500µs: link degradation
+        assert_eq!(host.fault_stats().link_changes, 1);
+        host.step(200_000); // t=700µs: restart
+        assert_eq!(host.fault_stats().applied, 4);
+        assert!(host.has_nsm(NsmId(1)));
+        assert_eq!(host.pending_faults(), 0);
+        assert_eq!(host.sched_stats().fault_events, 4);
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected_at_install() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        let plan = FaultPlan::new().at(0, FaultAction::CrashNsm(NsmId(9)));
+        assert_eq!(host.install_fault_plan(&plan), Err(NkError::BadConfig));
+        let plan = FaultPlan::new().at(0, FaultAction::RestartNsm(NsmId(1)));
+        assert_eq!(host.install_fault_plan(&plan), Err(NkError::BadConfig));
     }
 
     #[test]

@@ -12,17 +12,21 @@
 //!   application code runs on both.
 //!
 //! [`sched`] is the drain-until-quiescent scheduler driving every datapath
-//! component through the uniform [`nk_sim::Pollable`] interface, [`model`]
-//! contains the calibrated performance model used to regenerate the paper's
-//! throughput / RPS / CPU-overhead figures, and [`metrics`] the throughput
-//! and latency meters used by experiments.
+//! component through the uniform [`nk_sim::Pollable`] interface, [`faults`]
+//! the injector replaying deterministic [`nk_types::FaultPlan`] schedules
+//! (NSM crash / restart, live VM migration, link degradation) against the
+//! host, [`model`] contains the calibrated performance model used to
+//! regenerate the paper's throughput / RPS / CPU-overhead figures, and
+//! [`metrics`] the throughput and latency meters used by experiments.
 
+pub mod faults;
 pub mod host;
 pub mod metrics;
 pub mod model;
 pub mod sched;
 
+pub use faults::{FaultInjector, FaultStats};
 pub use host::{BaselineVm, NetKernelHost, RemoteHost};
 pub use metrics::{LatencyMeter, ThroughputMeter};
 pub use model::{PerfModel, TrafficDirection};
-pub use sched::{SchedStats, Scheduler};
+pub use sched::{SchedPhase, SchedStats, Scheduler};

@@ -12,6 +12,21 @@
 
 pub use nk_sim::poll::{poll_round, Pollable};
 
+/// The two phases of one scheduled host step.
+///
+/// Fault injection gets its own phase so timed infrastructure events (NSM
+/// crashes, migrations, link changes) land at one deterministic point — the
+/// start of the step, before any component is polled — instead of wherever
+/// the host happens to interleave them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedPhase {
+    /// Apply infrastructure events due at this virtual time (runs once, at
+    /// the start of the step).
+    Inject,
+    /// Poll every datapath component once (runs up to `max_rounds` times).
+    Poll,
+}
+
 /// Cumulative scheduler behaviour counters, for observability and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedStats {
@@ -27,6 +42,8 @@ pub struct SchedStats {
     pub round_limit_hits: u64,
     /// Total work items (NQEs, segments, frames) reported by components.
     pub work_items: u64,
+    /// Fault events applied in inject phases across all steps.
+    pub fault_events: u64,
 }
 
 /// Polls a set of [`Pollable`] components until quiescence, within a bound.
@@ -67,11 +84,33 @@ impl Scheduler {
     /// total. This lets a host with statically known components run the
     /// drain loop without building a slice of trait objects per step.
     pub fn drain_rounds(&mut self, now_ns: u64, mut round: impl FnMut(u64) -> usize) -> usize {
+        self.drain_with_hook(now_ns, |phase, now| match phase {
+            SchedPhase::Inject => 0,
+            SchedPhase::Poll => round(now),
+        })
+    }
+
+    /// One full step with a fault-injection hook: `f(Inject, now)` runs
+    /// exactly once before the first round and returns the number of fault
+    /// events applied, then `f(Poll, now)` runs as rounds until quiescence or
+    /// the bound. A single closure carries both phases so the caller can
+    /// borrow its whole datapath mutably across them.
+    ///
+    /// Fault events count as step work: a step that only crashed an NSM is
+    /// not "idle", and its rounds still run so the datapath observes the
+    /// change (error events reach the guests within the same step).
+    pub fn drain_with_hook(
+        &mut self,
+        now_ns: u64,
+        mut f: impl FnMut(SchedPhase, u64) -> usize,
+    ) -> usize {
         self.stats.steps += 1;
-        let mut total = 0;
+        let injected = f(SchedPhase::Inject, now_ns);
+        self.stats.fault_events += injected as u64;
+        let mut total = injected;
         let mut quiescent = false;
         for _ in 0..self.max_rounds {
-            let work = round(now_ns);
+            let work = f(SchedPhase::Poll, now_ns);
             self.stats.rounds += 1;
             total += work;
             if work == 0 {
@@ -151,6 +190,53 @@ mod tests {
         assert_eq!(sched.stats().rounds, 4);
         assert_eq!(sched.stats().round_limit_hits, 1);
         assert_eq!(sched.stats().quiescent_exits, 0);
+    }
+
+    /// The inject phase runs exactly once, before the first poll round, and
+    /// its events count as step work and into the stats.
+    #[test]
+    fn hook_injects_before_polling_and_counts_fault_work() {
+        let mut sched = Scheduler::new(8);
+        let mut phases = Vec::new();
+        let mut polls = 0;
+        let total = sched.drain_with_hook(42, |phase, now| {
+            assert_eq!(now, 42);
+            phases.push(phase);
+            match phase {
+                SchedPhase::Inject => 3,
+                SchedPhase::Poll => {
+                    polls += 1;
+                    if polls == 1 {
+                        5
+                    } else {
+                        0
+                    }
+                }
+            }
+        });
+        assert_eq!(total, 8);
+        assert_eq!(
+            phases,
+            vec![SchedPhase::Inject, SchedPhase::Poll, SchedPhase::Poll]
+        );
+        let stats = sched.stats();
+        assert_eq!(stats.fault_events, 3);
+        assert_eq!(stats.work_items, 8);
+        assert_eq!(stats.quiescent_exits, 1);
+    }
+
+    /// A step whose only activity is a fault application still terminates
+    /// (the first poll round is quiescent) and is accounted as work.
+    #[test]
+    fn fault_only_step_is_not_idle() {
+        let mut sched = Scheduler::new(4);
+        let total = sched.drain_with_hook(0, |phase, _| match phase {
+            SchedPhase::Inject => 1,
+            SchedPhase::Poll => 0,
+        });
+        assert_eq!(total, 1);
+        assert_eq!(sched.stats().rounds, 1);
+        assert_eq!(sched.stats().fault_events, 1);
     }
 
     #[test]

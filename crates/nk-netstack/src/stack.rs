@@ -14,7 +14,7 @@ use nk_fabric::nic::symmetric_flow_hash;
 use nk_fabric::port::{Frame, Port};
 use nk_types::api::sockopt;
 use nk_types::{NkError, NkResult, PollEvents, ShutdownHow, SockAddr, SocketId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Configuration of one stack instance.
 #[derive(Clone)]
@@ -27,7 +27,17 @@ pub struct StackConfig {
     pub send_buf: usize,
     /// Per-socket receive buffer capacity in bytes.
     pub recv_buf: usize,
+    /// First ephemeral port handed out for active opens. Real stacks
+    /// randomize this per boot; a restarted NSM stack must use a different
+    /// start so its fresh connections cannot collide with a peer's stale
+    /// pre-crash state for the same 4-tuple.
+    pub ephemeral_start: u16,
 }
+
+/// Bottom of the ephemeral port range.
+pub const EPHEMERAL_LOW: u16 = 40_000;
+/// Top (exclusive) of the ephemeral port range.
+pub const EPHEMERAL_HIGH: u16 = 65_000;
 
 impl StackConfig {
     /// A stack bound to `local_ip` using CUBIC and default buffer sizes.
@@ -37,12 +47,21 @@ impl StackConfig {
             cc: CcAlgorithm::Cubic,
             send_buf: nk_types::constants::DEFAULT_SEND_BUF,
             recv_buf: nk_types::constants::DEFAULT_RECV_BUF,
+            ephemeral_start: EPHEMERAL_LOW,
         }
     }
 
     /// Select a congestion-control algorithm (builder style).
     pub fn with_cc(mut self, cc: CcAlgorithm) -> Self {
         self.cc = cc;
+        self
+    }
+
+    /// Start the ephemeral port scan at `port` (builder style). Values
+    /// outside the ephemeral range are wrapped into it.
+    pub fn with_ephemeral_start(mut self, port: u16) -> Self {
+        let span = EPHEMERAL_HIGH - EPHEMERAL_LOW;
+        self.ephemeral_start = EPHEMERAL_LOW + port % span;
         self
     }
 }
@@ -105,7 +124,10 @@ enum SocketEntry {
 pub struct TcpStack {
     cfg: StackConfig,
     port: Port<Segment>,
-    sockets: HashMap<SocketId, SocketEntry>,
+    /// Ordered map: `transmit` and `reap_closed` walk every socket, and the
+    /// walk order must match across runs for seeded scenarios to replay
+    /// exactly (a `HashMap` would emit segments in a per-instance order).
+    sockets: BTreeMap<SocketId, SocketEntry>,
     /// (local, remote) → connection socket.
     demux: HashMap<(SockAddr, SockAddr), SocketId>,
     /// Listening sockets per local port (more than one with SO_REUSEPORT).
@@ -126,16 +148,17 @@ pub struct TcpStack {
 impl TcpStack {
     /// Create a stack attached to the given fabric port.
     pub fn new(cfg: StackConfig, port: Port<Segment>) -> Self {
+        let ephemeral_start = cfg.ephemeral_start;
         TcpStack {
             cfg,
             port,
-            sockets: HashMap::new(),
+            sockets: BTreeMap::new(),
             demux: HashMap::new(),
             listeners: HashMap::new(),
             embryonic: HashMap::new(),
             was_writable: HashMap::new(),
             next_socket: 1,
-            next_ephemeral: 40_000,
+            next_ephemeral: ephemeral_start,
             iss: 0x1000,
             rr_listener: 0,
             events: VecDeque::new(),
@@ -172,10 +195,12 @@ impl TcpStack {
     fn alloc_ephemeral(&mut self) -> u16 {
         for _ in 0..25_000 {
             let p = self.next_ephemeral;
-            self.next_ephemeral = if self.next_ephemeral >= 65_000 {
-                40_000
+            // EPHEMERAL_HIGH is exclusive: wrap before the scan reaches it,
+            // so every generation covers exactly the same range.
+            self.next_ephemeral = if p + 1 >= EPHEMERAL_HIGH {
+                EPHEMERAL_LOW
             } else {
-                self.next_ephemeral + 1
+                p + 1
             };
             if !self.listeners.contains_key(&p) {
                 return p;

@@ -10,7 +10,7 @@ use nk_types::{
     DataHandle, NkError, NkResult, Nqe, NsmId, OpResult, OpType, QueueSetId, SocketId, StackKind,
     VmId,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Guest socket ids allocated by ServiceLib (for accepted connections) start
 /// at this value so they can never collide with guest-allocated ids.
@@ -53,15 +53,17 @@ struct ConnCtx {
 pub struct ServiceLib {
     nsm: NsmId,
     device: NkDevice<ResponderEnd>,
-    regions: HashMap<VmId, HugepageRegion>,
-    /// guest tuple → stack socket.
-    fwd: HashMap<(VmId, SocketId), SocketId>,
+    regions: BTreeMap<VmId, HugepageRegion>,
+    /// guest tuple → stack socket. Ordered maps throughout: ServiceLib
+    /// iterates its connections every tick, and that order must be the same
+    /// across runs for seeded scenarios to replay exactly.
+    fwd: BTreeMap<(VmId, SocketId), SocketId>,
     /// stack socket → guest context.
-    ctx: HashMap<SocketId, ConnCtx>,
+    ctx: BTreeMap<SocketId, ConnCtx>,
     /// Payload accepted from guests but not yet taken by the stack.
-    pending_send: HashMap<SocketId, VecDeque<Vec<u8>>>,
+    pending_send: BTreeMap<SocketId, VecDeque<Vec<u8>>>,
     /// Bytes announced to the guest and not yet consumed (receive credit).
-    rx_outstanding: HashMap<SocketId, usize>,
+    rx_outstanding: BTreeMap<SocketId, usize>,
     /// Per-VM Seawall windows (fair-share NSM only).
     fair_share: Option<VmWindowRegistry>,
     next_guest_sock: u32,
@@ -78,11 +80,11 @@ impl ServiceLib {
         ServiceLib {
             nsm,
             device,
-            regions: HashMap::new(),
-            fwd: HashMap::new(),
-            ctx: HashMap::new(),
-            pending_send: HashMap::new(),
-            rx_outstanding: HashMap::new(),
+            regions: BTreeMap::new(),
+            fwd: BTreeMap::new(),
+            ctx: BTreeMap::new(),
+            pending_send: BTreeMap::new(),
+            rx_outstanding: BTreeMap::new(),
             fair_share: None,
             next_guest_sock: NSM_SOCKET_ID_BASE,
             batch: batch.max(1),

@@ -19,6 +19,9 @@
 //! * [`poll`] — the [`Pollable`] work-reporting trait every datapath
 //!   component implements so the host can schedule them uniformly;
 //! * [`record`] — time-series recorders and counters used by experiments;
+//! * [`rng`] — the workspace's seeded SplitMix64 generator, the only source
+//!   of randomness (fabric impairments, fault schedules, scenario payloads)
+//!   so every run is replayable from its seed;
 //! * [`histogram`] — a logarithmic-bucket latency histogram (paper Table 5).
 
 pub mod bucket;
@@ -28,6 +31,7 @@ pub mod cost;
 pub mod histogram;
 pub mod poll;
 pub mod record;
+pub mod rng;
 
 pub use bucket::TokenBucket;
 pub use clock::{Clock, NANOS_PER_SEC};
@@ -36,3 +40,4 @@ pub use cost::CostModel;
 pub use histogram::Histogram;
 pub use poll::Pollable;
 pub use record::{Counter, TimeSeries};
+pub use rng::SplitMix64;

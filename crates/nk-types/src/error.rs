@@ -56,6 +56,9 @@ pub enum NkError {
     MalformedNqe,
     /// The operation is not supported by this NSM / stack.
     Unsupported,
+    /// No NSM is currently serving the VM's requests: the mapped NSM crashed
+    /// and has not been restarted or replaced yet.
+    NsmUnavailable,
 }
 
 impl NkError {
@@ -86,6 +89,7 @@ impl NkError {
             NkError::BadConfig => 19,
             NkError::MalformedNqe => 20,
             NkError::Unsupported => 21,
+            NkError::NsmUnavailable => 22,
         }
     }
 
@@ -114,6 +118,7 @@ impl NkError {
             19 => NkError::BadConfig,
             20 => NkError::MalformedNqe,
             21 => NkError::Unsupported,
+            22 => NkError::NsmUnavailable,
             _ => return None,
         })
     }
@@ -143,6 +148,7 @@ impl fmt::Display for NkError {
             NkError::BadConfig => "invalid configuration",
             NkError::MalformedNqe => "malformed NQE",
             NkError::Unsupported => "operation not supported",
+            NkError::NsmUnavailable => "no NSM currently serving the VM",
         };
         f.write_str(msg)
     }
@@ -176,6 +182,7 @@ mod tests {
         NkError::BadConfig,
         NkError::MalformedNqe,
         NkError::Unsupported,
+        NkError::NsmUnavailable,
     ];
 
     #[test]

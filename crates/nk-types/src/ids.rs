@@ -106,7 +106,7 @@ impl fmt::Display for NsmId {
 ///
 /// The same shape is reused for the *NSM tuple* with [`ConnKey::entity`]
 /// holding the NSM id.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct ConnKey {
     /// Owning entity (a VM id for VM tuples, an NSM id for NSM tuples).
     pub entity: u8,

@@ -10,6 +10,7 @@
 //! * simplified socket addresses ([`addr`]),
 //! * error types ([`error`]),
 //! * configuration for hosts, VMs and NSMs ([`config`]),
+//! * deterministic fault-injection plans ([`faults`]),
 //! * the provider-facing constants of the testbed ([`constants`]),
 //! * and the guest-facing non-blocking socket API trait ([`api`]) that both
 //!   the NetKernel `GuestLib` and the in-guest baseline stack implement.
@@ -19,6 +20,7 @@ pub mod api;
 pub mod config;
 pub mod constants;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod nqe;
 pub mod ops;
@@ -29,6 +31,7 @@ pub use config::{
     CcKind, HostConfig, IsolationPolicy, NsmConfig, StackKind, VmConfig, VmToNsmPolicy,
 };
 pub use error::{NkError, NkResult};
+pub use faults::{FaultAction, FaultEvent, FaultPlan, LinkFault};
 pub use ids::{ConnKey, NsmId, QueueSetId, SocketId, VmId};
 pub use nqe::{DataHandle, Nqe, NQE_SIZE};
 pub use ops::{OpResult, OpType};

@@ -115,6 +115,15 @@ impl Nqe {
         })
     }
 
+    /// Build an asynchronous [`OpType::ErrorEvent`] carrying `err` for a
+    /// guest socket. CoreEngine emits these when the infrastructure fails
+    /// underneath a connection (e.g. its NSM crashed) and no request is in
+    /// hand to answer.
+    pub fn error_event(vm: VmId, queue_set: QueueSetId, socket: SocketId, err: NkError) -> Nqe {
+        Nqe::new(OpType::ErrorEvent, vm, queue_set, socket)
+            .with_op_data(op_data::pack(crate::ops::OpResult::Err(err), 0))
+    }
+
     /// The execution result encoded in this (completion) NQE.
     pub fn result(&self) -> OpResult {
         op_data::result(self.op_data)

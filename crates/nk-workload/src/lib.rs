@@ -9,10 +9,16 @@
 //!   [`nk_types::SocketApi`] trait: an epoll echo/HTTP-style server and a
 //!   closed-loop `ab`-style client, usable unmodified on both the NetKernel
 //!   GuestLib and the baseline in-guest stack (the property use case 3 relies
-//!   on).
+//!   on);
+//! * [`scenario`] — the deterministic scenario runner composing a host, a
+//!   verified reliable-transfer workload and a fault plan (NSM crashes, live
+//!   migration, link degradation) with invariant checks, plus the seeded
+//!   random fault-schedule generator the property tests draw from.
 
 pub mod agtrace;
 pub mod apps;
+pub mod scenario;
 
 pub use agtrace::{AgTrace, AgTraceConfig};
 pub use apps::{ClosedLoopClient, EchoServer};
+pub use scenario::{random_fault_plan, seeded_payload, Scenario, ScenarioConfig, ScenarioReport};

@@ -28,4 +28,5 @@ pub use nk_sim as sim;
 pub use nk_types as types;
 pub use nk_workload as workload;
 
-pub use nk_types::{NkError, NkResult, SocketApi};
+pub use nk_types::{FaultAction, FaultEvent, FaultPlan, LinkFault, NkError, NkResult, SocketApi};
+pub use nk_workload::{random_fault_plan, Scenario, ScenarioConfig, ScenarioReport};
