@@ -9,8 +9,10 @@
 //! or a single one by name, e.g. `cargo run -p bench --bin experiments fig13`.
 //! Output is a table per experiment in the same units the paper reports;
 //! `EXPERIMENTS.md` records the comparison against the published numbers.
+//! Headline numbers are also written to `BENCH_results.json` (override the
+//! path with `BENCH_RESULTS_PATH`) so CI can archive the perf trajectory.
 
-use bench::report::{f, print_table};
+use bench::report::{f, print_table, BenchResults};
 use nk_host::{PerfModel, TrafficDirection};
 use nk_sim::TokenBucket;
 use nk_types::StackKind;
@@ -21,62 +23,76 @@ fn main() {
     let want = |name: &str| filter.is_empty() || filter.iter().any(|a| a == name || a == "all");
 
     let model = PerfModel::new();
+    let mut results = BenchResults::new();
 
     if want("fig07") {
-        fig07_ag_trace();
+        fig07_ag_trace(&mut results);
     }
     if want("fig08") || want("tab02") {
-        fig08_tab02_multiplexing(&model);
+        fig08_tab02_multiplexing(&model, &mut results);
     }
     if want("fig09") {
-        fig09_fair_sharing();
+        fig09_fair_sharing(&mut results);
     }
     if want("tab03") {
-        tab03_mtcp_nginx(&model);
+        tab03_mtcp_nginx(&model, &mut results);
     }
     if want("fig10") {
-        fig10_shared_memory(&model);
+        fig10_shared_memory(&model, &mut results);
     }
     if want("fig11") {
-        fig11_nqe_switching(&model);
+        fig11_nqe_switching(&model, &mut results);
     }
     if want("fig12") {
-        fig12_memcopy(&model);
+        fig12_memcopy(&model, &mut results);
     }
     if want("fig13") || want("fig14") {
-        fig13_14_single_stream(&model);
+        fig13_14_single_stream(&model, &mut results);
     }
     if want("fig15") || want("fig16") {
-        fig15_16_multi_stream(&model);
+        fig15_16_multi_stream(&model, &mut results);
     }
     if want("fig17") {
-        fig17_short_connections(&model);
+        fig17_short_connections(&model, &mut results);
     }
     if want("fig18") || want("fig19") {
-        fig18_19_stack_scaling(&model);
+        fig18_19_stack_scaling(&model, &mut results);
     }
     if want("fig20") {
-        fig20_rps_scaling(&model);
+        fig20_rps_scaling(&model, &mut results);
     }
     if want("tab04") {
-        tab04_nsm_scaling(&model);
+        tab04_nsm_scaling(&model, &mut results);
     }
     if want("fig21") {
-        fig21_isolation();
+        fig21_isolation(&mut results);
     }
     if want("tab05") {
-        tab05_latency(&model);
+        tab05_latency(&model, &mut results);
     }
     if want("tab06") {
-        tab06_cpu_overhead_throughput(&model);
+        tab06_cpu_overhead_throughput(&model, &mut results);
     }
     if want("tab07") {
-        tab07_cpu_overhead_rps(&model);
+        tab07_cpu_overhead_rps(&model, &mut results);
+    }
+
+    if results.experiments.is_empty() {
+        // A typo'd experiment name must fail loudly rather than exit green
+        // and clobber a previous results file with an empty list.
+        eprintln!("no experiment matched {filter:?} — see the `want(..)` names in main()");
+        std::process::exit(2);
+    }
+    let path =
+        std::env::var("BENCH_RESULTS_PATH").unwrap_or_else(|_| "BENCH_results.json".to_string());
+    match results.write(&path) {
+        Ok(()) => println!("\nwrote machine-readable results to {path}"),
+        Err(e) => eprintln!("\nfailed to write {path}: {e}"),
     }
 }
 
 /// Figure 7: bursty traffic of the three most-utilised application gateways.
-fn fig07_ag_trace() {
+fn fig07_ag_trace(results: &mut BenchResults) {
     let trace = AgTrace::generate(&AgTraceConfig::default());
     let top = trace.top_utilised(3);
     let rows: Vec<Vec<String>> = (0..trace.minutes())
@@ -94,6 +110,7 @@ fn fig07_ag_trace() {
         &["minute", "AG1", "AG2", "AG3"],
         &rows,
     );
+    let record = results.experiment("fig07");
     for (i, &g) in top.iter().enumerate() {
         println!(
             "AG{}: mean {:.1}, peak {:.1}, utilisation {:.0}%",
@@ -102,11 +119,14 @@ fn fig07_ag_trace() {
             trace.peak_of(g),
             100.0 * trace.mean_of(g) / trace.peak_rps
         );
+        record
+            .metric(&format!("ag{}_mean_rps", i + 1), "rps", trace.mean_of(g))
+            .metric(&format!("ag{}_peak_rps", i + 1), "rps", trace.peak_of(g));
     }
 }
 
 /// Figure 8 + Table 2: multiplexing bursty AGs onto a shared NSM.
-fn fig08_tab02_multiplexing(model: &PerfModel) {
+fn fig08_tab02_multiplexing(model: &PerfModel, results: &mut BenchResults) {
     let trace = AgTrace::generate(&AgTraceConfig::default());
     let top = trace.top_utilised(3);
 
@@ -190,10 +210,24 @@ fn fig08_tab02_multiplexing(model: &PerfModel) {
         100.0 * (netkernel_ags as f64 / baseline_ags as f64 - 1.0),
         100.0 * (1.0 - machine_cores as f64 / baseline_cores_for_same).max(0.0)
     );
+    results
+        .experiment("fig08_tab02")
+        .metric(
+            "rps_per_core_baseline",
+            "rps",
+            aggregate_mean / baseline_cores,
+        )
+        .metric(
+            "rps_per_core_netkernel",
+            "rps",
+            aggregate_mean / netkernel_cores,
+        )
+        .metric("ags_hosted_baseline", "count", baseline_ags as f64)
+        .metric("ags_hosted_netkernel", "count", netkernel_ags as f64);
 }
 
 /// Figure 9: VM-level fair bandwidth sharing.
-fn fig09_fair_sharing() {
+fn fig09_fair_sharing(results: &mut BenchResults) {
     // A well-behaved VM A always uses 8 connections; a selfish VM B uses 8,
     // 16 and 24. Baseline TCP divides the bottleneck per *flow*; the
     // fair-share NSM divides it per *VM* via the shared congestion window
@@ -220,15 +254,23 @@ fn fig09_fair_sharing() {
         ],
         &rows,
     );
+    results
+        .experiment("fig09")
+        .metric("baseline_a_share_8_24", "pct", 100.0 * 8.0 / 32.0)
+        .metric("netkernel_a_share_8_24", "pct", 50.0);
 }
 
 /// Table 3: unmodified nginx served by the kernel-stack vs mTCP NSM.
-fn tab03_mtcp_nginx(model: &PerfModel) {
+fn tab03_mtcp_nginx(model: &PerfModel, results: &mut BenchResults) {
+    let record = results.experiment("tab03");
     let rows: Vec<Vec<String>> = [1usize, 2, 4]
         .iter()
         .map(|&cores| {
             let kernel = model.rps(StackKind::Kernel, cores, 64, true, 1);
             let mtcp = model.rps(StackKind::Mtcp, cores, 64, true, 1);
+            record
+                .metric(&format!("kernel_rps_{cores}c"), "rps", kernel)
+                .metric(&format!("mtcp_rps_{cores}c"), "rps", mtcp);
             vec![
                 cores.to_string(),
                 f(kernel / 1e3, 1),
@@ -245,7 +287,7 @@ fn tab03_mtcp_nginx(model: &PerfModel) {
 }
 
 /// Figure 10: shared-memory NSM for colocated VMs.
-fn fig10_shared_memory(model: &PerfModel) {
+fn fig10_shared_memory(model: &PerfModel, results: &mut BenchResults) {
     let sizes = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192];
     let rows: Vec<Vec<String>> = sizes
         .iter()
@@ -282,10 +324,22 @@ fn fig10_shared_memory(model: &PerfModel) {
         &["msg size (B)", "Baseline", "NetKernel shm NSM"],
         &rows,
     );
+    results
+        .experiment("fig10")
+        .metric(
+            "shm_gbps_64",
+            "Gbps",
+            (2.0 * model.memcopy_gbps(64)).min(100.0),
+        )
+        .metric(
+            "shm_gbps_8k",
+            "Gbps",
+            (2.0 * model.memcopy_gbps(8192)).min(100.0),
+        );
 }
 
 /// Figure 11: CoreEngine NQE switching throughput vs batch size.
-fn fig11_nqe_switching(model: &PerfModel) {
+fn fig11_nqe_switching(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 32, 64, 128, 256]
         .iter()
         .map(|&batch| vec![batch.to_string(), f(model.nqe_switch_rate(batch) / 1e6, 1)])
@@ -295,10 +349,14 @@ fn fig11_nqe_switching(model: &PerfModel) {
         &["batch size", "M NQEs/s"],
         &rows,
     );
+    results
+        .experiment("fig11")
+        .metric("switch_mnqes_b1", "M/s", model.nqe_switch_rate(1) / 1e6)
+        .metric("switch_mnqes_b256", "M/s", model.nqe_switch_rate(256) / 1e6);
 }
 
 /// Figure 12: hugepage copy-path throughput vs message size.
-fn fig12_memcopy(model: &PerfModel) {
+fn fig12_memcopy(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192]
         .iter()
         .map(|&msg| vec![msg.to_string(), f(model.memcopy_gbps(msg), 1)])
@@ -308,6 +366,10 @@ fn fig12_memcopy(model: &PerfModel) {
         &["msg size (B)", "Gbps"],
         &rows,
     );
+    results
+        .experiment("fig12")
+        .metric("memcopy_gbps_64", "Gbps", model.memcopy_gbps(64))
+        .metric("memcopy_gbps_8k", "Gbps", model.memcopy_gbps(8192));
 }
 
 fn bulk_rows(
@@ -328,8 +390,24 @@ fn bulk_rows(
         .collect()
 }
 
+/// Record the 16 KiB-message headline numbers of one bulk figure.
+fn record_bulk(
+    results: &mut BenchResults,
+    model: &PerfModel,
+    name: &str,
+    dir: TrafficDirection,
+    streams: usize,
+) {
+    let baseline = model.bulk_throughput_gbps(StackKind::Kernel, dir, 16384, streams, 1, false, 1);
+    let netkernel = model.bulk_throughput_gbps(StackKind::Kernel, dir, 16384, streams, 1, true, 1);
+    results
+        .experiment(name)
+        .metric("baseline_gbps_16k", "Gbps", baseline)
+        .metric("netkernel_gbps_16k", "Gbps", netkernel);
+}
+
 /// Figures 13 and 14: single-stream send/receive, 1-vCPU VM and NSM.
-fn fig13_14_single_stream(model: &PerfModel) {
+fn fig13_14_single_stream(model: &PerfModel, results: &mut BenchResults) {
     print_table(
         "Figure 13: single-stream TCP send throughput (Gbps), kernel-stack NSM, 1 vCPU",
         &["msg size (B)", "Baseline", "NetKernel"],
@@ -340,10 +418,12 @@ fn fig13_14_single_stream(model: &PerfModel) {
         &["msg size (B)", "Baseline", "NetKernel"],
         &bulk_rows(model, TrafficDirection::Receive, 1, 1),
     );
+    record_bulk(results, model, "fig13", TrafficDirection::Send, 1);
+    record_bulk(results, model, "fig14", TrafficDirection::Receive, 1);
 }
 
 /// Figures 15 and 16: 8-stream send/receive, 1-vCPU VM and NSM.
-fn fig15_16_multi_stream(model: &PerfModel) {
+fn fig15_16_multi_stream(model: &PerfModel, results: &mut BenchResults) {
     print_table(
         "Figure 15: 8-stream TCP send throughput (Gbps), kernel-stack NSM, 1 vCPU",
         &["msg size (B)", "Baseline", "NetKernel"],
@@ -354,10 +434,12 @@ fn fig15_16_multi_stream(model: &PerfModel) {
         &["msg size (B)", "Baseline", "NetKernel"],
         &bulk_rows(model, TrafficDirection::Receive, 8, 1),
     );
+    record_bulk(results, model, "fig15", TrafficDirection::Send, 8);
+    record_bulk(results, model, "fig16", TrafficDirection::Receive, 8);
 }
 
 /// Figure 17: short TCP connections vs message size.
-fn fig17_short_connections(model: &PerfModel) {
+fn fig17_short_connections(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [64usize, 128, 256, 512, 1024, 2048, 4096, 8192]
         .iter()
         .map(|&msg| {
@@ -382,10 +464,22 @@ fn fig17_short_connections(model: &PerfModel) {
         ],
         &rows,
     );
+    results
+        .experiment("fig17")
+        .metric(
+            "baseline_rps_64",
+            "rps",
+            model.rps(StackKind::Kernel, 1, 64, false, 1),
+        )
+        .metric(
+            "netkernel_rps_64",
+            "rps",
+            model.rps(StackKind::Kernel, 1, 64, true, 1),
+        );
 }
 
 /// Figures 18 and 19: bulk throughput scaling with vCPUs (8 KB messages).
-fn fig18_19_stack_scaling(model: &PerfModel) {
+fn fig18_19_stack_scaling(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = (1usize..=8)
         .map(|cores| {
             let bs = model.bulk_throughput_gbps(
@@ -438,10 +532,38 @@ fn fig18_19_stack_scaling(model: &PerfModel) {
         ],
         &rows,
     );
+    results
+        .experiment("fig18_19")
+        .metric(
+            "netkernel_send_gbps_8c",
+            "Gbps",
+            model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Send,
+                8192,
+                8,
+                8,
+                true,
+                1,
+            ),
+        )
+        .metric(
+            "netkernel_recv_gbps_8c",
+            "Gbps",
+            model.bulk_throughput_gbps(
+                StackKind::Kernel,
+                TrafficDirection::Receive,
+                8192,
+                8,
+                8,
+                true,
+                1,
+            ),
+        );
 }
 
 /// Figure 20: short-connection scaling with vCPUs, kernel vs mTCP NSM.
-fn fig20_rps_scaling(model: &PerfModel) {
+fn fig20_rps_scaling(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [1usize, 2, 3, 4, 5, 6, 7, 8]
         .iter()
         .map(|&cores| {
@@ -466,10 +588,23 @@ fn fig20_rps_scaling(model: &PerfModel) {
         ],
         &rows,
     );
+    results
+        .experiment("fig20")
+        .metric(
+            "kernel_rps_8c",
+            "rps",
+            model.rps(StackKind::Kernel, 8, 64, true, 1),
+        )
+        .metric(
+            "mtcp_rps_8c",
+            "rps",
+            model.rps(StackKind::Mtcp, 8, 64, true, 1),
+        );
 }
 
 /// Table 4: scaling with the number of 2-vCPU NSMs serving one VM.
-fn tab04_nsm_scaling(model: &PerfModel) {
+fn tab04_nsm_scaling(model: &PerfModel, results: &mut BenchResults) {
+    let record = results.experiment("tab04");
     let rows: Vec<Vec<String>> = (1usize..=4)
         .map(|nsms| {
             let send = model.bulk_throughput_gbps(
@@ -491,6 +626,9 @@ fn tab04_nsm_scaling(model: &PerfModel) {
                 nsms,
             );
             let rps = model.rps(StackKind::Kernel, 2, 64, true, nsms);
+            record
+                .metric(&format!("send_gbps_{nsms}nsm"), "Gbps", send)
+                .metric(&format!("recv_gbps_{nsms}nsm"), "Gbps", recv);
             vec![nsms.to_string(), f(send, 1), f(recv, 1), f(rps / 1e3, 1)]
         })
         .collect();
@@ -502,7 +640,7 @@ fn tab04_nsm_scaling(model: &PerfModel) {
 }
 
 /// Figure 21: per-VM bandwidth isolation on a shared 10G NSM.
-fn fig21_isolation() {
+fn fig21_isolation(results: &mut BenchResults) {
     // VM1 capped at 1 Gbps (t=0..25s), VM2 at 500 Mbps (t=4.5..21s), VM3
     // uncapped (t=9..30s); the NSM's vNIC is 10 Gbps and VM3 is
     // work-conserving over whatever the caps leave.
@@ -510,6 +648,7 @@ fn fig21_isolation() {
     let mut vm1 = TokenBucket::for_gbps(1.0, 0);
     let mut vm2 = TokenBucket::for_gbps(0.5, 0);
     let mut rows = Vec::new();
+    let mut vm3_peak: f64 = 0.0;
     let step_ms = 100u64;
     for t_ms in (0..30_000).step_by(step_ms as usize) {
         let now_ns = t_ms * 1_000_000;
@@ -537,6 +676,7 @@ fn fig21_isolation() {
         } else {
             0.0
         };
+        vm3_peak = vm3_peak.max(vm3_g);
         if t_ms % 2_000 == 0 {
             rows.push(vec![f(t, 1), f(vm1_g, 2), f(vm2_g, 2), f(vm3_g, 2)]);
         }
@@ -551,13 +691,35 @@ fn fig21_isolation() {
         ],
         &rows,
     );
+    results
+        .experiment("fig21")
+        .metric("vm1_cap_gbps", "Gbps", 1.0)
+        .metric("vm2_cap_gbps", "Gbps", 0.5)
+        .metric("vm3_peak_gbps", "Gbps", vm3_peak);
 }
 
 /// Table 5: response-time distribution at concurrency 1000.
-fn tab05_latency(model: &PerfModel) {
+fn tab05_latency(model: &PerfModel, results: &mut BenchResults) {
     let kernel_rps = model.rps(StackKind::Kernel, 1, 64, true, 1);
     let baseline_rps = model.rps(StackKind::Kernel, 1, 64, false, 1);
     let mtcp_rps = model.rps(StackKind::Mtcp, 1, 64, true, 1);
+    results
+        .experiment("tab05")
+        .metric(
+            "baseline_mean_ms",
+            "ms",
+            model.closed_loop_latency_ms(1000, baseline_rps),
+        )
+        .metric(
+            "kernel_mean_ms",
+            "ms",
+            model.closed_loop_latency_ms(1000, kernel_rps),
+        )
+        .metric(
+            "mtcp_mean_ms",
+            "ms",
+            model.closed_loop_latency_ms(1000, mtcp_rps),
+        );
     let rows = vec![
         vec![
             "Baseline".into(),
@@ -580,7 +742,7 @@ fn tab05_latency(model: &PerfModel) {
 }
 
 /// Table 6: CPU overhead at matched bulk throughput.
-fn tab06_cpu_overhead_throughput(model: &PerfModel) {
+fn tab06_cpu_overhead_throughput(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [20.0f64, 40.0, 60.0, 80.0, 100.0]
         .iter()
         .map(|&gbps| vec![f(gbps, 0), f(model.cpu_overhead_throughput(8192), 2)])
@@ -590,10 +752,15 @@ fn tab06_cpu_overhead_throughput(model: &PerfModel) {
         &["throughput (Gbps)", "normalised CPU"],
         &rows,
     );
+    results.experiment("tab06").metric(
+        "normalised_cpu_8k",
+        "ratio",
+        model.cpu_overhead_throughput(8192),
+    );
 }
 
 /// Table 7: CPU overhead at matched request rate.
-fn tab07_cpu_overhead_rps(model: &PerfModel) {
+fn tab07_cpu_overhead_rps(model: &PerfModel, results: &mut BenchResults) {
     let rows: Vec<Vec<String>> = [100u32, 200, 300, 400, 500]
         .iter()
         .map(|&krps| vec![format!("{krps}K"), f(model.cpu_overhead_rps(64), 2)])
@@ -603,4 +770,7 @@ fn tab07_cpu_overhead_rps(model: &PerfModel) {
         &["requests/s", "normalised CPU"],
         &rows,
     );
+    results
+        .experiment("tab07")
+        .metric("normalised_cpu_64", "ratio", model.cpu_overhead_rps(64));
 }

@@ -1,7 +1,13 @@
-//! Formatting helpers for experiment output.
+//! Formatting helpers and machine-readable results for experiment output.
 //!
 //! Every experiment binary prints a small table in the same layout the paper
-//! uses, so `EXPERIMENTS.md` can be checked against the output directly.
+//! uses, so `EXPERIMENTS.md` can be checked against the output directly. On
+//! top of the human tables, experiments push their headline numbers (Gbps,
+//! RPS, latency statistics) into a [`BenchResults`] collector which is
+//! written to `BENCH_results.json` — the file CI archives per commit so the
+//! perf trajectory accumulates instead of evaporating with the build log.
+
+use serde::Serialize;
 
 /// Print a table with a title, a header row and data rows, with columns
 /// aligned on width.
@@ -41,6 +47,72 @@ pub fn f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
 
+/// One named number of one experiment (e.g. `send_gbps_8k` in `Gbps`).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Metric {
+    /// Machine-friendly metric name.
+    pub label: String,
+    /// Unit the value is expressed in (`Gbps`, `rps`, `ms`, `us`, …).
+    pub unit: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// The machine-readable record of one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct ExperimentResult {
+    /// Experiment name as used on the CLI (`fig13`, `tab05`, …).
+    pub name: String,
+    /// Headline metrics.
+    pub metrics: Vec<Metric>,
+}
+
+impl ExperimentResult {
+    /// Append one metric (builder style, chainable).
+    pub fn metric(&mut self, label: &str, unit: &str, value: f64) -> &mut Self {
+        self.metrics.push(Metric {
+            label: label.to_string(),
+            unit: unit.to_string(),
+            value,
+        });
+        self
+    }
+}
+
+/// Collector for a whole experiments run, serialized to
+/// `BENCH_results.json`.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct BenchResults {
+    /// One entry per experiment that ran, in execution order.
+    pub experiments: Vec<ExperimentResult>,
+}
+
+impl BenchResults {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open (append) the record of one experiment.
+    pub fn experiment(&mut self, name: &str) -> &mut ExperimentResult {
+        self.experiments.push(ExperimentResult {
+            name: name.to_string(),
+            metrics: Vec::new(),
+        });
+        self.experiments.last_mut().expect("just pushed")
+    }
+
+    /// Pretty JSON rendering of the collected results.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results serialize")
+    }
+
+    /// Write the results to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json() + "\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,5 +130,37 @@ mod tests {
             &["a", "b"],
             &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
         );
+    }
+
+    #[test]
+    fn results_collect_and_serialize() {
+        let mut results = BenchResults::new();
+        results
+            .experiment("fig13")
+            .metric("send_gbps_8k", "Gbps", 31.5)
+            .metric("send_gbps_64", "Gbps", 2.1);
+        results.experiment("tab05").metric("mean_ms", "ms", 14.0);
+        assert_eq!(results.experiments.len(), 2);
+        assert_eq!(results.experiments[0].metrics.len(), 2);
+
+        let json = results.to_json();
+        assert!(json.contains("\"fig13\""));
+        assert!(json.contains("\"send_gbps_8k\""));
+        assert!(json.contains("\"Gbps\""));
+        assert!(json.contains("\"tab05\""));
+    }
+
+    #[test]
+    fn results_round_trip_to_disk() {
+        let mut results = BenchResults::new();
+        results
+            .experiment("fig11")
+            .metric("mnqes_b256", "M/s", 198.0);
+        let path = std::env::temp_dir().join("nk_bench_results_test.json");
+        let path = path.to_str().unwrap();
+        results.write(path).unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.contains("mnqes_b256"));
+        let _ = std::fs::remove_file(path);
     }
 }

@@ -1,0 +1,289 @@
+//! Watermark-driven elastic core scaling.
+
+use crate::{EpochSample, LoadMonitor};
+use nk_types::{ControlAction, ControlPolicy, ControlTarget};
+use std::collections::BTreeMap;
+
+/// Scales CoreEngine and NSM core allocations against the policy's
+/// watermarks.
+///
+/// Hysteresis comes from three places: decisions use the monitor's
+/// *smoothed* utilisation, a component must have a full window of history
+/// ([`LoadMonitor::ready`]), and consecutive decisions for the same target
+/// are spaced by the policy cooldown. Together they keep a bursty workload
+/// from thrashing the allocation up and down every epoch.
+///
+/// Backpressure ([`crate::NsmLoad::queue_depth`], request NQEs parked in
+/// stall queues towards the NSM) is a second overload signal: a
+/// backpressured NSM scales up even if its smoothed utilisation has not
+/// crossed the high watermark yet, and is never scaled down.
+#[derive(Clone, Debug, Default)]
+pub struct Autoscaler {
+    /// Epoch of the last scaling decision per target.
+    last_action: BTreeMap<ControlTarget, u64>,
+}
+
+impl Autoscaler {
+    /// A fresh autoscaler with no cooldowns running.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide scaling actions for one epoch, in deterministic target order
+    /// (CoreEngine first, then NSMs by id).
+    pub fn decide(
+        &mut self,
+        policy: &ControlPolicy,
+        epoch: u64,
+        monitor: &LoadMonitor,
+        sample: &EpochSample,
+    ) -> Vec<ControlAction> {
+        let mut targets = vec![(ControlTarget::Engine, sample.engine_cores, 0u64)];
+        targets.extend(
+            sample
+                .nsms
+                .iter()
+                .map(|(id, load)| (ControlTarget::Nsm(*id), load.cores, load.queue_depth)),
+        );
+        let mut actions = Vec::new();
+        for (target, cores, queue_depth) in targets {
+            if let Some(action) =
+                self.decide_one(policy, epoch, monitor, target, cores, queue_depth)
+            {
+                actions.push(action);
+            }
+        }
+        actions
+    }
+
+    fn decide_one(
+        &mut self,
+        policy: &ControlPolicy,
+        epoch: u64,
+        monitor: &LoadMonitor,
+        target: ControlTarget,
+        cores: usize,
+        queue_depth: u64,
+    ) -> Option<ControlAction> {
+        if !monitor.ready(target) || !self.cooled_down(policy, epoch, target) {
+            return None;
+        }
+        let utilisation = monitor.smoothed(target);
+        let overloaded = utilisation > policy.high_watermark || queue_depth > 0;
+        let action = if overloaded && cores < policy.max_cores {
+            Some(ControlAction::ScaleUp {
+                target,
+                from_cores: cores,
+                to_cores: (cores + policy.scale_step).min(policy.max_cores),
+                utilisation,
+            })
+        } else if utilisation < policy.low_watermark && queue_depth == 0 && cores > policy.min_cores
+        {
+            Some(ControlAction::ScaleDown {
+                target,
+                from_cores: cores,
+                to_cores: cores
+                    .saturating_sub(policy.scale_step)
+                    .max(policy.min_cores),
+                utilisation,
+            })
+        } else {
+            None
+        };
+        if action.is_some() {
+            self.last_action.insert(target, epoch);
+        }
+        action
+    }
+
+    fn cooled_down(&self, policy: &ControlPolicy, epoch: u64, target: ControlTarget) -> bool {
+        match self.last_action.get(&target) {
+            Some(last) => epoch.saturating_sub(*last) > policy.cooldown_epochs,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NsmLoad;
+    use nk_types::NsmId;
+
+    fn policy() -> ControlPolicy {
+        ControlPolicy::new()
+            .with_window(1)
+            .with_watermarks(0.2, 0.8)
+            .with_core_bounds(1, 4)
+            .with_cooldown(2)
+    }
+
+    fn sample(cores: usize, util: f64) -> EpochSample {
+        let mut nsms = BTreeMap::new();
+        nsms.insert(
+            NsmId(1),
+            NsmLoad {
+                cores,
+                utilisation: util,
+                queue_depth: 0,
+                vm_bytes: BTreeMap::new(),
+            },
+        );
+        EpochSample {
+            now_ns: 0,
+            engine_cores: 1,
+            engine_utilisation: 0.5,
+            nsms,
+        }
+    }
+
+    fn monitor_with(sample: &EpochSample) -> LoadMonitor {
+        let mut m = LoadMonitor::new(1);
+        m.observe(sample);
+        m
+    }
+
+    #[test]
+    fn overload_scales_up_idle_scales_down() {
+        let policy = policy();
+        let mut scaler = Autoscaler::new();
+        let hot = sample(1, 0.95);
+        let actions = scaler.decide(&policy, 0, &monitor_with(&hot), &hot);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ScaleUp {
+                target: ControlTarget::Nsm(NsmId(1)),
+                from_cores: 1,
+                to_cores: 2,
+                utilisation: 0.95,
+            }]
+        );
+
+        let mut scaler = Autoscaler::new();
+        let idle = sample(3, 0.05);
+        let actions = scaler.decide(&policy, 0, &monitor_with(&idle), &idle);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ScaleDown {
+                target: ControlTarget::Nsm(NsmId(1)),
+                from_cores: 3,
+                to_cores: 2,
+                utilisation: 0.05,
+            }]
+        );
+    }
+
+    #[test]
+    fn cooldown_spaces_consecutive_decisions() {
+        let policy = policy();
+        let mut scaler = Autoscaler::new();
+        let hot = sample(1, 0.95);
+        let m = monitor_with(&hot);
+        assert_eq!(scaler.decide(&policy, 0, &m, &hot).len(), 1);
+        // Epochs 1 and 2 are inside the cooldown; epoch 3 is past it.
+        assert!(scaler.decide(&policy, 1, &m, &hot).is_empty());
+        assert!(scaler.decide(&policy, 2, &m, &hot).is_empty());
+        assert_eq!(scaler.decide(&policy, 3, &m, &hot).len(), 1);
+    }
+
+    #[test]
+    fn bounds_clamp_scaling() {
+        let policy = policy();
+        let mut scaler = Autoscaler::new();
+        // Already at the ceiling: overload changes nothing.
+        let hot = sample(4, 1.0);
+        assert!(scaler
+            .decide(&policy, 0, &monitor_with(&hot), &hot)
+            .is_empty());
+        // Already at the floor: idleness changes nothing.
+        let idle = sample(1, 0.0);
+        assert!(scaler
+            .decide(&policy, 5, &monitor_with(&idle), &idle)
+            .is_empty());
+    }
+
+    #[test]
+    fn watermark_band_is_stable() {
+        let policy = policy();
+        let mut scaler = Autoscaler::new();
+        let ok = sample(2, 0.5);
+        assert!(scaler
+            .decide(&policy, 0, &monitor_with(&ok), &ok)
+            .is_empty());
+    }
+
+    #[test]
+    fn unready_window_defers_decisions() {
+        let policy = ControlPolicy::new()
+            .with_window(3)
+            .with_watermarks(0.2, 0.8)
+            .with_core_bounds(1, 4);
+        let mut scaler = Autoscaler::new();
+        let hot = sample(1, 1.0);
+        let mut m = LoadMonitor::new(3);
+        m.observe(&hot);
+        assert!(scaler.decide(&policy, 0, &m, &hot).is_empty());
+        m.observe(&hot);
+        m.observe(&hot);
+        assert_eq!(scaler.decide(&policy, 2, &m, &hot).len(), 1);
+    }
+
+    /// Backpressure is an overload signal of its own: a backpressured NSM
+    /// scales up even in the watermark band, and never scales down.
+    #[test]
+    fn backpressure_forces_scale_up_and_blocks_scale_down() {
+        let policy = policy();
+        let mut scaler = Autoscaler::new();
+        let mut mid = sample(2, 0.5); // inside the stable band
+        mid.nsms.get_mut(&NsmId(1)).unwrap().queue_depth = 7;
+        let actions = scaler.decide(&policy, 0, &monitor_with(&mid), &mid);
+        assert!(
+            matches!(actions[..], [ControlAction::ScaleUp { .. }]),
+            "{actions:?}"
+        );
+
+        let mut scaler = Autoscaler::new();
+        let mut idle_but_stalled = sample(3, 0.05); // under the low watermark
+        idle_but_stalled
+            .nsms
+            .get_mut(&NsmId(1))
+            .unwrap()
+            .queue_depth = 1;
+        let actions = scaler.decide(
+            &policy,
+            0,
+            &monitor_with(&idle_but_stalled),
+            &idle_but_stalled,
+        );
+        // Stalled NQEs mean the component is not actually idle: it scales
+        // up (backpressure wins), never down.
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ControlAction::ScaleDown { .. })),
+            "{actions:?}"
+        );
+    }
+
+    #[test]
+    fn engine_scales_like_an_nsm() {
+        let policy = ControlPolicy::new()
+            .with_window(1)
+            .with_watermarks(0.2, 0.8)
+            .with_core_bounds(1, 4);
+        let mut scaler = Autoscaler::new();
+        let mut s = sample(2, 0.5);
+        s.engine_cores = 1;
+        s.engine_utilisation = 0.9;
+        let actions = scaler.decide(&policy, 0, &monitor_with(&s), &s);
+        assert_eq!(
+            actions,
+            vec![ControlAction::ScaleUp {
+                target: ControlTarget::Engine,
+                from_cores: 1,
+                to_cores: 2,
+                utilisation: 0.9,
+            }]
+        );
+    }
+}

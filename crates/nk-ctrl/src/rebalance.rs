@@ -1,0 +1,246 @@
+//! Skew-driven VM rebalancing across NSMs.
+
+use crate::{EpochSample, LoadMonitor};
+use nk_types::{ControlAction, ControlPolicy, ControlTarget, NsmId, VmId};
+use std::collections::BTreeMap;
+
+/// Live-migrates VMs off the hottest NSM onto the coolest one.
+///
+/// A migration fires only when the smoothed utilisation gap between the
+/// most and least loaded NSM exceeds the policy skew *and* the source is
+/// actually above the high watermark — balancing two comfortable NSMs is
+/// churn, not an improvement. Candidates move busiest-first (their traffic
+/// is the load being relocated), each VM is migrated at most once per
+/// cooldown, at most `max_migrations_per_epoch` moves happen per epoch, and
+/// anti-affine VMs are never co-located by a rebalance.
+#[derive(Clone, Debug, Default)]
+pub struct Rebalancer {
+    /// Epoch each VM was last migrated in.
+    last_moved: BTreeMap<VmId, u64>,
+}
+
+impl Rebalancer {
+    /// A fresh rebalancer with no migration history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Decide migrations for one epoch.
+    pub fn decide(
+        &mut self,
+        policy: &ControlPolicy,
+        epoch: u64,
+        monitor: &LoadMonitor,
+        sample: &EpochSample,
+    ) -> Vec<ControlAction> {
+        if sample.nsms.len() < 2 || policy.max_migrations_per_epoch == 0 {
+            return Vec::new();
+        }
+        // Hottest and coolest NSM by smoothed utilisation (ties: lower id).
+        let mut src: Option<(NsmId, f64)> = None;
+        let mut dst: Option<(NsmId, f64)> = None;
+        for id in sample.nsms.keys() {
+            let util = monitor.smoothed(ControlTarget::Nsm(*id));
+            if src.is_none_or(|(_, u)| util > u) {
+                src = Some((*id, util));
+            }
+            if dst.is_none_or(|(_, u)| util < u) {
+                dst = Some((*id, util));
+            }
+        }
+        let (Some((src, src_util)), Some((dst, dst_util))) = (src, dst) else {
+            return Vec::new();
+        };
+        if src == dst
+            || !monitor.ready(ControlTarget::Nsm(src))
+            || src_util - dst_util < policy.rebalance_skew
+            || src_util <= policy.high_watermark
+        {
+            return Vec::new();
+        }
+        let Some(src_load) = sample.nsms.get(&src) else {
+            return Vec::new();
+        };
+        let dst_vms: Vec<VmId> = sample
+            .nsms
+            .get(&dst)
+            .map(|l| l.vm_bytes.keys().copied().collect())
+            .unwrap_or_default();
+
+        // Busiest VMs first; ties broken by id for determinism.
+        let mut candidates: Vec<(VmId, u64)> = src_load
+            .vm_bytes
+            .iter()
+            .map(|(vm, bytes)| (*vm, *bytes))
+            .collect();
+        candidates.sort_by_key(|&(vm, bytes)| (std::cmp::Reverse(bytes), vm));
+
+        let mut actions = Vec::new();
+        let mut placed: Vec<VmId> = dst_vms;
+        for (vm, _) in candidates {
+            if actions.len() >= policy.max_migrations_per_epoch {
+                break;
+            }
+            if self
+                .last_moved
+                .get(&vm)
+                .is_some_and(|last| epoch.saturating_sub(*last) <= policy.cooldown_epochs)
+            {
+                continue;
+            }
+            if placed.iter().any(|other| policy.conflicts(vm, *other)) {
+                continue;
+            }
+            self.last_moved.insert(vm, epoch);
+            placed.push(vm);
+            actions.push(ControlAction::Rebalance {
+                vm,
+                from: src,
+                to: dst,
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NsmLoad;
+
+    fn sample(src_vms: &[(u8, u64)], dst_vms: &[(u8, u64)]) -> EpochSample {
+        let mut nsms = BTreeMap::new();
+        nsms.insert(
+            NsmId(1),
+            NsmLoad {
+                cores: 1,
+                utilisation: 1.0,
+                queue_depth: 4,
+                vm_bytes: src_vms.iter().map(|&(v, b)| (VmId(v), b)).collect(),
+            },
+        );
+        nsms.insert(
+            NsmId(2),
+            NsmLoad {
+                cores: 1,
+                utilisation: 0.0,
+                queue_depth: 0,
+                vm_bytes: dst_vms.iter().map(|&(v, b)| (VmId(v), b)).collect(),
+            },
+        );
+        EpochSample {
+            now_ns: 0,
+            engine_cores: 1,
+            engine_utilisation: 0.0,
+            nsms,
+        }
+    }
+
+    fn ready_monitor(sample: &EpochSample) -> LoadMonitor {
+        let mut m = LoadMonitor::new(1);
+        m.observe(sample);
+        m
+    }
+
+    fn policy() -> ControlPolicy {
+        ControlPolicy::new()
+            .with_window(1)
+            .with_watermarks(0.2, 0.7)
+            .with_rebalance(0.5, 1)
+            .with_cooldown(2)
+    }
+
+    #[test]
+    fn skewed_load_migrates_the_busiest_vm() {
+        let mut r = Rebalancer::new();
+        let s = sample(&[(1, 100), (2, 900)], &[]);
+        let actions = r.decide(&policy(), 0, &ready_monitor(&s), &s);
+        assert_eq!(
+            actions,
+            vec![ControlAction::Rebalance {
+                vm: VmId(2),
+                from: NsmId(1),
+                to: NsmId(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn balanced_or_comfortable_load_stays_put() {
+        let mut r = Rebalancer::new();
+        // Identical utilisation: no skew.
+        let mut s = sample(&[(1, 100)], &[]);
+        s.nsms.get_mut(&NsmId(2)).unwrap().utilisation = 1.0;
+        let actions = r.decide(&policy(), 0, &ready_monitor(&s), &s);
+        assert!(actions.is_empty());
+
+        // Skewed but the hot NSM is under the high watermark: leave it be.
+        let mut s = sample(&[(1, 100)], &[]);
+        s.nsms.get_mut(&NsmId(1)).unwrap().utilisation = 0.6;
+        let actions = r.decide(&policy(), 0, &ready_monitor(&s), &s);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn migration_budget_bounds_moves_per_epoch() {
+        let mut r = Rebalancer::new();
+        let mut p = policy();
+        p.max_migrations_per_epoch = 2;
+        let s = sample(&[(1, 100), (2, 200), (3, 300)], &[]);
+        let actions = r.decide(&p, 0, &ready_monitor(&s), &s);
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            ControlAction::Rebalance { vm: VmId(3), .. }
+        ));
+        assert!(matches!(
+            actions[1],
+            ControlAction::Rebalance { vm: VmId(2), .. }
+        ));
+
+        p.max_migrations_per_epoch = 0;
+        let actions = r.decide(&p, 1, &ready_monitor(&s), &s);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn anti_affinity_blocks_colocating_conflicting_vms() {
+        let mut r = Rebalancer::new();
+        let p = policy().with_anti_affinity(VmId(2), VmId(9));
+        // VM 9 already lives on the target NSM: VM 2 may not join it, the
+        // next-busiest candidate moves instead.
+        let s = sample(&[(1, 100), (2, 900)], &[(9, 0)]);
+        let actions = r.decide(&p, 0, &ready_monitor(&s), &s);
+        assert_eq!(
+            actions,
+            vec![ControlAction::Rebalance {
+                vm: VmId(1),
+                from: NsmId(1),
+                to: NsmId(2),
+            }]
+        );
+    }
+
+    #[test]
+    fn per_vm_cooldown_prevents_ping_pong() {
+        let mut r = Rebalancer::new();
+        let p = policy();
+        let s = sample(&[(1, 100)], &[]);
+        let m = ready_monitor(&s);
+        assert_eq!(r.decide(&p, 0, &m, &s).len(), 1);
+        // The same VM shows up hot on the other side next epoch (the load
+        // followed it); within the cooldown it must not bounce back.
+        let s_back = sample(&[(1, 100)], &[]);
+        assert!(r.decide(&p, 1, &ready_monitor(&s_back), &s_back).is_empty());
+        assert!(r.decide(&p, 2, &ready_monitor(&s_back), &s_back).is_empty());
+        assert_eq!(r.decide(&p, 3, &ready_monitor(&s_back), &s_back).len(), 1);
+    }
+
+    #[test]
+    fn single_nsm_hosts_never_rebalance() {
+        let mut r = Rebalancer::new();
+        let mut s = sample(&[(1, 100)], &[]);
+        s.nsms.remove(&NsmId(2));
+        assert!(r.decide(&policy(), 0, &ready_monitor(&s), &s).is_empty());
+    }
+}

@@ -266,6 +266,16 @@ impl CoreEngine {
             .sum()
     }
 
+    /// Request NQEs parked in one VM's stall queues. The control plane's
+    /// load monitor attributes these to the NSM serving the VM as a
+    /// backpressure signal.
+    pub fn stalled_nqes_of(&self, vm: VmId) -> usize {
+        self.vms
+            .get(&vm)
+            .map(|p| p.stalled.iter().map(|q| q.len()).sum())
+            .unwrap_or(0)
+    }
+
     /// Aggregate statistics.
     pub fn stats(&self) -> EngineStats {
         self.stats

@@ -4,9 +4,9 @@
 //! registers a new socket type (`SOCK_NETKERNEL`) whose operations are
 //! translated into NQEs and shipped to the Network Stack Module over the NK
 //! device queues, while application payload travels through the shared
-//! hugepages. The [`GuestLib`] type implements the same [`SocketApi`] trait
-//! as the baseline in-guest stack, so unmodified applications (and workload
-//! generators) run on either.
+//! hugepages. The [`GuestLib`] type implements the same
+//! [`SocketApi`](nk_types::SocketApi) trait as the baseline in-guest stack,
+//! so unmodified applications (and workload generators) run on either.
 
 pub mod guestlib;
 pub mod sockstate;

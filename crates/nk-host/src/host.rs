@@ -2,6 +2,7 @@
 
 use crate::faults::{FaultInjector, FaultStats};
 use crate::sched::{Pollable, SchedPhase, SchedStats, Scheduler};
+use nk_ctrl::{ControlPlane, EpochSample, NsmLoad};
 use nk_engine::CoreEngine;
 use nk_fabric::link::LinkConfig;
 use nk_fabric::switch::VirtualSwitch;
@@ -11,11 +12,12 @@ use nk_netstack::{Segment, StackConfig, TcpStack};
 use nk_queue::{queue_set_pair, NkDevice, WakeState};
 use nk_service::{Nsm, ServiceLib, SharedMemNsm};
 use nk_shmem::HugepageRegion;
+use nk_sim::{CorePool, CostModel, CycleLedger, PoolMember};
 use nk_types::api::{EpollEvent, ShutdownHow};
 use nk_types::faults::{FaultAction, FaultPlan, LinkFault};
 use nk_types::{
-    HostConfig, NkError, NkResult, NsmConfig, NsmId, PollEvents, SockAddr, SocketApi, SocketId,
-    StackKind, VmId,
+    ControlAction, ControlEvent, ControlTarget, HostConfig, NkError, NkResult, NsmConfig, NsmId,
+    PollEvents, SockAddr, SocketApi, SocketId, StackKind, VmId,
 };
 use std::collections::BTreeMap;
 
@@ -74,6 +76,21 @@ pub struct NetKernelHost {
     generations: BTreeMap<NsmId, u32>,
     sched: Scheduler,
     injector: FaultInjector,
+    /// Cycle-accounting pool the control plane observes and resizes: one
+    /// member for CoreEngine, one per alive NSM.
+    pools: CorePool,
+    /// Cost model used to charge datapath work against the pool.
+    cost: CostModel,
+    /// The operator control plane, when the configuration enables one.
+    ctrl: Option<ControlPlane>,
+    /// Every control decision applied so far, in order (the record log).
+    control_log: Vec<ControlEvent>,
+    /// Virtual time at which the next control epoch closes.
+    next_epoch_ns: u64,
+    /// Pool ledgers at the previous epoch boundary, for per-epoch deltas.
+    epoch_ledgers: BTreeMap<PoolMember, CycleLedger>,
+    /// Per-VM forwarded bytes at the previous epoch boundary.
+    epoch_vm_bytes: BTreeMap<VmId, u64>,
     now_ns: u64,
 }
 
@@ -124,6 +141,19 @@ impl NetKernelHost {
         }
 
         let sched = Scheduler::new(cfg.max_poll_rounds);
+        let mut pools = match cfg.control.as_ref().and_then(|c| c.pool_clock_hz) {
+            Some(hz) => CorePool::with_clock(hz),
+            None => CorePool::new(),
+        };
+        pools.register(PoolMember::Engine, cfg.core_engine_cores);
+        for nsm_cfg in &cfg.nsms {
+            pools.register(PoolMember::Nsm(nsm_cfg.id), nsm_cfg.vcpus);
+        }
+        let ctrl = match cfg.control.clone() {
+            Some(policy) => Some(ControlPlane::new(policy)?),
+            None => None,
+        };
+        let next_epoch_ns = cfg.control.as_ref().map(|c| c.epoch_ns).unwrap_or(u64::MAX);
         Ok(NetKernelHost {
             cfg,
             switch,
@@ -135,6 +165,13 @@ impl NetKernelHost {
             generations: BTreeMap::new(),
             sched,
             injector: FaultInjector::idle(),
+            pools,
+            cost: CostModel::default(),
+            ctrl,
+            control_log: Vec::new(),
+            next_epoch_ns,
+            epoch_ledgers: BTreeMap::new(),
+            epoch_vm_bytes: BTreeMap::new(),
             now_ns: 0,
         })
     }
@@ -257,34 +294,212 @@ impl NetKernelHost {
     /// switch — is driven through the [`Pollable`] scheduler until a full
     /// round reports no work (or the configured round bound is hit), so
     /// request → NSM → response round trips complete within one step
-    /// regardless of queue depth. Returns the amount of work (fault events +
-    /// NQEs + segments + frames) processed.
+    /// regardless of queue depth. The control phase closes the step: at each
+    /// control-epoch boundary the operator control plane samples the pool
+    /// ledgers and may resize components or migrate VMs. Returns the amount
+    /// of work (fault events + NQEs + segments + frames + control actions)
+    /// processed.
     pub fn step(&mut self, dt_ns: u64) -> usize {
         self.now_ns += dt_ns;
+        if self.ctrl.is_some() {
+            self.pools.begin_step(dt_ns);
+        }
         let now = self.now_ns;
-        // The inject phase needs the whole host (crashing an NSM touches the
-        // engine, the switch and the NSM map at once), so the scheduler is
-        // copied out for the duration of the step and a single closure
-        // serves both phases.
+        // The inject and control phases need the whole host (crashing an NSM
+        // touches the engine, the switch and the NSM map at once), so the
+        // scheduler is copied out for the duration of the step and a single
+        // closure serves all phases.
         let mut sched = self.sched;
         let total = sched.drain_with_hook(now, |phase, now| match phase {
             SchedPhase::Inject => self.apply_due_faults(now),
             SchedPhase::Poll => self.poll_datapath(now),
+            SchedPhase::Control => self.run_control(now),
         });
         self.sched = sched;
         total
     }
 
-    /// One poll round over every datapath component, in a fixed order.
+    /// One poll round over every datapath component, in a fixed order. Work
+    /// done by CoreEngine and the NSMs is charged against their core pools
+    /// so the control plane sees utilisation.
     fn poll_datapath(&mut self, now_ns: u64) -> usize {
-        let mut work = Pollable::poll(&mut self.engine, now_ns);
-        for nsm in self.nsms.values_mut() {
-            work += Pollable::poll(nsm, now_ns);
+        // Nobody reads the ledgers without a control plane; keep the cost
+        // arithmetic and map lookups off the hot path in that case.
+        let charge = self.ctrl.is_some();
+        let engine_work = Pollable::poll(&mut self.engine, now_ns);
+        if charge && engine_work > 0 {
+            let cycles = self
+                .cost
+                .switch_cost(engine_work as u64, self.cfg.batch_size);
+            self.pools.charge_up_to(PoolMember::Engine, cycles as u64);
+        }
+        let mut work = engine_work;
+        for (id, nsm) in self.nsms.iter_mut() {
+            let nsm_work = Pollable::poll(nsm, now_ns);
+            if charge && nsm_work > 0 {
+                // Each NSM work item is roughly one NQE translated plus one
+                // socket-level message processed by the stack; precise
+                // per-figure costs live in the perf model, this is the load
+                // signal the autoscaler watches.
+                let per_item = self.cost.nqe_translate + self.cost.kernel_tx.per_msg;
+                let cycles = (nsm_work as f64 * per_item) as u64;
+                self.pools.charge_up_to(PoolMember::Nsm(*id), cycles);
+            }
+            work += nsm_work;
         }
         for remote in self.remotes.values_mut() {
             work += Pollable::poll(&mut remote.stack, now_ns);
         }
         work + Pollable::poll(&mut self.switch, now_ns)
+    }
+
+    // ---- The operator control plane ------------------------------------------
+
+    /// Close a control epoch if one is due: sample the pools and the engine,
+    /// let the control plane decide, and apply its actions. Returns the
+    /// number of actions applied (0 off epoch boundaries or without a
+    /// control plane).
+    fn run_control(&mut self, now_ns: u64) -> usize {
+        if self.ctrl.is_none() || now_ns < self.next_epoch_ns {
+            return 0;
+        }
+        let sample = self.sample_epoch(now_ns);
+        let ctrl = self.ctrl.as_mut().expect("checked above");
+        self.next_epoch_ns = now_ns + ctrl.policy().epoch_ns;
+        let epoch = ctrl.epochs();
+        let actions = ctrl.on_epoch(&sample);
+        let mut applied = 0;
+        for action in actions {
+            let ok = match action {
+                ControlAction::ScaleUp {
+                    target, to_cores, ..
+                }
+                | ControlAction::ScaleDown {
+                    target, to_cores, ..
+                } => {
+                    let member = match target {
+                        ControlTarget::Engine => PoolMember::Engine,
+                        ControlTarget::Nsm(id) => PoolMember::Nsm(id),
+                    };
+                    self.pools.set_cores(member, to_cores)
+                }
+                ControlAction::Rebalance { vm, to, .. } => self.migrate_vm(vm, to).is_ok(),
+            };
+            if ok {
+                self.control_log.push(ControlEvent {
+                    at_ns: now_ns,
+                    epoch,
+                    action,
+                });
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Assemble the load sample of the epoch ending now: per-member
+    /// utilisation from the pool-ledger deltas, per-NSM backpressure from
+    /// the engine's stall queues, per-VM throughput from the switch stats.
+    fn sample_epoch(&mut self, now_ns: u64) -> EpochSample {
+        let engine_utilisation = self.epoch_utilisation(PoolMember::Engine);
+        let engine_cores = self
+            .pools
+            .cores(PoolMember::Engine)
+            .unwrap_or(self.cfg.core_engine_cores);
+        let nsm_ids: Vec<NsmId> = self.nsms.keys().copied().collect();
+        let mut nsms = BTreeMap::new();
+        for id in nsm_ids {
+            let utilisation = self.epoch_utilisation(PoolMember::Nsm(id));
+            let cores = self.pools.cores(PoolMember::Nsm(id)).unwrap_or(0);
+            let mut queue_depth = 0u64;
+            let mut vm_bytes = BTreeMap::new();
+            for vm in self.engine.mapped_vms(id) {
+                queue_depth += self.engine.stalled_nqes_of(vm) as u64;
+                let total = self
+                    .engine
+                    .vm_stats(vm)
+                    .map(|s| s.bytes_forwarded)
+                    .unwrap_or(0);
+                let prev = self.epoch_vm_bytes.insert(vm, total).unwrap_or(0);
+                vm_bytes.insert(vm, total.saturating_sub(prev));
+            }
+            nsms.insert(
+                id,
+                NsmLoad {
+                    cores,
+                    utilisation,
+                    queue_depth,
+                    vm_bytes,
+                },
+            );
+        }
+        // VMs not mapped to any alive NSM this epoch (their NSM crashed and
+        // was not restarted yet) still get their byte snapshot advanced —
+        // otherwise the first epoch after recovery attributes several
+        // epochs' bytes to one and skews the rebalancer's busiest-first
+        // ordering.
+        let unsampled: Vec<VmId> = self
+            .guests
+            .keys()
+            .filter(|vm| !nsms.values().any(|l| l.vm_bytes.contains_key(vm)))
+            .copied()
+            .collect();
+        for vm in unsampled {
+            let total = self
+                .engine
+                .vm_stats(vm)
+                .map(|s| s.bytes_forwarded)
+                .unwrap_or(0);
+            self.epoch_vm_bytes.insert(vm, total);
+        }
+        EpochSample {
+            now_ns,
+            engine_cores,
+            engine_utilisation,
+            nsms,
+        }
+    }
+
+    /// Utilisation of one pool member over the epoch ending now (ledger
+    /// delta against the previous boundary).
+    fn epoch_utilisation(&mut self, member: PoolMember) -> f64 {
+        let Some(ledger) = self.pools.ledger(member) else {
+            self.epoch_ledgers.remove(&member);
+            return 0.0;
+        };
+        let prev = self
+            .epoch_ledgers
+            .insert(member, ledger)
+            .unwrap_or_default();
+        let offered = ledger.offered.saturating_sub(prev.offered);
+        let busy = ledger.busy.saturating_sub(prev.busy);
+        if offered == 0 {
+            0.0
+        } else {
+            busy as f64 / offered as f64
+        }
+    }
+
+    /// Control decisions applied so far, in application order.
+    pub fn control_events(&self) -> &[ControlEvent] {
+        &self.control_log
+    }
+
+    /// The cycle-accounting pool (current core allocations and ledgers).
+    pub fn core_pool(&self) -> &CorePool {
+        &self.pools
+    }
+
+    /// Cores currently allocated to an NSM (`None` when it is not alive).
+    pub fn nsm_cores(&self, nsm: NsmId) -> Option<usize> {
+        self.pools.cores(PoolMember::Nsm(nsm))
+    }
+
+    /// Cores currently allocated to CoreEngine.
+    pub fn engine_cores(&self) -> usize {
+        self.pools
+            .cores(PoolMember::Engine)
+            .unwrap_or(self.cfg.core_engine_cores)
     }
 
     /// Apply every fault event due at `now_ns`; returns how many applied.
@@ -361,6 +576,8 @@ impl NetKernelHost {
             self.switch.detach(Self::nsm_ip(nsm));
         }
         drop(instance);
+        self.pools.remove(PoolMember::Nsm(nsm));
+        self.epoch_ledgers.remove(&PoolMember::Nsm(nsm));
         self.engine.crash_nsm(nsm)
     }
 
@@ -391,6 +608,9 @@ impl NetKernelHost {
             }
         }
         self.nsms.insert(nsm, instance);
+        // The restarted NSM comes back at its configured size with a fresh
+        // accounting life; the autoscaler will resize it from load.
+        self.pools.register(PoolMember::Nsm(nsm), nsm_cfg.vcpus);
         Ok(())
     }
 
@@ -946,6 +1166,91 @@ mod tests {
         assert_eq!(host.install_fault_plan(&plan), Err(NkError::BadConfig));
         let plan = FaultPlan::new().at(0, FaultAction::RestartNsm(NsmId(1)));
         assert_eq!(host.install_fault_plan(&plan), Err(NkError::BadConfig));
+    }
+
+    use nk_types::{ControlAction, ControlPolicy};
+
+    /// Without a control policy the host never emits control events and the
+    /// allocation stays exactly as configured.
+    #[test]
+    fn control_disabled_hosts_keep_a_static_allocation() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        host.run(50, 100_000);
+        assert!(host.control_events().is_empty());
+        assert_eq!(host.engine_cores(), 1);
+        assert_eq!(host.nsm_cores(NsmId(1)), Some(1));
+        assert_eq!(host.sched_stats().control_actions, 0);
+    }
+
+    /// A sustained workload against a small accounting clock drives the NSM
+    /// over the high watermark: the autoscaler grows it, and once the load
+    /// stops and the cooldown passes it shrinks back to the floor.
+    #[test]
+    fn control_plane_scales_nsm_up_under_load_and_down_when_idle() {
+        let policy = ControlPolicy::new()
+            .with_epoch_ns(1_000_000)
+            .with_window(2)
+            .with_watermarks(0.1, 0.6)
+            .with_core_bounds(1, 4)
+            .with_cooldown(1)
+            .with_rebalance(0.9, 0) // no migrations in this test
+            .with_pool_clock_hz(1_000_000);
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+            .with_control(policy);
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        host.run(10, 100_000);
+
+        // Keep the NSM busy every step for several epochs.
+        for _ in 0..60 {
+            let guest = host.guest_mut(VmId(1)).unwrap();
+            let _ = guest.send(s, &[0x11u8; 512]);
+            host.step(100_000);
+            let remote = host.remote_mut(REMOTE_IP).unwrap();
+            if let Ok((conn, _)) = remote.accept(ls) {
+                let _ = conn; // server just accumulates the bytes
+            }
+        }
+        assert!(
+            host.control_events()
+                .iter()
+                .any(|e| matches!(e.action, ControlAction::ScaleUp { .. })),
+            "no scale-up under sustained load: {:?}",
+            host.control_events()
+        );
+        assert!(host.nsm_cores(NsmId(1)).unwrap() > 1);
+        assert!(host.sched_stats().control_actions > 0);
+
+        // Let the workload go idle: the allocation returns to the floor.
+        host.run(120, 100_000);
+        assert!(
+            host.control_events()
+                .iter()
+                .any(|e| matches!(e.action, ControlAction::ScaleDown { .. })),
+            "no scale-down after the load stopped: {:?}",
+            host.control_events()
+        );
+        assert_eq!(host.nsm_cores(NsmId(1)), Some(1));
+    }
+
+    #[test]
+    fn invalid_control_policy_is_rejected_at_build() {
+        let cfg = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+            .with_control(ControlPolicy::new().with_watermarks(0.9, 0.1));
+        assert!(NetKernelHost::new(cfg).is_err());
     }
 
     #[test]

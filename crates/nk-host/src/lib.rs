@@ -12,12 +12,17 @@
 //!   application code runs on both.
 //!
 //! [`sched`] is the drain-until-quiescent scheduler driving every datapath
-//! component through the uniform [`nk_sim::Pollable`] interface, [`faults`]
-//! the injector replaying deterministic [`nk_types::FaultPlan`] schedules
-//! (NSM crash / restart, live VM migration, link degradation) against the
-//! host, [`model`] contains the calibrated performance model used to
-//! regenerate the paper's throughput / RPS / CPU-overhead figures, and
-//! [`metrics`] the throughput and latency meters used by experiments.
+//! component through the uniform [`nk_sim::Pollable`] interface, with an
+//! inject phase replaying deterministic [`nk_types::FaultPlan`] schedules
+//! ([`faults`]: NSM crash / restart, live VM migration, link degradation)
+//! before the poll rounds and a control phase closing each step: at every
+//! control-epoch boundary the host samples its [`nk_sim::CorePool`] ledgers
+//! and lets the [`nk_ctrl::ControlPlane`] autoscale NSM / CoreEngine cores
+//! and rebalance VMs, logging every decision as a
+//! [`nk_types::ControlEvent`]. [`model`] contains the calibrated
+//! performance model used to regenerate the paper's throughput / RPS /
+//! CPU-overhead figures, and [`metrics`] the throughput and latency meters
+//! used by experiments.
 
 pub mod faults;
 pub mod host;

@@ -16,11 +16,14 @@ impl ThroughputMeter {
         Self::default()
     }
 
-    /// Record `bytes` delivered at time `now_ns`.
+    /// Record `bytes` delivered at time `now_ns`. Samples may arrive out of
+    /// order (merged meters, reordered completions): the window spans the
+    /// earliest to the latest timestamp seen.
     pub fn record(&mut self, bytes: u64, now_ns: u64) {
-        if self.start_ns.is_none() {
-            self.start_ns = Some(now_ns);
-        }
+        self.start_ns = Some(match self.start_ns {
+            Some(start) => start.min(now_ns),
+            None => now_ns,
+        });
         self.bytes += bytes;
         self.last_ns = self.last_ns.max(now_ns);
     }
@@ -82,6 +85,12 @@ impl LatencyMeter {
     pub fn min_max_us(&self) -> (f64, f64) {
         (self.hist.min(), self.hist.max())
     }
+
+    /// Approximate quantile `q` in `[0, 1]` in microseconds (0.5 is the
+    /// median); experiments report p50/p99/p999 through this.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        self.hist.quantile(q)
+    }
 }
 
 #[cfg(test)]
@@ -114,5 +123,51 @@ mod tests {
         let (min, max) = m.min_max_us();
         assert_eq!(min, 10.0);
         assert_eq!(max, 30.0);
+    }
+
+    /// A single sample spans zero time: bytes are counted but no rate can
+    /// be reported (rather than a division by zero or an infinite rate).
+    #[test]
+    fn throughput_meter_single_sample_reports_zero_rate() {
+        let mut m = ThroughputMeter::new();
+        m.record(1_000_000, 500);
+        assert_eq!(m.bytes(), 1_000_000);
+        assert_eq!(m.gbps(), 0.0);
+    }
+
+    /// Out-of-order timestamps widen the window instead of corrupting it:
+    /// recording the earlier sample second gives the same rate as recording
+    /// it first.
+    #[test]
+    fn throughput_meter_handles_out_of_order_timestamps() {
+        let mut forward = ThroughputMeter::new();
+        forward.record(125_000_000, 0);
+        forward.record(125_000_000, 1_000_000_000);
+        let mut backward = ThroughputMeter::new();
+        backward.record(125_000_000, 1_000_000_000);
+        backward.record(125_000_000, 0);
+        assert!((backward.gbps() - forward.gbps()).abs() < 1e-12);
+        assert!((backward.gbps() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_meter_quantiles_track_the_distribution() {
+        let mut m = LatencyMeter::new();
+        for i in 1..=1_000 {
+            m.record_us(i as f64);
+        }
+        let p50 = m.quantile_us(0.5);
+        let p99 = m.quantile_us(0.99);
+        assert!((p50 - 500.0).abs() / 500.0 < 0.08, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.08, "p99 {p99}");
+        assert!(p50 < p99);
+        assert_eq!(m.quantile_us(0.5), m.median_us());
+    }
+
+    #[test]
+    fn empty_latency_meter_quantiles_are_zero() {
+        let m = LatencyMeter::new();
+        assert_eq!(m.quantile_us(0.5), 0.0);
+        assert_eq!(m.quantile_us(0.99), 0.0);
     }
 }

@@ -12,12 +12,15 @@
 
 pub use nk_sim::poll::{poll_round, Pollable};
 
-/// The two phases of one scheduled host step.
+/// The three phases of one scheduled host step.
 ///
 /// Fault injection gets its own phase so timed infrastructure events (NSM
 /// crashes, migrations, link changes) land at one deterministic point — the
 /// start of the step, before any component is polled — instead of wherever
-/// the host happens to interleave them.
+/// the host happens to interleave them. The control phase runs once at the
+/// end of the step, after the datapath has drained, so operator decisions
+/// (autoscaling, rebalancing) observe a settled view of the step's load and
+/// take effect from the next step onwards.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SchedPhase {
     /// Apply infrastructure events due at this virtual time (runs once, at
@@ -25,6 +28,8 @@ pub enum SchedPhase {
     Inject,
     /// Poll every datapath component once (runs up to `max_rounds` times).
     Poll,
+    /// Run the operator control plane (runs once, at the end of the step).
+    Control,
 }
 
 /// Cumulative scheduler behaviour counters, for observability and tests.
@@ -44,6 +49,8 @@ pub struct SchedStats {
     pub work_items: u64,
     /// Fault events applied in inject phases across all steps.
     pub fault_events: u64,
+    /// Control-plane actions applied in control phases across all steps.
+    pub control_actions: u64,
 }
 
 /// Polls a set of [`Pollable`] components until quiescence, within a bound.
@@ -85,20 +92,21 @@ impl Scheduler {
     /// drain loop without building a slice of trait objects per step.
     pub fn drain_rounds(&mut self, now_ns: u64, mut round: impl FnMut(u64) -> usize) -> usize {
         self.drain_with_hook(now_ns, |phase, now| match phase {
-            SchedPhase::Inject => 0,
+            SchedPhase::Inject | SchedPhase::Control => 0,
             SchedPhase::Poll => round(now),
         })
     }
 
-    /// One full step with a fault-injection hook: `f(Inject, now)` runs
+    /// One full step with injection and control hooks: `f(Inject, now)` runs
     /// exactly once before the first round and returns the number of fault
-    /// events applied, then `f(Poll, now)` runs as rounds until quiescence or
-    /// the bound. A single closure carries both phases so the caller can
-    /// borrow its whole datapath mutably across them.
+    /// events applied, `f(Poll, now)` runs as rounds until quiescence or the
+    /// bound, and `f(Control, now)` runs exactly once afterwards, returning
+    /// the number of control-plane actions applied. A single closure carries
+    /// all phases so the caller can borrow its whole datapath mutably across
+    /// them.
     ///
-    /// Fault events count as step work: a step that only crashed an NSM is
-    /// not "idle", and its rounds still run so the datapath observes the
-    /// change (error events reach the guests within the same step).
+    /// Fault events and control actions count as step work: a step that only
+    /// crashed an NSM or only resized one is not "idle".
     pub fn drain_with_hook(
         &mut self,
         now_ns: u64,
@@ -123,6 +131,9 @@ impl Scheduler {
         } else {
             self.stats.round_limit_hits += 1;
         }
+        let controlled = f(SchedPhase::Control, now_ns);
+        self.stats.control_actions += controlled as u64;
+        total += controlled;
         self.stats.work_items += total as u64;
         total
     }
@@ -212,17 +223,48 @@ mod tests {
                         0
                     }
                 }
+                SchedPhase::Control => 0,
             }
         });
         assert_eq!(total, 8);
         assert_eq!(
             phases,
-            vec![SchedPhase::Inject, SchedPhase::Poll, SchedPhase::Poll]
+            vec![
+                SchedPhase::Inject,
+                SchedPhase::Poll,
+                SchedPhase::Poll,
+                SchedPhase::Control,
+            ]
         );
         let stats = sched.stats();
         assert_eq!(stats.fault_events, 3);
         assert_eq!(stats.work_items, 8);
         assert_eq!(stats.quiescent_exits, 1);
+    }
+
+    /// The control phase runs exactly once, after the last poll round, and
+    /// its actions count as step work and into the stats.
+    #[test]
+    fn control_phase_runs_last_and_counts_actions() {
+        let mut sched = Scheduler::new(4);
+        let mut phases = Vec::new();
+        let total = sched.drain_with_hook(7, |phase, _| {
+            phases.push(phase);
+            match phase {
+                SchedPhase::Inject => 0,
+                SchedPhase::Poll => 0,
+                SchedPhase::Control => 2,
+            }
+        });
+        assert_eq!(total, 2);
+        assert_eq!(
+            phases,
+            vec![SchedPhase::Inject, SchedPhase::Poll, SchedPhase::Control]
+        );
+        let stats = sched.stats();
+        assert_eq!(stats.control_actions, 2);
+        assert_eq!(stats.work_items, 2);
+        assert_eq!(stats.quiescent_exits, 1, "control work is not poll work");
     }
 
     /// A step whose only activity is a fault application still terminates
@@ -232,7 +274,7 @@ mod tests {
         let mut sched = Scheduler::new(4);
         let total = sched.drain_with_hook(0, |phase, _| match phase {
             SchedPhase::Inject => 1,
-            SchedPhase::Poll => 0,
+            SchedPhase::Poll | SchedPhase::Control => 0,
         });
         assert_eq!(total, 1);
         assert_eq!(sched.stats().rounds, 1);

@@ -2,17 +2,18 @@
 
 use nk_netstack::cc::{CongestionControl, SharedVmWindow, VmSharedCc};
 use nk_types::VmId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Registry handing out one [`SharedVmWindow`] per VM.
 ///
 /// The fair-share NSM consults the registry whenever it opens a connection on
 /// behalf of a VM, so all of that VM's flows share a single congestion window
 /// regardless of how many connections or destinations it uses (paper §6.2,
-/// Figure 9).
+/// Figure 9). Ordered like every other datapath map, per the workspace
+/// determinism rule: iteration order must not depend on hash seeds.
 #[derive(Default)]
 pub struct VmWindowRegistry {
-    windows: HashMap<VmId, SharedVmWindow>,
+    windows: BTreeMap<VmId, SharedVmWindow>,
 }
 
 impl VmWindowRegistry {

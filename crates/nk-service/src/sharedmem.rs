@@ -14,7 +14,7 @@ use nk_types::ops::op_data;
 use nk_types::{
     DataHandle, NkError, Nqe, NsmId, OpResult, OpType, QueueSetId, SockAddr, SocketId, VmId,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Guest socket ids allocated by the NSM for accepted connections.
 const NSM_SOCKET_ID_BASE: u32 = 0x8000_0000;
@@ -41,10 +41,11 @@ pub struct SharedMemStats {
 pub struct SharedMemNsm {
     id: NsmId,
     device: NkDevice<ResponderEnd>,
-    regions: HashMap<VmId, HugepageRegion>,
-    sockets: HashMap<(VmId, SocketId), ShmSocket>,
+    /// Ordered maps throughout, per the workspace determinism rule.
+    regions: BTreeMap<VmId, HugepageRegion>,
+    sockets: BTreeMap<(VmId, SocketId), ShmSocket>,
     /// port → listening socket key.
-    listeners: HashMap<u16, (VmId, SocketId)>,
+    listeners: BTreeMap<u16, (VmId, SocketId)>,
     next_guest_sock: u32,
     batch: usize,
     stats: SharedMemStats,
@@ -59,9 +60,9 @@ impl SharedMemNsm {
         SharedMemNsm {
             id,
             device,
-            regions: HashMap::new(),
-            sockets: HashMap::new(),
-            listeners: HashMap::new(),
+            regions: BTreeMap::new(),
+            sockets: BTreeMap::new(),
+            listeners: BTreeMap::new(),
             next_guest_sock: NSM_SOCKET_ID_BASE,
             batch: batch.max(1),
             stats: SharedMemStats::default(),

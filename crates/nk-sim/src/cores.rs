@@ -8,6 +8,8 @@
 //! budget, and the cumulative ledger yields utilisation and overhead ratios.
 
 use nk_types::constants::CYCLES_PER_SECOND;
+use nk_types::NsmId;
+use std::collections::BTreeMap;
 
 /// Cumulative cycle ledger of one component (a VM, an NSM, or CoreEngine).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -33,7 +35,8 @@ impl CycleLedger {
 ///
 /// At the beginning of every simulation step the owner calls
 /// [`CoreSet::begin_step`] with the step length; components then charge work
-/// with [`CoreSet::try_charge`]/[`CoreSet::charge`] until the budget runs out.
+/// with [`CoreSet::try_charge`]/[`CoreSet::charge_up_to`] until the budget
+/// runs out.
 /// The budget models the aggregate capacity of all cores in the set — the
 /// NetKernel data path pins connections to queue sets and queue sets to
 /// cores, so treating the set as a fluid pool is accurate for the workloads
@@ -133,6 +136,114 @@ impl CoreSet {
     }
 }
 
+/// A component whose core allocation the operator can resize.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum PoolMember {
+    /// The CoreEngine NQE switch.
+    Engine,
+    /// One Network Stack Module.
+    Nsm(NsmId),
+}
+
+/// A registry of [`CoreSet`]s, one per resizable component of a host.
+///
+/// The host registers CoreEngine and every NSM, refills all budgets at the
+/// start of each step, and charges each component's datapath work against
+/// its own set. The control plane reads the cumulative ledgers to derive
+/// per-epoch utilisation and calls [`CorePool::set_cores`] to act — the
+/// paper's "cores can be readily added to or removed from a NSM" (§3) as an
+/// operation rather than a configuration constant. A `BTreeMap` keyed by
+/// [`PoolMember`] keeps every iteration order deterministic.
+#[derive(Clone, Debug)]
+pub struct CorePool {
+    members: BTreeMap<PoolMember, CoreSet>,
+    cycles_per_core_per_sec: u64,
+}
+
+impl CorePool {
+    /// An empty pool at the testbed clock rate.
+    pub fn new() -> Self {
+        Self::with_clock(CYCLES_PER_SECOND)
+    }
+
+    /// An empty pool with an explicit per-core clock rate.
+    pub fn with_clock(cycles_per_core_per_sec: u64) -> Self {
+        CorePool {
+            members: BTreeMap::new(),
+            cycles_per_core_per_sec: cycles_per_core_per_sec.max(1),
+        }
+    }
+
+    /// Register a component with an initial core count. Re-registering an
+    /// existing member resets its set (fresh ledger) — a restarted NSM
+    /// starts a new accounting life.
+    pub fn register(&mut self, member: PoolMember, cores: usize) {
+        self.members.insert(
+            member,
+            CoreSet::with_clock(cores, self.cycles_per_core_per_sec),
+        );
+    }
+
+    /// Remove a component (a crashed NSM stops offering cycles).
+    pub fn remove(&mut self, member: PoolMember) {
+        self.members.remove(&member);
+    }
+
+    /// True when the member is registered.
+    pub fn contains(&self, member: PoolMember) -> bool {
+        self.members.contains_key(&member)
+    }
+
+    /// Registered members, in deterministic order.
+    pub fn members(&self) -> impl Iterator<Item = PoolMember> + '_ {
+        self.members.keys().copied()
+    }
+
+    /// Start a new step: refill every member's budget.
+    pub fn begin_step(&mut self, dt_ns: u64) {
+        for set in self.members.values_mut() {
+            set.begin_step(dt_ns);
+        }
+    }
+
+    /// Resize a member (takes effect from the next step, like
+    /// [`CoreSet::set_cores`]). Returns `false` for unknown members.
+    pub fn set_cores(&mut self, member: PoolMember, cores: usize) -> bool {
+        match self.members.get_mut(&member) {
+            Some(set) => {
+                set.set_cores(cores);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current core count of a member.
+    pub fn cores(&self, member: PoolMember) -> Option<usize> {
+        self.members.get(&member).map(CoreSet::cores)
+    }
+
+    /// Charge up to `cycles` against a member's step budget; returns the
+    /// cycles actually charged (0 for unknown members).
+    pub fn charge_up_to(&mut self, member: PoolMember, cycles: u64) -> u64 {
+        self.members
+            .get_mut(&member)
+            .map(|set| set.charge_up_to(cycles))
+            .unwrap_or(0)
+    }
+
+    /// Cumulative ledger of a member.
+    pub fn ledger(&self, member: PoolMember) -> Option<CycleLedger> {
+        self.members.get(&member).map(CoreSet::ledger)
+    }
+}
+
+impl Default for CorePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +315,106 @@ mod tests {
         assert_eq!(c.cores(), 3);
         c.begin_step(1_000);
         assert_eq!(c.remaining(), 3_000);
+    }
+
+    /// Shrinking mid-step below what was already charged must not disturb
+    /// the current budget or the ledger: the charged cycles stay charged,
+    /// the remaining budget stays spendable, and only the next refill
+    /// reflects the smaller set.
+    #[test]
+    fn shrinking_mid_step_below_charged_cycles_is_safe() {
+        let mut c = CoreSet::with_clock(4, 1_000_000_000);
+        c.begin_step(1_000); // 4000 cycles offered
+        assert!(c.try_charge(3_000));
+        c.set_cores(1); // 1 core could only ever offer 1000
+        assert_eq!(c.remaining(), 1_000, "mid-step budget is untouched");
+        assert!(c.try_charge(1_000), "remaining budget stays spendable");
+        assert_eq!(c.ledger().busy, 4_000);
+        assert_eq!(c.ledger().offered, 4_000);
+        c.begin_step(1_000);
+        assert_eq!(c.remaining(), 1_000, "refill uses the shrunk set");
+        assert_eq!(c.ledger().offered, 5_000);
+    }
+
+    /// Shrinking all the way to zero cores offers no cycles but never
+    /// divides by zero or panics; utilisation stays well-defined.
+    #[test]
+    fn zero_core_set_offers_nothing() {
+        let mut c = CoreSet::with_clock(2, 1_000_000_000);
+        c.begin_step(1_000);
+        c.charge_up_to(500);
+        c.set_cores(0);
+        c.begin_step(1_000);
+        assert_eq!(c.remaining(), 0);
+        assert!(c.exhausted());
+        assert!(!c.try_charge(1));
+        assert_eq!(c.charge_up_to(100), 0);
+        let l = c.ledger();
+        assert_eq!(l.busy, 500);
+        assert_eq!(l.offered, 2_000);
+    }
+
+    #[test]
+    fn pool_registers_resizes_and_charges_members() {
+        let mut pool = CorePool::with_clock(1_000_000_000);
+        pool.register(PoolMember::Engine, 1);
+        pool.register(PoolMember::Nsm(NsmId(1)), 2);
+        assert!(pool.contains(PoolMember::Engine));
+        assert_eq!(pool.cores(PoolMember::Nsm(NsmId(1))), Some(2));
+
+        pool.begin_step(1_000);
+        assert_eq!(pool.charge_up_to(PoolMember::Engine, 1_500), 1_000);
+        assert_eq!(pool.charge_up_to(PoolMember::Nsm(NsmId(1)), 1_500), 1_500);
+        let l = pool.ledger(PoolMember::Nsm(NsmId(1))).unwrap();
+        assert_eq!(l.busy, 1_500);
+        assert_eq!(l.offered, 2_000);
+
+        assert!(pool.set_cores(PoolMember::Nsm(NsmId(1)), 4));
+        pool.begin_step(1_000);
+        assert_eq!(pool.charge_up_to(PoolMember::Nsm(NsmId(1)), 10_000), 4_000);
+    }
+
+    #[test]
+    fn pool_handles_unknown_and_removed_members() {
+        let mut pool = CorePool::new();
+        assert!(!pool.set_cores(PoolMember::Nsm(NsmId(9)), 2));
+        assert_eq!(pool.cores(PoolMember::Nsm(NsmId(9))), None);
+        assert_eq!(pool.charge_up_to(PoolMember::Nsm(NsmId(9)), 100), 0);
+        assert!(pool.ledger(PoolMember::Nsm(NsmId(9))).is_none());
+
+        pool.register(PoolMember::Nsm(NsmId(1)), 1);
+        pool.remove(PoolMember::Nsm(NsmId(1)));
+        assert!(!pool.contains(PoolMember::Nsm(NsmId(1))));
+        assert_eq!(pool.members().count(), 0);
+    }
+
+    /// Re-registering a member (an NSM restart) starts a fresh ledger.
+    #[test]
+    fn reregistration_resets_the_ledger() {
+        let mut pool = CorePool::with_clock(1_000_000_000);
+        pool.register(PoolMember::Nsm(NsmId(1)), 1);
+        pool.begin_step(1_000);
+        pool.charge_up_to(PoolMember::Nsm(NsmId(1)), 800);
+        pool.register(PoolMember::Nsm(NsmId(1)), 1);
+        let l = pool.ledger(PoolMember::Nsm(NsmId(1))).unwrap();
+        assert_eq!(l.busy, 0);
+        assert_eq!(l.offered, 0);
+    }
+
+    #[test]
+    fn pool_members_iterate_in_deterministic_order() {
+        let mut pool = CorePool::new();
+        pool.register(PoolMember::Nsm(NsmId(2)), 1);
+        pool.register(PoolMember::Engine, 1);
+        pool.register(PoolMember::Nsm(NsmId(1)), 1);
+        let order: Vec<PoolMember> = pool.members().collect();
+        assert_eq!(
+            order,
+            vec![
+                PoolMember::Engine,
+                PoolMember::Nsm(NsmId(1)),
+                PoolMember::Nsm(NsmId(2)),
+            ]
+        );
     }
 }

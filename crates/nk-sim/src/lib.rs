@@ -35,7 +35,7 @@ pub mod rng;
 
 pub use bucket::TokenBucket;
 pub use clock::{Clock, NANOS_PER_SEC};
-pub use cores::{CoreSet, CycleLedger};
+pub use cores::{CorePool, CoreSet, CycleLedger, PoolMember};
 pub use cost::CostModel;
 pub use histogram::Histogram;
 pub use poll::Pollable;

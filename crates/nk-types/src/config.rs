@@ -9,6 +9,7 @@ use crate::constants::{
     DEFAULT_BATCH_SIZE, DEFAULT_HUGEPAGE_COUNT, DEFAULT_POLL_ROUNDS, DEFAULT_QUEUE_CAPACITY,
     LINE_RATE_GBPS,
 };
+use crate::control::ControlPolicy;
 use crate::error::{NkError, NkResult};
 use crate::ids::{NsmId, VmId};
 use serde::{Deserialize, Serialize};
@@ -214,6 +215,9 @@ pub struct HostConfig {
     /// datapath component once; the step ends early as soon as a full round
     /// reports no work.
     pub max_poll_rounds: usize,
+    /// Operator control-plane policy. `None` leaves the allocation static
+    /// (no autoscaling, no rebalancing).
+    pub control: Option<ControlPolicy>,
 }
 
 impl Default for HostConfig {
@@ -228,6 +232,7 @@ impl Default for HostConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_poll_rounds: DEFAULT_POLL_ROUNDS,
+            control: None,
         }
     }
 }
@@ -265,6 +270,12 @@ impl HostConfig {
     /// Bound the scheduler rounds per host step (builder style).
     pub fn with_max_poll_rounds(mut self, rounds: usize) -> Self {
         self.max_poll_rounds = rounds;
+        self
+    }
+
+    /// Enable the operator control plane with `policy` (builder style).
+    pub fn with_control(mut self, policy: ControlPolicy) -> Self {
+        self.control = Some(policy);
         self
     }
 
@@ -365,6 +376,14 @@ impl HostConfig {
         if let VmToNsmPolicy::All(n) = &self.mapping {
             if !self.nsms.is_empty() && !nsm_ids.contains(n) {
                 return Err(NkError::BadConfig);
+            }
+        }
+        if let Some(control) = &self.control {
+            control.validate()?;
+            for (a, b) in &control.anti_affinity {
+                if !vm_ids.contains(a) || !vm_ids.contains(b) {
+                    return Err(NkError::BadConfig);
+                }
             }
         }
         Ok(())

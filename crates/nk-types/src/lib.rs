@@ -11,6 +11,7 @@
 //! * error types ([`error`]),
 //! * configuration for hosts, VMs and NSMs ([`config`]),
 //! * deterministic fault-injection plans ([`faults`]),
+//! * operator control-plane policies and decision events ([`control`]),
 //! * the provider-facing constants of the testbed ([`constants`]),
 //! * and the guest-facing non-blocking socket API trait ([`api`]) that both
 //!   the NetKernel `GuestLib` and the in-guest baseline stack implement.
@@ -19,6 +20,7 @@ pub mod addr;
 pub mod api;
 pub mod config;
 pub mod constants;
+pub mod control;
 pub mod error;
 pub mod faults;
 pub mod ids;
@@ -30,6 +32,7 @@ pub use api::{EpollEvent, PollEvents, ShutdownHow, SocketApi};
 pub use config::{
     CcKind, HostConfig, IsolationPolicy, NsmConfig, StackKind, VmConfig, VmToNsmPolicy,
 };
+pub use control::{ControlAction, ControlEvent, ControlPolicy, ControlTarget};
 pub use error::{NkError, NkResult};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, LinkFault};
 pub use ids::{ConnKey, NsmId, QueueSetId, SocketId, VmId};

@@ -7,14 +7,15 @@
 //! (use case 3, §6.3).
 
 use nk_types::{NkError, NkResult, PollEvents, SockAddr, SocketApi, SocketId};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 /// An epoll-driven echo server: accepts connections, reads requests and
 /// echoes them back — the shape of the multi-threaded epoll servers used
 /// throughout §7.
 pub struct EchoServer {
     listener: SocketId,
-    connections: HashMap<SocketId, ()>,
+    /// Ordered, per the workspace determinism rule.
+    connections: BTreeSet<SocketId>,
     /// Requests served (one per message echoed).
     pub requests: u64,
     /// Bytes echoed back.
@@ -31,7 +32,7 @@ impl EchoServer {
         api.epoll_register(listener, PollEvents::READABLE)?;
         Ok(EchoServer {
             listener,
-            connections: HashMap::new(),
+            connections: BTreeSet::new(),
             requests: 0,
             bytes: 0,
             buf: vec![0u8; 64 * 1024],
@@ -57,7 +58,7 @@ impl EchoServer {
             match api.accept(self.listener) {
                 Ok((conn, _peer)) => {
                     let _ = api.epoll_register(conn, PollEvents::READABLE);
-                    self.connections.insert(conn, ());
+                    self.connections.insert(conn);
                     handled += 1;
                 }
                 Err(NkError::WouldBlock) => break,
@@ -103,8 +104,9 @@ pub struct ClosedLoopClient {
     server: SockAddr,
     message: Vec<u8>,
     concurrency: usize,
-    /// Connections with a request in flight.
-    in_flight: HashMap<SocketId, ()>,
+    /// Connections with a request in flight (ordered, per the workspace
+    /// determinism rule).
+    in_flight: BTreeSet<SocketId>,
     /// Completed request/response exchanges.
     pub completed: u64,
     /// Responses bytes received.
@@ -119,7 +121,7 @@ impl ClosedLoopClient {
             server,
             message: vec![0x42u8; message_size.max(1)],
             concurrency,
-            in_flight: HashMap::new(),
+            in_flight: BTreeSet::new(),
             completed: 0,
             bytes_received: 0,
             buf: vec![0u8; 64 * 1024],
@@ -138,13 +140,13 @@ impl ClosedLoopClient {
                 break;
             }
             let _ = api.epoll_register(sock, PollEvents::READABLE | PollEvents::WRITABLE);
-            self.in_flight.insert(sock, ());
+            self.in_flight.insert(sock);
         }
         // Drive I/O.
         let mut done = 0;
         let events = api.epoll_wait(256);
         for ev in events {
-            if !self.in_flight.contains_key(&ev.socket) {
+            if !self.in_flight.contains(&ev.socket) {
                 continue;
             }
             if ev.events.error() || ev.events.hup() {

@@ -1,0 +1,470 @@
+//! Bursty multi-tenant scenario driving the operator control plane.
+//!
+//! Where [`crate::scenario`] exercises the *fault* machinery with a single
+//! client, this runner exercises the *control* machinery with several: each
+//! tenant VM streams a seeded, byte-verified payload to a remote echo
+//! server, but tenants start at different virtual times, so offered load
+//! ramps up as they join and back down as they finish. Clients open a fresh
+//! connection every few chunks (short-connection behaviour), which is what
+//! lets a control-plane migration actually shift load: new connections
+//! follow the VM's current NSM mapping while established ones stay pinned.
+//!
+//! The runner checks the same invariants as the fault scenario — byte
+//! integrity of every echoed chunk, NQE conservation per VM, scheduler
+//! accounting — and reports the full [`ControlEvent`] log plus the final
+//! core allocation so tests can assert that scale-up, rebalancing and
+//! scale-down really fired.
+
+use nk_host::sched::SchedStats;
+use nk_host::NetKernelHost;
+use nk_types::{
+    ControlEvent, HostConfig, NkError, NkResult, NsmId, SockAddr, SocketApi, SocketId, VmId,
+};
+use std::collections::BTreeMap;
+
+use crate::scenario::seeded_payload;
+
+/// One tenant's offered load.
+#[derive(Clone, Debug)]
+pub struct BurstyClient {
+    /// The VM the client runs in.
+    pub vm: VmId,
+    /// Virtual time at which the tenant starts transferring.
+    pub start_ns: u64,
+    /// Bytes the tenant must deliver (and see echoed) end to end.
+    pub total_bytes: usize,
+    /// Stop-and-wait chunk size.
+    pub chunk: usize,
+    /// Chunks transferred per connection before the client opens a fresh
+    /// one (short-connection behaviour; live migration moves these).
+    pub chunks_per_conn: usize,
+}
+
+impl BurstyClient {
+    /// A 64 KiB transfer starting at `start_ns`, reconnecting every four
+    /// chunks.
+    pub fn new(vm: VmId, start_ns: u64) -> Self {
+        BurstyClient {
+            vm,
+            start_ns,
+            total_bytes: 64 * 1024,
+            chunk: 2048,
+            chunks_per_conn: 4,
+        }
+    }
+
+    /// Set the transfer size (builder style).
+    pub fn with_total_bytes(mut self, bytes: usize) -> Self {
+        self.total_bytes = bytes;
+        self
+    }
+}
+
+/// Configuration of one bursty multi-tenant run.
+#[derive(Clone, Debug)]
+pub struct BurstyConfig {
+    /// The host under test (usually with a control policy installed).
+    pub host: HostConfig,
+    /// Seed for the transferred payloads (each client derives its own).
+    pub seed: u64,
+    /// Fabric address of the remote echo server.
+    pub server_ip: u32,
+    /// Port of the remote echo server.
+    pub server_port: u16,
+    /// The tenants and their activity windows.
+    pub clients: Vec<BurstyClient>,
+    /// Step budget (livelock guard).
+    pub max_steps: usize,
+    /// Steps to keep running after every tenant finished, so the control
+    /// plane observes the ramp-down and can scale back.
+    pub drain_steps: usize,
+    /// Virtual time per step in nanoseconds.
+    pub dt_ns: u64,
+}
+
+impl BurstyConfig {
+    /// A run over `host` with defaults matching the fault scenario's pacing.
+    pub fn new(host: HostConfig) -> Self {
+        BurstyConfig {
+            host,
+            seed: 1,
+            server_ip: 0x0A00_0500,
+            server_port: 7,
+            clients: Vec::new(),
+            max_steps: 40_000,
+            drain_steps: 200,
+            dt_ns: 100_000,
+        }
+    }
+
+    /// Add a tenant (builder style).
+    pub fn with_client(mut self, client: BurstyClient) -> Self {
+        self.clients.push(client);
+        self
+    }
+
+    /// Set the payload seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a finished bursty run reports. Two runs of the same
+/// configuration must produce equal reports (the determinism guarantee).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BurstyReport {
+    /// True when every tenant delivered and verified all its bytes.
+    pub completed: bool,
+    /// Host steps executed.
+    pub steps: u64,
+    /// Bytes echoed back and verified, summed over tenants.
+    pub bytes_verified: u64,
+    /// Socket errors observed across tenants.
+    pub errors_observed: u64,
+    /// Reconnects forced by errors (scheduled short-connection reopens are
+    /// not counted).
+    pub reconnects: u64,
+    /// The complete control-plane decision log.
+    pub control: Vec<ControlEvent>,
+    /// Core allocation per NSM at the end of the run.
+    pub final_nsm_cores: BTreeMap<NsmId, usize>,
+    /// Cores allocated to CoreEngine at the end of the run.
+    pub final_engine_cores: usize,
+    /// NSM serving each tenant's new connections at the end of the run.
+    pub final_mapping: BTreeMap<VmId, NsmId>,
+    /// CoreEngine statistics.
+    pub engine: nk_engine::EngineStats,
+    /// Scheduler statistics.
+    pub sched: SchedStats,
+}
+
+/// Per-client transfer state (the same stop-and-wait machine as the fault
+/// scenario, plus scheduled reconnects).
+struct ClientState {
+    spec: BurstyClient,
+    payload: Vec<u8>,
+    sock: Option<SocketId>,
+    established: bool,
+    off: usize,
+    sent_in_chunk: usize,
+    acked_in_chunk: usize,
+    chunks_on_conn: usize,
+    errors_observed: u64,
+    reconnects: u64,
+}
+
+impl ClientState {
+    fn done(&self) -> bool {
+        self.off >= self.spec.total_bytes
+    }
+}
+
+/// A runnable bursty scenario (see the module docs).
+pub struct BurstyScenario {
+    cfg: BurstyConfig,
+}
+
+impl BurstyScenario {
+    /// Build a scenario from its configuration.
+    pub fn new(cfg: BurstyConfig) -> Self {
+        BurstyScenario { cfg }
+    }
+
+    /// Run to completion (or the step budget) and report.
+    ///
+    /// Panics with a descriptive message when an invariant is violated —
+    /// byte corruption, NQE loss, scheduler accounting drift.
+    pub fn run(&self) -> NkResult<BurstyReport> {
+        let cfg = &self.cfg;
+        let mut host = NetKernelHost::new(cfg.host.clone())?;
+
+        let remote = host.add_remote(cfg.server_ip);
+        let listener = remote.socket();
+        remote.bind(listener, SockAddr::new(0, cfg.server_port))?;
+        remote.listen(listener, 64)?;
+        let mut server_conns: Vec<SocketId> = Vec::new();
+        let mut echo_buf = vec![0u8; 16 * 1024];
+
+        let mut clients: Vec<ClientState> = cfg
+            .clients
+            .iter()
+            .map(|spec| ClientState {
+                payload: seeded_payload(
+                    cfg.seed ^ (spec.vm.raw() as u64).wrapping_mul(0x9E37_79B9),
+                    spec.total_bytes,
+                ),
+                spec: spec.clone(),
+                sock: None,
+                established: false,
+                off: 0,
+                sent_in_chunk: 0,
+                acked_in_chunk: 0,
+                chunks_on_conn: 0,
+                errors_observed: 0,
+                reconnects: 0,
+            })
+            .collect();
+
+        let mut steps = 0u64;
+        let mut drained = 0usize;
+        while (steps as usize) < cfg.max_steps {
+            let all_done = clients.iter().all(ClientState::done);
+            if all_done {
+                if drained >= cfg.drain_steps {
+                    break;
+                }
+                drained += 1;
+            }
+            let now = host.now_ns();
+            let server = SockAddr::new(cfg.server_ip, cfg.server_port);
+            for c in clients.iter_mut() {
+                if now >= c.spec.start_ns && !c.done() {
+                    Self::drive_client(&mut host, c, server);
+                }
+            }
+            host.step(cfg.dt_ns);
+            Self::drive_server(
+                &mut host,
+                cfg.server_ip,
+                listener,
+                &mut server_conns,
+                &mut echo_buf,
+            );
+            steps += 1;
+            if steps.is_multiple_of(64) {
+                Self::check_sched(&host);
+            }
+        }
+        let completed = clients.iter().all(ClientState::done);
+
+        // Settle and check conservation per tenant at quiescence.
+        for c in clients.iter_mut() {
+            if let Some(s) = c.sock.take() {
+                if let Some(g) = host.guest_mut(c.spec.vm) {
+                    let _ = g.close(s);
+                }
+            }
+        }
+        for _ in 0..50 {
+            host.step(cfg.dt_ns);
+        }
+        Self::check_sched(&host);
+        for c in &clients {
+            Self::check_conservation(&mut host, c.spec.vm);
+        }
+
+        let final_nsm_cores = cfg
+            .host
+            .nsms
+            .iter()
+            .filter_map(|n| host.nsm_cores(n.id).map(|c| (n.id, c)))
+            .collect();
+        let final_mapping = cfg
+            .host
+            .vms
+            .iter()
+            .filter_map(|v| host.nsm_of(v.id).map(|n| (v.id, n)))
+            .collect();
+        Ok(BurstyReport {
+            completed,
+            steps,
+            bytes_verified: clients.iter().map(|c| c.off as u64).sum(),
+            errors_observed: clients.iter().map(|c| c.errors_observed).sum(),
+            reconnects: clients.iter().map(|c| c.reconnects).sum(),
+            control: host.control_events().to_vec(),
+            final_nsm_cores,
+            final_engine_cores: host.engine_cores(),
+            final_mapping,
+            engine: host.engine_stats(),
+            sched: host.sched_stats(),
+        })
+    }
+
+    /// One client iteration: (re)connect if needed, push the current chunk,
+    /// verify echoed bytes, rotate the connection every few chunks.
+    fn drive_client(host: &mut NetKernelHost, c: &mut ClientState, server: SockAddr) {
+        let chunk_len = c.spec.chunk.min(c.spec.total_bytes - c.off);
+        let Some(g) = host.guest_mut(c.spec.vm) else {
+            return;
+        };
+        let Some(sock) = c.sock else {
+            if let Ok(s) = g.socket() {
+                if g.connect(s, server).is_ok() {
+                    c.sock = Some(s);
+                    c.established = false;
+                    c.sent_in_chunk = 0;
+                    c.acked_in_chunk = 0;
+                    c.chunks_on_conn = 0;
+                } else {
+                    let _ = g.close(s);
+                }
+            }
+            return;
+        };
+
+        let ev = g.poll(sock);
+        if ev.error() || ev.hup() {
+            c.errors_observed += 1;
+            c.reconnects += 1;
+            let _ = g.close(sock);
+            c.sock = None;
+            c.established = false;
+            return;
+        }
+        if !c.established {
+            if ev.writable() {
+                c.established = true;
+            } else {
+                return;
+            }
+        }
+        if c.sent_in_chunk < chunk_len {
+            let from = c.off + c.sent_in_chunk;
+            let to = c.off + chunk_len;
+            match g.send(sock, &c.payload[from..to]) {
+                Ok(n) => c.sent_in_chunk += n,
+                Err(NkError::WouldBlock) => {}
+                Err(_) => return,
+            }
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match g.recv(sock, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    let at = c.off + c.acked_in_chunk;
+                    assert!(
+                        at + n <= c.off + chunk_len,
+                        "{:?}: server echoed past the outstanding chunk",
+                        c.spec.vm,
+                    );
+                    assert_eq!(
+                        &buf[..n],
+                        &c.payload[at..at + n],
+                        "{:?}: echoed bytes diverge from the payload at offset {at}",
+                        c.spec.vm,
+                    );
+                    c.acked_in_chunk += n;
+                }
+                Err(_) => break,
+            }
+        }
+        if c.acked_in_chunk == chunk_len && chunk_len > 0 {
+            c.off += chunk_len;
+            c.sent_in_chunk = 0;
+            c.acked_in_chunk = 0;
+            c.chunks_on_conn += 1;
+            // Short-connection behaviour: rotate to a fresh connection so a
+            // live migration can take effect mid-transfer.
+            if c.spec.chunks_per_conn > 0 && c.chunks_on_conn >= c.spec.chunks_per_conn {
+                let _ = g.close(sock);
+                c.sock = None;
+                c.established = false;
+            }
+        }
+    }
+
+    /// Accept and echo on the remote server.
+    fn drive_server(
+        host: &mut NetKernelHost,
+        server_ip: u32,
+        listener: SocketId,
+        conns: &mut Vec<SocketId>,
+        buf: &mut [u8],
+    ) {
+        let Some(remote) = host.remote_mut(server_ip) else {
+            return;
+        };
+        while let Ok((conn, _)) = remote.accept(listener) {
+            conns.push(conn);
+        }
+        conns.retain(|&conn| loop {
+            match remote.recv(conn, buf) {
+                Ok(0) => {
+                    let _ = remote.close(conn);
+                    break false;
+                }
+                Ok(n) => {
+                    let _ = remote.send(conn, &buf[..n]);
+                }
+                Err(NkError::WouldBlock) => break true,
+                Err(_) => {
+                    let _ = remote.close(conn);
+                    break false;
+                }
+            }
+        });
+    }
+
+    /// Scheduler accounting: every step ends in quiescence or at the bound.
+    fn check_sched(host: &NetKernelHost) {
+        let s = host.sched_stats();
+        assert_eq!(
+            s.quiescent_exits + s.round_limit_hits,
+            s.steps,
+            "scheduler steps unaccounted for: {s:?}",
+        );
+    }
+
+    /// NQE conservation over CoreEngine at quiescence, per tenant.
+    fn check_conservation(host: &mut NetKernelHost, vm: VmId) {
+        let guest = host.guest_mut(vm).expect("client VM exists").stats();
+        let stats = host.vm_switch_stats(vm).expect("client VM registered");
+        let stalled = host.stalled_nqes() as u64;
+        assert!(
+            guest.nqes_sent <= stats.nqes_forwarded + stats.dropped + stalled,
+            "{vm:?}: NQEs lost in the switch: sent {}, forwarded {}, dropped {}, stalled {}",
+            guest.nqes_sent,
+            stats.nqes_forwarded,
+            stats.dropped,
+            stalled,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_types::{NsmConfig, VmConfig, VmToNsmPolicy};
+
+    /// Without a control policy the bursty runner is just a multi-tenant
+    /// transfer: everything completes, byte-verified, no control events.
+    #[test]
+    fn multi_tenant_transfer_completes_without_control() {
+        let host = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_vm(VmConfig::new(VmId(2)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)).with_vcpus(2))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let report = BurstyScenario::new(
+            BurstyConfig::new(host)
+                .with_client(BurstyClient::new(VmId(1), 0).with_total_bytes(16 * 1024))
+                .with_client(BurstyClient::new(VmId(2), 1_000_000).with_total_bytes(16 * 1024)),
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.bytes_verified, 32 * 1024);
+        assert!(report.control.is_empty());
+        assert_eq!(report.errors_observed, 0);
+    }
+
+    #[test]
+    fn clients_idle_before_their_start_time() {
+        let host = HostConfig::new()
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let late_start = 3_000_000;
+        let report = BurstyScenario::new(
+            BurstyConfig::new(host)
+                .with_client(BurstyClient::new(VmId(1), late_start).with_total_bytes(8 * 1024)),
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed);
+        // The transfer could not have finished before it started.
+        assert!(report.steps > late_start / 100_000);
+    }
+}

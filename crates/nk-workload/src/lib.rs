@@ -13,12 +13,18 @@
 //! * [`scenario`] — the deterministic scenario runner composing a host, a
 //!   verified reliable-transfer workload and a fault plan (NSM crashes, live
 //!   migration, link degradation) with invariant checks, plus the seeded
-//!   random fault-schedule generator the property tests draw from.
+//!   random fault-schedule generator the property tests draw from;
+//! * [`bursty`] — the multi-tenant ramp-up/ramp-down runner driving the
+//!   operator control plane: tenants join and leave over virtual time, every
+//!   byte is verified, and the control-plane decision log (scale-up,
+//!   rebalancing, scale-down) is part of the report.
 
 pub mod agtrace;
 pub mod apps;
+pub mod bursty;
 pub mod scenario;
 
 pub use agtrace::{AgTrace, AgTraceConfig};
 pub use apps::{ClosedLoopClient, EchoServer};
+pub use bursty::{BurstyClient, BurstyConfig, BurstyReport, BurstyScenario};
 pub use scenario::{random_fault_plan, seeded_payload, Scenario, ScenarioConfig, ScenarioReport};

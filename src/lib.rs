@@ -13,9 +13,12 @@
 //! * [`guest`] — GuestLib: transparent BSD socket redirection.
 //! * [`service`] — ServiceLib and the Network Stack Modules.
 //! * [`engine`] — CoreEngine: NQE switching, connection table, isolation.
+//! * [`ctrl`] — the operator control plane: load monitoring, autoscaling,
+//!   VM rebalancing.
 //! * [`host`] — host orchestration (threaded and simulated) and metrics.
 //! * [`workload`] — workload generators used by the evaluation.
 
+pub use nk_ctrl as ctrl;
 pub use nk_engine as engine;
 pub use nk_fabric as fabric;
 pub use nk_guest as guest;
@@ -28,5 +31,11 @@ pub use nk_sim as sim;
 pub use nk_types as types;
 pub use nk_workload as workload;
 
-pub use nk_types::{FaultAction, FaultEvent, FaultPlan, LinkFault, NkError, NkResult, SocketApi};
-pub use nk_workload::{random_fault_plan, Scenario, ScenarioConfig, ScenarioReport};
+pub use nk_types::{
+    ControlAction, ControlEvent, ControlPolicy, ControlTarget, FaultAction, FaultEvent, FaultPlan,
+    LinkFault, NkError, NkResult, SocketApi,
+};
+pub use nk_workload::{
+    random_fault_plan, BurstyClient, BurstyConfig, BurstyScenario, Scenario, ScenarioConfig,
+    ScenarioReport,
+};
