@@ -76,6 +76,12 @@ fn main() {
     if want("tab07") {
         tab07_cpu_overhead_rps(&model, &mut results);
     }
+    if want("ctrl01") {
+        ctrl01_control_plane(&mut results);
+    }
+    if want("clu01") {
+        clu01_cluster_migration(&mut results);
+    }
 
     if results.experiments.is_empty() {
         // A typo'd experiment name must fail loudly rather than exit green
@@ -773,4 +779,168 @@ fn tab07_cpu_overhead_rps(model: &PerfModel, results: &mut BenchResults) {
     results
         .experiment("tab07")
         .metric("normalised_cpu_64", "ratio", model.cpu_overhead_rps(64));
+}
+
+/// Control-plane observability: the ramping multi-tenant scenario of the
+/// control tests, with the decision log and the per-epoch utilisation time
+/// series surfaced as part of the perf trajectory.
+fn ctrl01_control_plane(results: &mut BenchResults) {
+    use nk_types::{
+        ControlAction, ControlPolicy, HostConfig, NsmConfig, NsmId, VmConfig, VmId, VmToNsmPolicy,
+    };
+    use nk_workload::{BurstyClient, BurstyConfig, BurstyScenario};
+
+    let policy = ControlPolicy::new()
+        .with_epoch_ns(1_000_000)
+        .with_window(2)
+        .with_watermarks(0.10, 0.60)
+        .with_core_bounds(1, 2)
+        .with_cooldown(1)
+        .with_rebalance(0.50, 1)
+        .with_pool_clock_hz(1_000_000);
+    let host = HostConfig::new()
+        .with_vm(VmConfig::new(VmId(1)))
+        .with_vm(VmConfig::new(VmId(2)))
+        .with_vm(VmConfig::new(VmId(3)))
+        .with_nsm(NsmConfig::kernel(NsmId(1)))
+        .with_nsm(NsmConfig::kernel(NsmId(2)))
+        .with_mapping(VmToNsmPolicy::Static(vec![
+            (VmId(1), NsmId(1)),
+            (VmId(2), NsmId(1)),
+            (VmId(3), NsmId(1)),
+        ]))
+        .with_control(policy);
+    let report = BurstyScenario::new(
+        BurstyConfig::new(host)
+            .with_seed(11)
+            .with_client(BurstyClient::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_client(BurstyClient::new(VmId(2), 1_000_000).with_total_bytes(96 * 1024))
+            .with_client(BurstyClient::new(VmId(3), 2_000_000).with_total_bytes(96 * 1024)),
+    )
+    .run()
+    .expect("control scenario runs");
+    assert!(report.completed, "control scenario must complete");
+
+    let count = |pred: fn(&ControlAction) -> bool| {
+        report.control.iter().filter(|e| pred(&e.action)).count() as f64
+    };
+    let scale_ups = count(|a| matches!(a, ControlAction::ScaleUp { .. }));
+    let scale_downs = count(|a| matches!(a, ControlAction::ScaleDown { .. }));
+    let rebalances = count(|a| matches!(a, ControlAction::Rebalance { .. }));
+    let nsm1 = report
+        .telemetry
+        .nsm_utilisation
+        .get(&NsmId(1))
+        .cloned()
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = report
+        .control
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{}", e.at_ns / 1_000_000),
+                e.epoch.to_string(),
+                format!("{:?}", e.action),
+            ]
+        })
+        .collect();
+    print_table(
+        "Control plane: decision log of the ramping 3-tenant scenario",
+        &["t (ms)", "epoch", "action"],
+        &rows,
+    );
+    println!(
+        "epochs sampled {} · NSM1 utilisation mean {:.2} / max {:.2} · actions/epoch mean {:.2}",
+        nsm1.len(),
+        nsm1.mean(),
+        nsm1.max(),
+        report.telemetry.actions_per_epoch.mean(),
+    );
+    results
+        .experiment("ctrl01")
+        .metric("control_events", "count", report.control.len() as f64)
+        .metric("scale_ups", "count", scale_ups)
+        .metric("scale_downs", "count", scale_downs)
+        .metric("rebalances", "count", rebalances)
+        .metric("epochs_sampled", "count", nsm1.len() as f64)
+        .metric("nsm1_util_mean", "ratio", nsm1.mean())
+        .metric("nsm1_util_max", "ratio", nsm1.max())
+        .metric("bytes_verified", "bytes", report.bytes_verified as f64);
+}
+
+/// Cluster fabric: a drained cross-host migration under byte-verified
+/// cross-host traffic, with the event log and digest as the determinism
+/// fingerprint.
+fn clu01_cluster_migration(results: &mut BenchResults) {
+    use nk_types::{
+        ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, VmConfig, VmId, VmToNsmPolicy,
+    };
+    use nk_workload::{ClusterScenario, ClusterScenarioConfig, ClusterTenant};
+
+    let host = |id: u8, vms: &[u8]| {
+        let mut cfg = HostConfig::new()
+            .with_host_id(HostId(id))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        for vm in vms {
+            cfg = cfg.with_vm(VmConfig::new(VmId(*vm)));
+        }
+        cfg
+    };
+    let cluster = ClusterConfig::new()
+        .with_host(host(1, &[1]))
+        .with_host(host(2, &[2]))
+        .with_uplink_latency_us(2);
+    let report = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster)
+            .with_seed(11)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(2), 500_000).with_total_bytes(64 * 1024))
+            .with_migration(2_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .expect("cluster scenario runs");
+    assert!(report.completed, "cluster scenario must complete");
+
+    let rows: Vec<Vec<String>> = report
+        .events
+        .iter()
+        .map(|e| {
+            vec![
+                format!("{}", e.at_ns / 1_000_000),
+                e.epoch.to_string(),
+                format!("{:?}", e.action),
+            ]
+        })
+        .collect();
+    print_table(
+        "Cluster: drained cross-host migration event log",
+        &["t (ms)", "epoch", "action"],
+        &rows,
+    );
+    println!(
+        "bytes verified {} · steps {} · event-log digest {:#018x}",
+        report.bytes_verified, report.steps, report.event_digest
+    );
+    results
+        .experiment("clu01")
+        .metric("bytes_verified", "bytes", report.bytes_verified as f64)
+        .metric("steps", "count", report.steps as f64)
+        .metric("migrations", "count", report.stats.migrations as f64)
+        .metric(
+            "drains_completed",
+            "count",
+            report.stats.drains_completed as f64,
+        )
+        .metric(
+            "shares_retired",
+            "count",
+            report.stats.shares_retired as f64,
+        )
+        .metric("cluster_events", "count", report.events.len() as f64)
+        .metric(
+            "rounds_per_step",
+            "ratio",
+            report.stats.rounds as f64 / report.stats.steps.max(1) as f64,
+        );
 }

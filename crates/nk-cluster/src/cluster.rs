@@ -1,0 +1,653 @@
+//! The cluster: hosts behind one top-of-rack switch, one clock, one placer.
+
+use nk_ctrl::placer::{ClusterSample, HostLoad, Placer};
+use nk_fabric::link::LinkConfig;
+use nk_fabric::tor::TorSwitch;
+use nk_guest::GuestLib;
+use nk_host::NetKernelHost;
+use nk_netstack::{Segment, StackConfig, TcpStack};
+use nk_sim::{CycleLedger, Pollable, PoolMember};
+use nk_types::addr::{host_prefix, HOST_PREFIX_MASK};
+use nk_types::{
+    ClusterAction, ClusterConfig, ClusterEvent, HostId, NkError, NkResult, NsmId, StackKind, VmId,
+};
+use std::collections::BTreeMap;
+
+/// Cluster scheduler and placement counters, for observability and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Cluster steps executed.
+    pub steps: u64,
+    /// Interleaved poll rounds executed across all steps.
+    pub rounds: u64,
+    /// Steps that ended early because a full round reported no work.
+    pub quiescent_exits: u64,
+    /// Steps whose final allowed round still reported work.
+    pub round_limit_hits: u64,
+    /// Cross-host migrations started.
+    pub migrations: u64,
+    /// Drains completed (source share fully retired).
+    pub drains_completed: u64,
+    /// NSM shares scaled to zero after a drain.
+    pub shares_retired: u64,
+}
+
+/// An in-flight drain: the VM has moved, its source share has not emptied
+/// yet.
+struct ActiveDrain {
+    vm: VmId,
+    from: HostId,
+    nsm: NsmId,
+}
+
+/// A set of [`NetKernelHost`]s joined by uplinks through a top-of-rack
+/// switch, sharing one virtual clock, with cross-host VM migration (drained)
+/// as a first-class operation and an optional cluster placement loop.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    hosts: BTreeMap<HostId, NetKernelHost>,
+    tor: TorSwitch<Segment>,
+    /// Datacenter-level endpoints attached at the ToR (gateways, servers
+    /// every host talks to).
+    remotes: BTreeMap<u32, TcpStack>,
+    /// Where each VM's *new* connections open (updated by migrations).
+    vm_home: BTreeMap<VmId, HostId>,
+    placer: Option<Placer>,
+    drains: Vec<ActiveDrain>,
+    events: Vec<ClusterEvent>,
+    /// Placement epochs completed (also stamps drain events).
+    epoch: u64,
+    next_epoch_ns: u64,
+    last_sample_ns: u64,
+    /// Pool-ledger snapshots at the previous placement epoch, per host NSM.
+    prev_ledgers: BTreeMap<(HostId, PoolMember), CycleLedger>,
+    /// Uplink byte counters at the previous placement epoch.
+    prev_uplink: BTreeMap<HostId, (u64, u64)>,
+    /// Per-VM forwarded bytes at the previous placement epoch.
+    prev_vm_bytes: BTreeMap<(HostId, VmId), u64>,
+    stats: ClusterStats,
+    now_ns: u64,
+}
+
+impl Cluster {
+    /// Build a cluster from its configuration: every host comes up, gets an
+    /// uplink trunk on the ToR, and (when a policy is installed) starts
+    /// charging datapath work so the placer sees utilisation.
+    pub fn new(cfg: ClusterConfig) -> NkResult<Self> {
+        cfg.validate()?;
+        let uplink = LinkConfig::ideal()
+            .with_rate_gbps(cfg.uplink_rate_gbps)
+            .with_latency_us(cfg.uplink_latency_us);
+        let mut tor = TorSwitch::new();
+        let mut hosts = BTreeMap::new();
+        let mut vm_home = BTreeMap::new();
+        for host_cfg in &cfg.hosts {
+            let id = host_cfg.host_id;
+            let mut host = NetKernelHost::new(host_cfg.clone())?;
+            host.connect_uplink(tor.attach_trunk(host_prefix(id), HOST_PREFIX_MASK, uplink));
+            if let Some(policy) = &cfg.policy {
+                host.enable_pool_accounting(policy.pool_clock_hz);
+            }
+            for vm in &host_cfg.vms {
+                vm_home.insert(vm.id, id);
+            }
+            hosts.insert(id, host);
+        }
+        let placer = match cfg.policy.clone() {
+            Some(policy) => Some(Placer::new(policy)?),
+            None => None,
+        };
+        let next_epoch_ns = cfg.policy.as_ref().map(|p| p.epoch_ns).unwrap_or(u64::MAX);
+        Ok(Cluster {
+            cfg,
+            hosts,
+            tor,
+            remotes: BTreeMap::new(),
+            vm_home,
+            placer,
+            drains: Vec::new(),
+            events: Vec::new(),
+            epoch: 0,
+            next_epoch_ns,
+            last_sample_ns: 0,
+            prev_ledgers: BTreeMap::new(),
+            prev_uplink: BTreeMap::new(),
+            prev_vm_bytes: BTreeMap::new(),
+            stats: ClusterStats::default(),
+            now_ns: 0,
+        })
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Current virtual time in nanoseconds (shared by every host).
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Scheduler and placement counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// A host by id.
+    pub fn host(&self, id: HostId) -> Option<&NetKernelHost> {
+        self.hosts.get(&id)
+    }
+
+    /// Mutable access to a host by id.
+    pub fn host_mut(&mut self, id: HostId) -> Option<&mut NetKernelHost> {
+        self.hosts.get_mut(&id)
+    }
+
+    /// Host ids, in order.
+    pub fn host_ids(&self) -> Vec<HostId> {
+        self.hosts.keys().copied().collect()
+    }
+
+    /// The host a VM's *new* connections currently open on.
+    pub fn home_of(&self, vm: VmId) -> Option<HostId> {
+        self.vm_home.get(&vm).copied()
+    }
+
+    /// Mutable access to a VM's GuestLib on a specific host. During a drain
+    /// the VM briefly exists on two hosts: the retiring instance on the
+    /// source (serving pinned connections) and the imported one at
+    /// [`Cluster::home_of`].
+    pub fn guest_on(&mut self, host: HostId, vm: VmId) -> Option<&mut GuestLib> {
+        self.hosts.get_mut(&host).and_then(|h| h.guest_mut(vm))
+    }
+
+    /// Attach a datacenter-level endpoint (e.g. the echo server every
+    /// tenant talks to) at the top-of-rack switch. Cross-host by
+    /// construction: every host reaches it through its uplink.
+    pub fn add_remote(&mut self, ip: u32) -> &mut TcpStack {
+        let link = LinkConfig::ideal()
+            .with_rate_gbps(self.cfg.uplink_rate_gbps)
+            .with_latency_us(self.cfg.uplink_latency_us);
+        let port = self.tor.attach_endpoint(ip, link);
+        let stack = TcpStack::new(StackConfig::new(ip), port);
+        self.remotes.insert(ip, stack);
+        self.remotes.get_mut(&ip).expect("just inserted")
+    }
+
+    /// Mutable access to a previously added ToR endpoint's stack.
+    pub fn remote_mut(&mut self, ip: u32) -> Option<&mut TcpStack> {
+        self.remotes.get_mut(&ip)
+    }
+
+    /// The cluster event log, in application order.
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// FNV-1a digest of the serialized event log. Two runs of the same
+    /// seeded configuration must produce the same digest — the check the
+    /// CI determinism job replays.
+    pub fn event_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for event in &self.events {
+            let json = serde_json::to_string(event).expect("events serialize");
+            for byte in json.as_bytes() {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        hash
+    }
+
+    /// Advance the whole cluster by `dt_ns`: every host opens a step (fault
+    /// injection included), then all hosts, the ToR and the ToR endpoints
+    /// are polled in interleaved rounds until a full round reports no work
+    /// (or the round bound is hit) — so a request → uplink → ToR → remote →
+    /// response round trip completes within one step. Each host's control
+    /// phase closes its step, then cluster-level work runs: drain
+    /// completions retire emptied source shares, and at placement-epoch
+    /// boundaries the placer may migrate VMs across hosts. Returns the
+    /// total work done.
+    pub fn step(&mut self, dt_ns: u64) -> usize {
+        self.now_ns += dt_ns;
+        let now = self.now_ns;
+        let mut total = 0;
+        for host in self.hosts.values_mut() {
+            total += host.begin_step(dt_ns);
+        }
+        let mut rounds = 0;
+        loop {
+            let mut work = 0;
+            for host in self.hosts.values_mut() {
+                work += host.poll_round();
+            }
+            work += self.tor.step(now);
+            for remote in self.remotes.values_mut() {
+                work += Pollable::poll(remote, now);
+            }
+            rounds += 1;
+            total += work;
+            if work == 0 {
+                self.stats.quiescent_exits += 1;
+                break;
+            }
+            if rounds >= self.cfg.max_rounds {
+                self.stats.round_limit_hits += 1;
+                break;
+            }
+        }
+        for host in self.hosts.values_mut() {
+            total += host.end_step();
+        }
+        total += self.advance_drains();
+        if self.placer.is_some() && now >= self.next_epoch_ns {
+            total += self.run_placement_epoch(now);
+        }
+        self.stats.steps += 1;
+        self.stats.rounds += rounds as u64;
+        total
+    }
+
+    /// Step repeatedly with a fixed increment.
+    pub fn run(&mut self, steps: usize, dt_ns: u64) {
+        for _ in 0..steps {
+            self.step(dt_ns);
+        }
+    }
+
+    // ---- Cross-host migration ------------------------------------------------
+
+    /// Live-migrate a VM to another host: export on the source (the local
+    /// instance enters drain), import on the destination (new connections
+    /// open on the least-loaded TCP NSM there), and track the drain until
+    /// the source share empties. Operators call this directly; the placer
+    /// calls it at epoch boundaries.
+    pub fn migrate_vm(&mut self, vm: VmId, from: HostId, to: HostId) -> NkResult<()> {
+        if from == to {
+            return Err(NkError::BadConfig);
+        }
+        if self.home_of(vm) != Some(from) {
+            return Err(NkError::NotFound);
+        }
+        // A VM still draining off the destination (it bounced back before
+        // its old share emptied) cannot move there again yet: the import
+        // would collide with the draining instance.
+        if self.hosts.get(&to).is_some_and(|h| h.has_vm(vm)) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let to_nsm = self.pick_destination_nsm(to)?;
+        let export = self
+            .hosts
+            .get_mut(&from)
+            .ok_or(NkError::NotFound)?
+            .export_vm(vm)?;
+        if let Err(e) = self
+            .hosts
+            .get_mut(&to)
+            .expect("destination checked by pick_destination_nsm")
+            .import_vm(&export, to_nsm)
+        {
+            // Roll the export back: the VM must not stay stuck in drain on
+            // the source when the destination refused it.
+            self.hosts
+                .get_mut(&from)
+                .expect("source produced the export")
+                .cancel_export(vm);
+            return Err(e);
+        }
+        self.vm_home.insert(vm, to);
+        self.drains.push(ActiveDrain {
+            vm,
+            from,
+            nsm: export.from_nsm,
+        });
+        self.stats.migrations += 1;
+        self.push_event(ClusterAction::MigrateVm {
+            vm,
+            from,
+            to,
+            to_nsm,
+        });
+        Ok(())
+    }
+
+    /// The destination NSM for a migration: among the host's alive
+    /// TCP-stack NSMs, the one serving the fewest VMs (ties by id) — the
+    /// same least-loaded rule initial placement uses.
+    fn pick_destination_nsm(&self, host: HostId) -> NkResult<NsmId> {
+        let h = self.hosts.get(&host).ok_or(NkError::NotFound)?;
+        let vms: Vec<VmId> = h.config().vms.iter().map(|v| v.id).collect();
+        h.config()
+            .nsms
+            .iter()
+            .filter(|n| n.stack != StackKind::SharedMem && h.has_nsm(n.id))
+            .map(|n| {
+                let mapped = vms.iter().filter(|vm| h.nsm_of(**vm) == Some(n.id)).count();
+                (mapped, n.id)
+            })
+            .min()
+            .map(|(_, id)| id)
+            .ok_or(NkError::NoNsm)
+    }
+
+    /// Complete any drains whose pinned-connection count reached zero: the
+    /// source VM instance is torn down and, when its NSM serves nothing
+    /// else, the share scales to zero cores.
+    fn advance_drains(&mut self) -> usize {
+        let mut work = 0;
+        let mut idx = 0;
+        while idx < self.drains.len() {
+            let (vm, from, nsm) = {
+                let d = &self.drains[idx];
+                (d.vm, d.from, d.nsm)
+            };
+            let host = self.hosts.get_mut(&from).expect("drain host exists");
+            if host.vm_pinned(vm) > 0 {
+                idx += 1;
+                continue;
+            }
+            host.retire_vm(vm).expect("unpinned VM retires");
+            let retired = host.retire_nsm_if_drained(nsm);
+            self.drains.remove(idx);
+            self.stats.drains_completed += 1;
+            self.push_event(ClusterAction::DrainComplete {
+                vm,
+                host: from,
+                nsm,
+            });
+            work += 1;
+            if retired {
+                self.stats.shares_retired += 1;
+                self.push_event(ClusterAction::ScaleToZero { host: from, nsm });
+                work += 1;
+            }
+        }
+        work
+    }
+
+    // ---- The placement loop --------------------------------------------------
+
+    /// Close a placement epoch: sample every host, let the placer decide,
+    /// and execute its migrations. Returns the number applied.
+    fn run_placement_epoch(&mut self, now_ns: u64) -> usize {
+        let sample = self.sample_epoch(now_ns);
+        let placer = self.placer.as_mut().expect("checked by caller");
+        self.next_epoch_ns = now_ns + placer.policy().epoch_ns;
+        let migrations = placer.on_epoch(&sample);
+        self.epoch = placer.epochs();
+        let mut applied = 0;
+        for m in migrations {
+            // A decision can race reality (the VM is already draining, the
+            // destination lost its NSMs): skip rather than panic — the
+            // placer re-observes next epoch.
+            if self.migrate_vm(m.vm, m.from, m.to).is_ok() {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// Assemble the placement sample of the epoch ending now: per-host NSM
+    /// utilisation from pool-ledger deltas, cross-host traffic from uplink
+    /// counters, per-VM bytes as the placement snapshot.
+    fn sample_epoch(&mut self, now_ns: u64) -> ClusterSample {
+        let elapsed_ns = now_ns.saturating_sub(self.last_sample_ns).max(1);
+        self.last_sample_ns = now_ns;
+        // Bytes one uplink direction can carry over the elapsed window.
+        let uplink_capacity = (self.cfg.uplink_rate_gbps * elapsed_ns as f64 / 8.0).max(1.0);
+        let mut hosts = BTreeMap::new();
+        for (id, host) in self.hosts.iter() {
+            let members: Vec<PoolMember> = host.core_pool().members().collect();
+            let mut busy = 0u64;
+            let mut offered = 0u64;
+            let mut nsm_cores = 0usize;
+            for member in members {
+                let PoolMember::Nsm(_) = member else { continue };
+                let Some(ledger) = host.core_pool().ledger(member) else {
+                    continue;
+                };
+                let prev = self
+                    .prev_ledgers
+                    .insert((*id, member), ledger)
+                    .unwrap_or_default();
+                busy += ledger.busy.saturating_sub(prev.busy);
+                offered += ledger.offered.saturating_sub(prev.offered);
+                nsm_cores += host.core_pool().cores(member).unwrap_or(0);
+            }
+            let nsm_utilisation = if offered == 0 {
+                0.0
+            } else {
+                busy as f64 / offered as f64
+            };
+            let uplink = host.uplink_stats();
+            let (prev_tx, prev_rx) = self
+                .prev_uplink
+                .insert(*id, (uplink.tx_bytes, uplink.rx_bytes))
+                .unwrap_or((0, 0));
+            let tx = uplink.tx_bytes.saturating_sub(prev_tx);
+            let rx = uplink.rx_bytes.saturating_sub(prev_rx);
+            let uplink_utilisation = tx.max(rx) as f64 / uplink_capacity;
+            let mut vm_bytes = BTreeMap::new();
+            for vm in host.config().vms.iter().map(|v| v.id) {
+                let total = host
+                    .vm_switch_stats(vm)
+                    .map(|s| s.bytes_forwarded)
+                    .unwrap_or(0);
+                let prev = self.prev_vm_bytes.insert((*id, vm), total).unwrap_or(0);
+                // A VM still draining off this host is not a migration
+                // candidate — its home is elsewhere, and offering it to the
+                // placer would burn the per-epoch budget on a move that can
+                // only be skipped at execution time. Its byte snapshot is
+                // still advanced above so later samples stay consistent.
+                if self.vm_home.get(&vm) == Some(id) {
+                    vm_bytes.insert(vm, total.saturating_sub(prev));
+                }
+            }
+            hosts.insert(
+                *id,
+                HostLoad {
+                    nsm_cores,
+                    nsm_utilisation,
+                    uplink_utilisation,
+                    queue_depth: host.stalled_nqes() as u64,
+                    vm_bytes,
+                },
+            );
+        }
+        ClusterSample { now_ns, hosts }
+    }
+
+    fn push_event(&mut self, action: ClusterAction) {
+        self.events.push(ClusterEvent {
+            at_ns: self.now_ns,
+            epoch: self.epoch,
+            action,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_types::{
+        ClusterPolicy, HostConfig, NsmConfig, SockAddr, SocketApi, VmConfig, VmToNsmPolicy,
+    };
+
+    const SERVER_IP: u32 = 0xC0A8_0001; // 192.168.0.1, outside every host block
+
+    fn host(id: u8, vms: &[u8]) -> HostConfig {
+        let mut cfg = HostConfig::new()
+            .with_host_id(HostId(id))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        for vm in vms {
+            cfg = cfg.with_vm(VmConfig::new(VmId(*vm)));
+        }
+        cfg
+    }
+
+    fn two_host_cluster() -> Cluster {
+        Cluster::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[2])),
+        )
+        .unwrap()
+    }
+
+    /// Guests on two different hosts both reach a ToR-attached server:
+    /// traffic crosses host switch → uplink → ToR and back.
+    #[test]
+    fn guests_on_both_hosts_reach_a_tor_endpoint() {
+        let mut cluster = two_host_cluster();
+        let server = cluster.add_remote(SERVER_IP);
+        let ls = server.socket();
+        server.bind(ls, SockAddr::new(0, 7)).unwrap();
+        server.listen(ls, 16).unwrap();
+
+        for (h, vm) in [(HostId(1), VmId(1)), (HostId(2), VmId(2))] {
+            let guest = cluster.guest_on(h, vm).unwrap();
+            let s = guest.socket().unwrap();
+            guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        }
+        cluster.run(30, 100_000);
+
+        let server = cluster.remote_mut(SERVER_IP).unwrap();
+        let mut accepted = 0;
+        while server.accept(ls).is_ok() {
+            accepted += 1;
+        }
+        assert_eq!(accepted, 2, "both hosts' tenants reach the ToR endpoint");
+        for h in [HostId(1), HostId(2)] {
+            let stats = cluster.host(h).unwrap().uplink_stats();
+            assert!(stats.tx_frames > 0 && stats.rx_frames > 0, "{h}: {stats:?}");
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.quiescent_exits + stats.round_limit_hits, stats.steps);
+        assert!(stats.quiescent_exits > 0);
+    }
+
+    /// A scripted migration moves a VM's home; without pinned connections
+    /// the drain completes immediately and the source share retires.
+    #[test]
+    fn idle_migration_drains_immediately_and_retires_the_share() {
+        let mut cluster = two_host_cluster();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(1)));
+        cluster.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(2)));
+        cluster.step(100_000); // drain check runs inside the step
+        assert_eq!(cluster.stats().drains_completed, 1);
+        assert_eq!(cluster.stats().shares_retired, 1);
+        assert_eq!(
+            cluster.host(HostId(1)).unwrap().nsm_cores(NsmId(1)),
+            Some(0),
+            "the drained source NSM share must scale to zero"
+        );
+        assert!(cluster.events().iter().any(|e| matches!(
+            e.action,
+            ClusterAction::ScaleToZero {
+                host: HostId(1),
+                ..
+            }
+        )));
+        // The VM is gone from the source host entirely.
+        assert!(cluster.guest_on(HostId(1), VmId(1)).is_none());
+        assert!(cluster.guest_on(HostId(2), VmId(1)).is_some());
+    }
+
+    /// A share retired to zero cores revives when a tenant migrates back
+    /// onto it: the import restores the configured allocation.
+    #[test]
+    fn importing_onto_a_retired_share_revives_it() {
+        let mut cluster = two_host_cluster();
+        cluster.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        cluster.step(100_000);
+        assert_eq!(
+            cluster.host(HostId(1)).unwrap().nsm_cores(NsmId(1)),
+            Some(0)
+        );
+        cluster.migrate_vm(VmId(1), HostId(2), HostId(1)).unwrap();
+        assert_eq!(
+            cluster.host(HostId(1)).unwrap().nsm_cores(NsmId(1)),
+            Some(1),
+            "the import must restore the retired share's allocation"
+        );
+    }
+
+    /// A migration that cannot complete (the VM is still draining off the
+    /// destination) fails cleanly: no phantom drain is left behind and the
+    /// move succeeds once the drain finishes.
+    #[test]
+    fn bounce_back_during_drain_is_rejected_without_leaking_state() {
+        let mut cluster = two_host_cluster();
+        let server = cluster.add_remote(SERVER_IP);
+        let ls = server.socket();
+        server.bind(ls, SockAddr::new(0, 7)).unwrap();
+        server.listen(ls, 4).unwrap();
+        let guest = cluster.guest_on(HostId(1), VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        cluster.run(20, 100_000);
+        assert!(cluster.host(HostId(1)).unwrap().vm_pinned(VmId(1)) >= 1);
+
+        cluster.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        // The pinned connection keeps the drain open on host 1, so moving
+        // back must be refused — and must not leave host 2 mid-drain.
+        assert_eq!(
+            cluster.migrate_vm(VmId(1), HostId(2), HostId(1)),
+            Err(NkError::AlreadyRegistered)
+        );
+        assert!(cluster.host(HostId(2)).unwrap().draining_vms().is_empty());
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(2)));
+
+        // Close the pinned connection: the drain completes and the bounce
+        // back becomes legal.
+        let guest = cluster.guest_on(HostId(1), VmId(1)).unwrap();
+        guest.close(s).unwrap();
+        cluster.run(10, 100_000);
+        cluster.migrate_vm(VmId(1), HostId(2), HostId(1)).unwrap();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(1)));
+    }
+
+    #[test]
+    fn invalid_migrations_are_rejected() {
+        let mut cluster = two_host_cluster();
+        assert_eq!(
+            cluster.migrate_vm(VmId(1), HostId(1), HostId(1)),
+            Err(NkError::BadConfig)
+        );
+        assert_eq!(
+            cluster.migrate_vm(VmId(1), HostId(2), HostId(1)),
+            Err(NkError::NotFound),
+            "vm1 is not homed on host 2"
+        );
+        assert_eq!(
+            cluster.migrate_vm(VmId(9), HostId(1), HostId(2)),
+            Err(NkError::NotFound)
+        );
+    }
+
+    #[test]
+    fn event_digest_is_order_sensitive_and_stable() {
+        let mut a = two_host_cluster();
+        let mut b = two_host_cluster();
+        assert_eq!(a.event_digest(), b.event_digest(), "empty logs agree");
+        a.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        assert_ne!(a.event_digest(), b.event_digest());
+        b.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        assert_eq!(a.event_digest(), b.event_digest());
+    }
+
+    #[test]
+    fn invalid_cluster_configs_are_rejected() {
+        assert!(Cluster::new(ClusterConfig::new()).is_err());
+        let dup = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(1, &[2]));
+        assert!(Cluster::new(dup).is_err());
+        let bad_policy = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_policy(ClusterPolicy::new().with_window(0));
+        assert!(Cluster::new(bad_policy).is_err());
+    }
+}

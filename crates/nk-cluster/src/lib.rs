@@ -1,0 +1,23 @@
+//! The cluster fabric: NetKernel hosts operated as one system.
+//!
+//! The paper's bet is that network stacks, once decoupled into NSMs, become
+//! *infrastructure* — and infrastructure is operated at cluster scale. This
+//! crate owns that scale: a [`cluster::Cluster`] assembles a set of
+//! [`nk_host::NetKernelHost`]s, wires each host's virtual switch through an
+//! uplink into one top-of-rack [`nk_fabric::TorSwitch`], shares a single
+//! virtual clock across all of them, and runs the
+//! [`nk_ctrl::placer::Placer`] — the per-host control loop lifted to cluster
+//! scope — to live-migrate VMs between hosts.
+//!
+//! Cross-host migration is a first-class, *drained* operation: the VM's
+//! identity moves immediately (new connections open on the destination
+//! host's NSM), while the connections pinned on the source host keep being
+//! served until their count hits zero; only then is the source share retired
+//! and, when nothing else maps to it, the source NSM scaled to zero cores.
+//! Every milestone is logged as an [`nk_types::ClusterEvent`] and the whole
+//! log folds into a digest, so a cluster run replays byte-identically from
+//! its seed.
+
+pub mod cluster;
+
+pub use cluster::{Cluster, ClusterStats};

@@ -22,6 +22,11 @@
 //!   live-migrates VMs off the hottest instance onto the coolest, under an
 //!   anti-affinity constraint and a per-epoch migration budget.
 //!
+//! [`placer::Placer`] lifts the same loop to cluster scope: each host is
+//! projected onto one pseudo-NSM whose utilisation is its placement score
+//! (NSM load plus weighted cross-host traffic), and the monitor/rebalancer
+//! machinery then decides cross-host VM migrations unchanged.
+//!
 //! Everything is deterministic: state lives in `BTreeMap`s, decisions
 //! derive only from the sampled history and the policy, and the same sample
 //! stream always yields the same action stream — the property the
@@ -29,6 +34,7 @@
 
 pub mod autoscale;
 pub mod monitor;
+pub mod placer;
 pub mod rebalance;
 
 use nk_types::{ControlAction, ControlPolicy, NkResult, NsmId, VmId};
@@ -36,6 +42,7 @@ use std::collections::BTreeMap;
 
 pub use autoscale::Autoscaler;
 pub use monitor::LoadMonitor;
+pub use placer::{ClusterSample, HostLoad, Migration, Placer};
 pub use rebalance::Rebalancer;
 
 /// Load signals of one NSM over one control epoch.

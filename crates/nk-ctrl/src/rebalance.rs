@@ -221,6 +221,92 @@ mod tests {
         );
     }
 
+    /// An anti-affinity skip must not consume the per-epoch migration
+    /// budget: the blocked candidate is passed over and the budget still
+    /// buys two real moves.
+    #[test]
+    fn anti_affinity_skip_does_not_consume_budget() {
+        let mut r = Rebalancer::new();
+        let p = policy()
+            .with_rebalance(0.5, 2)
+            .with_anti_affinity(VmId(3), VmId(9));
+        // vm3 is the busiest candidate but conflicts with vm9 on the
+        // destination; vm2 and vm1 must both still move on this epoch.
+        let s = sample(&[(1, 100), (2, 800), (3, 900)], &[(9, 0)]);
+        let actions = r.decide(&p, 0, &ready_monitor(&s), &s);
+        assert_eq!(
+            actions,
+            vec![
+                ControlAction::Rebalance {
+                    vm: VmId(2),
+                    from: NsmId(1),
+                    to: NsmId(2),
+                },
+                ControlAction::Rebalance {
+                    vm: VmId(1),
+                    from: NsmId(1),
+                    to: NsmId(2),
+                },
+            ]
+        );
+    }
+
+    /// Anti-affinity also binds against VMs placed *earlier in the same
+    /// epoch*: once the budget has moved a VM to the destination, a
+    /// conflicting candidate is skipped mid-epoch and the remaining budget
+    /// goes to the next-busiest VM.
+    #[test]
+    fn anti_affinity_binds_against_same_epoch_placements() {
+        let mut r = Rebalancer::new();
+        let p = policy()
+            .with_rebalance(0.5, 2)
+            .with_anti_affinity(VmId(2), VmId(3));
+        let s = sample(&[(1, 100), (2, 800), (3, 900)], &[]);
+        let actions = r.decide(&p, 0, &ready_monitor(&s), &s);
+        assert_eq!(
+            actions,
+            vec![
+                ControlAction::Rebalance {
+                    vm: VmId(3),
+                    from: NsmId(1),
+                    to: NsmId(2),
+                },
+                // vm2 conflicts with the just-placed vm3 → vm1 moves instead.
+                ControlAction::Rebalance {
+                    vm: VmId(1),
+                    from: NsmId(1),
+                    to: NsmId(2),
+                },
+            ]
+        );
+    }
+
+    /// A crash of the destination NSM right after a migration must not
+    /// reset the migrated VM's cooldown: when the NSM comes back (fresh
+    /// monitor history) the VM still waits out the remaining epochs before
+    /// it may move again.
+    #[test]
+    fn cooldown_survives_destination_nsm_crash() {
+        let mut r = Rebalancer::new();
+        let p = policy(); // cooldown 2
+        let s = sample(&[(1, 900)], &[]);
+        assert_eq!(r.decide(&p, 0, &ready_monitor(&s), &s).len(), 1);
+
+        // Epoch 1: NSM 2 crashed — it vanishes from the sample, and a
+        // single-NSM host can never rebalance.
+        let mut solo = sample(&[(1, 900)], &[]);
+        solo.nsms.remove(&NsmId(2));
+        assert!(r.decide(&p, 1, &ready_monitor(&solo), &solo).is_empty());
+
+        // Epoch 2: NSM 2 restarted with fresh history; the skew is back but
+        // vm1's cooldown (epochs 0..=2) still blocks the move.
+        let back = sample(&[(1, 900)], &[]);
+        assert!(r.decide(&p, 2, &ready_monitor(&back), &back).is_empty());
+
+        // Epoch 3: the cooldown expired — the move may happen again.
+        assert_eq!(r.decide(&p, 3, &ready_monitor(&back), &back).len(), 1);
+    }
+
     #[test]
     fn per_vm_cooldown_prevents_ping_pong() {
         let mut r = Rebalancer::new();

@@ -291,6 +291,23 @@ impl CoreEngine {
         self.table.len()
     }
 
+    /// Connections a VM still has pinned, across all NSMs. This is the
+    /// drain counter of a cross-host migration: the VM's source-side share
+    /// retires when it reaches zero.
+    pub fn pinned_connections_of(&self, vm: VmId) -> usize {
+        self.table.connections_for_vm(vm)
+    }
+
+    /// Connections pinned to the `(vm, nsm)` share.
+    pub fn pinned_connections(&self, vm: VmId, nsm: NsmId) -> usize {
+        self.table.connections_for_vm_nsm(vm, nsm)
+    }
+
+    /// Connections pinned to `nsm` from any VM.
+    pub fn pinned_connections_for_nsm(&self, nsm: NsmId) -> usize {
+        self.table.connections_for_nsm(nsm)
+    }
+
     /// Tenant id a VM registered with (used by shared-memory colocation
     /// detection).
     pub fn tenant_of(&self, vm: VmId) -> Option<u32> {
@@ -530,6 +547,13 @@ impl CoreEngine {
                         if nqe.aux() != 0 {
                             let key = ConnKey::vm(nqe.vm, nqe.queue_set, nqe.socket);
                             self.table.complete(&key, nk_types::SocketId(nqe.aux()));
+                        }
+                        // A completed close ends the tuple's life: unpin it
+                        // so per-(VM, NSM) drain counters actually reach
+                        // zero instead of counting closed sockets forever.
+                        if nqe.op == OpType::CloseComplete {
+                            let key = ConnKey::vm(nqe.vm, nqe.queue_set, nqe.socket);
+                            self.table.remove(&key);
                         }
                         if port.ends[qs].respond(nqe).is_ok() {
                             port.stats.nqes_delivered += 1;
@@ -828,6 +852,36 @@ mod tests {
         ce.poll(0);
         let mut v = Vec::new();
         assert_eq!(fresh_nsm.pop_requests(&mut v, 8), 1);
+    }
+
+    /// A completed close unpins the tuple: the pinned-connection counters
+    /// that connection draining watches reach zero once sockets close.
+    #[test]
+    fn close_completion_unpins_the_connection() {
+        let (mut guest, mut nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        guest.submit(request(OpType::Connect, 5)).unwrap();
+        ce.poll(0);
+        assert_eq!(ce.pinned_connections_of(VmId(1)), 1);
+        assert_eq!(ce.pinned_connections(VmId(1), NsmId(1)), 1);
+        assert_eq!(ce.pinned_connections_for_nsm(NsmId(1)), 1);
+
+        let mut reqs = Vec::new();
+        nsm.pop_requests(&mut reqs, 8);
+        guest.submit(request(OpType::Close, 5)).unwrap();
+        ce.poll(0);
+        nsm.pop_requests(&mut reqs, 8);
+        let close = reqs.last().unwrap();
+        assert_eq!(close.op, OpType::Close);
+        // Still pinned while the close is in flight — the completion must
+        // route through the same NSM.
+        assert_eq!(ce.pinned_connections(VmId(1), NsmId(1)), 1);
+
+        let comp = Nqe::completion_for(close, OpResult::Ok, 0).unwrap();
+        nsm.respond(comp).unwrap();
+        ce.poll(0);
+        assert_eq!(ce.pinned_connections_of(VmId(1)), 0);
+        assert_eq!(ce.pinned_connections(VmId(1), NsmId(1)), 0);
+        assert_eq!(ce.connections(), 0);
     }
 
     #[test]

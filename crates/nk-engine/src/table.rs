@@ -84,6 +84,22 @@ impl ConnTable {
         self.entries.values().filter(|e| e.nsm == nsm).count()
     }
 
+    /// Number of connections a VM currently has pinned, across all NSMs.
+    /// This is the count connection draining watches: a migrated VM's source
+    /// share retires when it reaches zero.
+    pub fn connections_for_vm(&self, vm: VmId) -> usize {
+        self.entries.keys().filter(|k| k.entity == vm.0).count()
+    }
+
+    /// Number of connections pinned to the `(vm, nsm)` pair — the per-share
+    /// drain counter of the ROADMAP's migration drain mode.
+    pub fn connections_for_vm_nsm(&self, vm: VmId, nsm: NsmId) -> usize {
+        self.entries
+            .iter()
+            .filter(|(k, e)| k.entity == vm.0 && e.nsm == nsm)
+            .count()
+    }
+
     /// Remove every entry pinned to `nsm` (the NSM crashed) and return the
     /// affected VM tuples, sorted so callers notify guests in a
     /// deterministic order.
@@ -165,5 +181,22 @@ mod tests {
         assert_eq!(t.connections_for_nsm(NsmId(1)), 1);
         assert_eq!(t.connections_for_nsm(NsmId(2)), 2);
         assert_eq!(t.connections_for_nsm(NsmId(9)), 0);
+    }
+
+    #[test]
+    fn pinned_counts_per_vm_and_per_share() {
+        let mut t = ConnTable::new();
+        t.get_or_insert_with(key(1, 0, 1), || (NsmId(1), QueueSetId(0)));
+        t.get_or_insert_with(key(1, 0, 2), || (NsmId(2), QueueSetId(0)));
+        t.get_or_insert_with(key(2, 0, 3), || (NsmId(1), QueueSetId(0)));
+        assert_eq!(t.connections_for_vm(VmId(1)), 2);
+        assert_eq!(t.connections_for_vm(VmId(2)), 1);
+        assert_eq!(t.connections_for_vm(VmId(9)), 0);
+        assert_eq!(t.connections_for_vm_nsm(VmId(1), NsmId(1)), 1);
+        assert_eq!(t.connections_for_vm_nsm(VmId(1), NsmId(2)), 1);
+        assert_eq!(t.connections_for_vm_nsm(VmId(2), NsmId(2)), 0);
+        // The drain counter reaches zero as connections close.
+        t.remove(&key(1, 0, 1));
+        assert_eq!(t.connections_for_vm_nsm(VmId(1), NsmId(1)), 0);
     }
 }

@@ -7,7 +7,10 @@
 //! * [`port`] — a bidirectional packet port (vNIC attachment point);
 //! * [`link`] — rate limiting, propagation latency, loss and reordering
 //!   applied to a stream of frames;
-//! * [`switch`] — the virtual switch connecting ports by destination address;
+//! * [`switch`] — the virtual switch connecting ports by destination address,
+//!   with an optional uplink into a top-of-rack switch;
+//! * [`tor`] — the prefix-routed top-of-rack switch joining host uplinks
+//!   into one cluster fabric;
 //! * [`nic`] — a multi-queue NIC front-end with receive-side scaling (RSS),
 //!   used by multi-core stacks to spread connections over queues;
 //! * [`rng`] — a tiny deterministic PRNG so loss/reordering are reproducible.
@@ -20,8 +23,10 @@ pub mod nic;
 pub mod port;
 pub mod rng;
 pub mod switch;
+pub mod tor;
 
 pub use link::{Link, LinkConfig};
 pub use nic::MultiQueueNic;
 pub use port::{Frame, Port};
-pub use switch::VirtualSwitch;
+pub use switch::{UplinkStats, VirtualSwitch};
+pub use tor::TorSwitch;

@@ -10,6 +10,19 @@ use crate::link::{Link, LinkConfig, LinkStats};
 use crate::port::{Frame, Port};
 use std::collections::BTreeMap;
 
+/// Traffic counters of a switch's uplink towards the top-of-rack switch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UplinkStats {
+    /// Frames sent out the uplink (no local port matched).
+    pub tx_frames: u64,
+    /// Wire bytes sent out the uplink.
+    pub tx_bytes: u64,
+    /// Frames received from the uplink and forwarded locally.
+    pub rx_frames: u64,
+    /// Wire bytes received from the uplink.
+    pub rx_bytes: u64,
+}
+
 /// A virtual switch over frames with payload `P`.
 ///
 /// Ports and links live in `BTreeMap`s so every forwarding pass visits them
@@ -23,6 +36,16 @@ pub struct VirtualSwitch<P> {
     default_link: LinkConfig,
     /// Frames dropped because the destination is unknown.
     unroutable: u64,
+    /// Uplink towards a top-of-rack switch, when this switch is one host of
+    /// a cluster: frames with no local destination leave through it instead
+    /// of being dropped, and frames the ToR delivers re-enter through it.
+    uplink: Option<Port<P>>,
+    /// Addresses under this `(prefix, mask)` are local to this switch even
+    /// when no port currently owns them (a crashed vNIC): frames for them
+    /// die here as unroutable instead of leaking out the uplink as phantom
+    /// cross-host traffic.
+    uplink_local: Option<(u32, u32)>,
+    uplink_stats: UplinkStats,
     seed: u64,
     /// Reusable frame buffer for the ingress/egress drains (hot path).
     scratch: Vec<Frame<P>>,
@@ -41,9 +64,40 @@ impl<P> VirtualSwitch<P> {
             links: BTreeMap::new(),
             default_link,
             unroutable: 0,
+            uplink: None,
+            uplink_local: None,
+            uplink_stats: UplinkStats::default(),
             seed: 0x5EED,
             scratch: Vec::new(),
         }
+    }
+
+    /// Wire this switch's uplink: `port` is the endpoint side of a trunk the
+    /// top-of-rack switch attached. From now on frames with no local port go
+    /// out the uplink instead of being dropped, and frames the ToR delivers
+    /// are forwarded to local ports on every step.
+    pub fn set_uplink(&mut self, port: Port<P>) {
+        self.uplink = Some(port);
+    }
+
+    /// Like [`VirtualSwitch::set_uplink`], but frames for addresses inside
+    /// `local_prefix/local_mask` never exit the uplink: that block belongs
+    /// to this switch, so a destination in it with no port (a crashed vNIC)
+    /// is a local drop, not cross-host traffic. A clustered host passes its
+    /// own address block here.
+    pub fn set_uplink_filtered(&mut self, port: Port<P>, local_prefix: u32, local_mask: u32) {
+        self.uplink = Some(port);
+        self.uplink_local = Some((local_prefix & local_mask, local_mask));
+    }
+
+    /// True when an uplink is wired.
+    pub fn has_uplink(&self) -> bool {
+        self.uplink.is_some()
+    }
+
+    /// Traffic counters of the uplink (zero when none is wired).
+    pub fn uplink_stats(&self) -> UplinkStats {
+        self.uplink_stats
     }
 
     /// Attach a new endpoint with address `addr`; returns the endpoint's port
@@ -88,18 +142,46 @@ impl<P> VirtualSwitch<P> {
         self.ports.len()
     }
 
-    /// Forward frames: drain every port's TX queue, push frames through the
-    /// destination's egress link, and deliver everything whose time has come.
+    /// Forward frames: drain every port's TX queue (and the uplink's RX
+    /// side), push frames through the destination's egress link, and deliver
+    /// everything whose time has come. Frames with no local destination go
+    /// out the uplink when one is wired, and are dropped otherwise.
     ///
     /// Returns the number of frames delivered to ports during this call.
     pub fn step(&mut self, now_ns: u64) -> usize {
         // Ingress: collect from all ports, in address order, through the
         // reusable scratch buffer (no per-port allocation).
+        let uplink = self.uplink.clone();
         let mut scratch = std::mem::take(&mut self.scratch);
         for port in self.ports.values() {
             scratch.clear();
             port.drain_tx_into(usize::MAX, &mut scratch);
             for f in scratch.drain(..) {
+                let local_dead = self
+                    .uplink_local
+                    .is_some_and(|(prefix, mask)| f.dst & mask == prefix);
+                match self.links.get_mut(&f.dst) {
+                    Some(link) if self.ports.contains_key(&f.dst) => link.offer(f, now_ns),
+                    _ => match &uplink {
+                        Some(up) if !local_dead => {
+                            self.uplink_stats.tx_frames += 1;
+                            self.uplink_stats.tx_bytes += f.wire_bytes as u64;
+                            up.send(f);
+                        }
+                        _ => self.unroutable += 1,
+                    },
+                }
+            }
+        }
+        // Ingress from the uplink: frames the ToR delivered enter the local
+        // forwarding plane through the destination's egress link, exactly
+        // like locally originated traffic. Frames for addresses this host
+        // does not own are dropped here — never bounced back out — so a
+        // routing mistake cannot ping-pong between switch and ToR.
+        if let Some(up) = &uplink {
+            while let Some(f) = up.recv() {
+                self.uplink_stats.rx_frames += 1;
+                self.uplink_stats.rx_bytes += f.wire_bytes as u64;
                 match self.links.get_mut(&f.dst) {
                     Some(link) if self.ports.contains_key(&f.dst) => link.offer(f, now_ns),
                     _ => self.unroutable += 1,
@@ -224,6 +306,59 @@ mod tests {
         assert!(b.recv().is_none(), "post-change frame was dropped");
         assert_eq!(sw.link_stats(2).unwrap().dropped, 1);
         assert!(!sw.set_link_config(99, LinkConfig::ideal(), 0));
+    }
+
+    /// With an uplink wired, unroutable frames leave through it instead of
+    /// being dropped, and frames delivered into the uplink reach local
+    /// ports; frames from the uplink for unknown addresses die here.
+    #[test]
+    fn uplink_carries_nonlocal_traffic_both_ways() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let up = Port::new(0x10);
+        sw.set_uplink(up.clone());
+        assert!(sw.has_uplink());
+
+        // Outbound: no local port 99 → the frame exits via the uplink.
+        a.send(frame(1, 99, 7));
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 0);
+        let out = up.drain_tx(10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 7);
+        assert_eq!(sw.uplink_stats().tx_frames, 1);
+        assert_eq!(sw.uplink_stats().tx_bytes, 100);
+
+        // Inbound: the ToR delivers a frame for local port 1.
+        up.deliver(frame(99, 1, 8));
+        sw.step(0);
+        assert_eq!(a.recv().unwrap().payload, 8);
+        assert_eq!(sw.uplink_stats().rx_frames, 1);
+
+        // Inbound for an unknown address is dropped, not bounced back.
+        up.deliver(frame(99, 42, 9));
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 1);
+        assert_eq!(up.tx_pending(), 0, "no ping-pong back to the ToR");
+    }
+
+    /// The filtered uplink keeps dead-local traffic local: a destination
+    /// inside the switch's own block with no port is a drop here, never
+    /// phantom cross-host traffic.
+    #[test]
+    fn uplink_filter_keeps_dead_local_traffic_local() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(0x0A01_0001);
+        let up = Port::new(0x0A01_0000);
+        sw.set_uplink_filtered(up.clone(), 0x0A01_0000, 0xFFFF_0000);
+        a.send(frame(0x0A01_0001, 0x0A01_0099, 1)); // dead address in-block
+        a.send(frame(0x0A01_0001, 0x0A02_0001, 2)); // genuinely remote
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 1, "in-block miss dies locally");
+        let out = up.drain_tx(10);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 2);
+        assert_eq!(sw.uplink_stats().tx_frames, 1);
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The top-of-rack switch joining host uplinks into one cluster fabric.
+//!
+//! Where [`crate::switch::VirtualSwitch`] forwards by exact destination
+//! address (it plays the host's vSwitch), the ToR routes by *prefix*: each
+//! host trunk owns an address block (`10.<host>.0.0/16` under the cluster
+//! scheme) and datacenter-level endpoints (gateways, storage front-ends)
+//! attach with exact-match routes. Routes are kept most-specific-first, so
+//! an endpoint inside a host's block still wins over the host trunk.
+//!
+//! The trunk [`Port`] returned by [`TorSwitch::attach_trunk`] is the same
+//! object a host switch adopts as its uplink
+//! ([`crate::switch::VirtualSwitch::set_uplink`]): the host sends by pushing
+//! the port's TX queue, which the ToR drains; the ToR delivers into the RX
+//! queue, which the host drains. One shared port, two owners, no copies.
+
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::port::{Frame, Port};
+
+struct Trunk<P> {
+    prefix: u32,
+    mask: u32,
+    port: Port<P>,
+    link: Link<P>,
+}
+
+/// A prefix-routed top-of-rack switch over frames with payload `P`.
+///
+/// Routes live in a vector sorted most-specific-first (larger mask, then
+/// lower prefix), so every forwarding pass resolves destinations in a fixed
+/// deterministic order — the property the byte-identical cluster replays
+/// build on.
+pub struct TorSwitch<P> {
+    routes: Vec<Trunk<P>>,
+    /// Frames dropped because no route matched the destination.
+    unroutable: u64,
+    /// Frames dropped because the best route led back out the ingress trunk
+    /// (the owning host had no local port for the address).
+    hairpins: u64,
+    seed: u64,
+    scratch: Vec<Frame<P>>,
+}
+
+impl<P> TorSwitch<P> {
+    /// An empty ToR switch.
+    pub fn new() -> Self {
+        TorSwitch {
+            routes: Vec::new(),
+            unroutable: 0,
+            hairpins: 0,
+            seed: 0x70F2,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Attach a host trunk owning the block `prefix/mask`; returns the trunk
+    /// port for the host switch to adopt as its uplink. `link` shapes the
+    /// traffic *towards* the trunk (the downlink direction). Re-attaching an
+    /// existing `(prefix, mask)` replaces the old trunk.
+    pub fn attach_trunk(&mut self, prefix: u32, mask: u32, link: LinkConfig) -> Port<P> {
+        let prefix = prefix & mask;
+        let port = Port::new(prefix);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(prefix as u64)
+            .wrapping_add(mask as u64);
+        let trunk = Trunk {
+            prefix,
+            mask,
+            port: port.clone(),
+            link: Link::new(link, self.seed),
+        };
+        self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
+        self.routes.push(trunk);
+        // Most-specific-first, ties by prefix: deterministic longest-prefix
+        // matching without a trie.
+        self.routes
+            .sort_by_key(|t| (std::cmp::Reverse(t.mask), t.prefix));
+        port
+    }
+
+    /// Attach a single endpoint (an exact-match /32 route), e.g. a
+    /// datacenter gateway every host talks to. Returns its port.
+    pub fn attach_endpoint(&mut self, addr: u32, link: LinkConfig) -> Port<P> {
+        self.attach_trunk(addr, u32::MAX, link)
+    }
+
+    /// Number of attached routes (trunks plus endpoints).
+    pub fn routes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Frames dropped because no route matched.
+    pub fn unroutable(&self) -> u64 {
+        self.unroutable
+    }
+
+    /// Frames dropped because they would have exited their ingress trunk.
+    pub fn hairpins(&self) -> u64 {
+        self.hairpins
+    }
+
+    /// Statistics of the link towards the route for `prefix` (as passed to
+    /// [`TorSwitch::attach_trunk`], i.e. already masked).
+    pub fn link_stats(&self, prefix: u32) -> Option<LinkStats> {
+        self.routes
+            .iter()
+            .find(|t| t.prefix == prefix & t.mask)
+            .map(|t| t.link.stats())
+    }
+
+    fn route_of(routes: &[Trunk<P>], dst: u32) -> Option<usize> {
+        routes.iter().position(|t| dst & t.mask == t.prefix)
+    }
+
+    /// Forward frames: drain every trunk's TX side in route order, push each
+    /// frame through the destination trunk's link, and deliver everything
+    /// whose time has come. Returns the number of frames delivered.
+    pub fn step(&mut self, now_ns: u64) -> usize {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..self.routes.len() {
+            scratch.clear();
+            self.routes[i].port.drain_tx_into(usize::MAX, &mut scratch);
+            for f in scratch.drain(..) {
+                match Self::route_of(&self.routes, f.dst) {
+                    Some(j) if j != i => self.routes[j].link.offer(f, now_ns),
+                    // The best route points back where the frame came from:
+                    // the owning host has no port for this address. Dropping
+                    // here (instead of reflecting) keeps a dead vNIC from
+                    // bouncing frames between host switch and ToR forever.
+                    Some(_) => self.hairpins += 1,
+                    None => self.unroutable += 1,
+                }
+            }
+        }
+        let mut delivered = 0;
+        for trunk in self.routes.iter_mut() {
+            scratch.clear();
+            trunk.link.drain_deliverable(now_ns, &mut scratch);
+            for f in scratch.drain(..) {
+                trunk.port.deliver(f);
+                delivered += 1;
+            }
+        }
+        self.scratch = scratch;
+        delivered
+    }
+}
+
+impl<P> nk_sim::Pollable for TorSwitch<P> {
+    /// One forwarding pass: trunk ingress plus delivery of every frame whose
+    /// link latency has elapsed at `now_ns`.
+    fn poll(&mut self, now_ns: u64) -> usize {
+        self.step(now_ns)
+    }
+}
+
+impl<P> Default for TorSwitch<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::VirtualSwitch;
+
+    const HOST_MASK: u32 = 0xFFFF_0000;
+
+    fn frame(src: u32, dst: u32, tag: u32) -> Frame<u32> {
+        Frame {
+            src,
+            dst,
+            flow_hash: tag as u64,
+            wire_bytes: 100,
+            payload: tag,
+        }
+    }
+
+    #[test]
+    fn routes_between_trunks_by_prefix() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        assert_eq!(tor.routes(), 2);
+
+        t1.send(frame(0x0A01_0001, 0x0A02_0007, 11));
+        let delivered = tor.step(0);
+        assert_eq!(delivered, 1);
+        assert_eq!(t2.recv().unwrap().payload, 11);
+        assert_eq!(tor.link_stats(0x0A02_0000).unwrap().delivered, 1);
+    }
+
+    /// An exact-match endpoint inside a trunk's block wins over the trunk.
+    #[test]
+    fn endpoints_are_more_specific_than_trunks() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let trunk = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let gw = tor.attach_endpoint(0x0A01_0500, LinkConfig::ideal());
+
+        let other = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        other.send(frame(0x0A02_0001, 0x0A01_0500, 1));
+        other.send(frame(0x0A02_0001, 0x0A01_0001, 2));
+        tor.step(0);
+        assert_eq!(gw.recv().unwrap().payload, 1);
+        assert_eq!(trunk.recv().unwrap().payload, 2);
+    }
+
+    /// Frames that would exit their ingress trunk (or match nothing) die at
+    /// the ToR with distinct counters.
+    #[test]
+    fn hairpins_and_unknown_destinations_are_dropped() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        t1.send(frame(0x0A01_0001, 0x0A01_0099, 1)); // back out the same trunk
+        t1.send(frame(0x0A01_0001, 0xDEAD_0000, 2)); // no route at all
+        tor.step(0);
+        assert_eq!(tor.hairpins(), 1);
+        assert_eq!(tor.unroutable(), 1);
+        assert!(t1.recv().is_none());
+    }
+
+    /// Downlink latency applies on the way towards a trunk.
+    #[test]
+    fn trunk_link_latency_applies() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let t2 = tor.attach_trunk(
+            0x0A02_0000,
+            HOST_MASK,
+            LinkConfig::ideal().with_latency_us(50),
+        );
+        t1.send(frame(0x0A01_0001, 0x0A02_0001, 5));
+        tor.step(0);
+        assert_eq!(t2.rx_pending(), 0);
+        tor.step(50_000);
+        assert_eq!(t2.recv().unwrap().payload, 5);
+    }
+
+    /// Two host switches wired through the ToR: a frame crosses host A's
+    /// switch → uplink → ToR → host B's uplink → host B's switch → port.
+    #[test]
+    fn end_to_end_across_two_host_switches() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let mut sw_a: VirtualSwitch<u32> = VirtualSwitch::new();
+        let mut sw_b: VirtualSwitch<u32> = VirtualSwitch::new();
+        sw_a.set_uplink(tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal()));
+        sw_b.set_uplink(tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal()));
+        let a = sw_a.attach(0x0A01_0001);
+        let b = sw_b.attach(0x0A02_0001);
+
+        a.send(frame(0x0A01_0001, 0x0A02_0001, 77));
+        sw_a.step(0); // local miss → uplink
+        tor.step(0); // trunk A → trunk B
+        sw_b.step(0); // uplink → local port
+        assert_eq!(b.recv().unwrap().payload, 77);
+        assert_eq!(sw_a.uplink_stats().tx_frames, 1);
+        assert_eq!(sw_b.uplink_stats().rx_frames, 1);
+        assert_eq!(sw_a.unroutable() + sw_b.unroutable(), 0);
+
+        // And the reply crosses back.
+        b.send(frame(0x0A02_0001, 0x0A01_0001, 78));
+        sw_b.step(0);
+        tor.step(0);
+        sw_a.step(0);
+        assert_eq!(a.recv().unwrap().payload, 78);
+    }
+}

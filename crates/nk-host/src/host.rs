@@ -5,24 +5,29 @@ use crate::sched::{Pollable, SchedPhase, SchedStats, Scheduler};
 use nk_ctrl::{ControlPlane, EpochSample, NsmLoad};
 use nk_engine::CoreEngine;
 use nk_fabric::link::LinkConfig;
-use nk_fabric::switch::VirtualSwitch;
+use nk_fabric::port::Port;
+use nk_fabric::switch::{UplinkStats, VirtualSwitch};
 use nk_guest::GuestLib;
 use nk_netstack::cc::CcAlgorithm;
 use nk_netstack::{Segment, StackConfig, TcpStack};
 use nk_queue::{queue_set_pair, NkDevice, WakeState};
 use nk_service::{Nsm, ServiceLib, SharedMemNsm};
 use nk_shmem::HugepageRegion;
+use nk_sim::record::TimeSeries;
 use nk_sim::{CorePool, CostModel, CycleLedger, PoolMember};
+use nk_types::addr::nsm_ip_on;
 use nk_types::api::{EpollEvent, ShutdownHow};
 use nk_types::faults::{FaultAction, FaultPlan, LinkFault};
 use nk_types::{
-    ControlAction, ControlEvent, ControlTarget, HostConfig, NkError, NkResult, NsmConfig, NsmId,
-    PollEvents, SockAddr, SocketApi, SocketId, StackKind, VmId,
+    ControlAction, ControlEvent, ControlTarget, HostConfig, HostId, NkError, NkResult, NsmConfig,
+    NsmId, PollEvents, SockAddr, SocketApi, SocketId, StackKind, VmConfig, VmId,
 };
 use std::collections::BTreeMap;
 
-/// Base IP of NSM vNICs: 10.0.0.x with x = NSM id.
-pub const NSM_IP_BASE: u32 = 0x0A00_0000;
+/// Base IP of NSM vNICs on host 0: 10.0.0.x with x = NSM id. Hosts with a
+/// non-zero [`HostConfig::host_id`] shift into their own `10.<host>.0.0/16`
+/// block (see [`nk_types::addr::nsm_ip_on`]).
+pub const NSM_IP_BASE: u32 = nk_types::addr::CLUSTER_IP_BASE;
 
 enum NsmInstance {
     /// Both variants are boxed: the instances are large (a TCP NSM carries
@@ -57,6 +62,33 @@ pub struct RemoteHost {
     pub stack: TcpStack,
 }
 
+/// Host-independent snapshot of a VM, produced by
+/// [`NetKernelHost::export_vm`] and consumed by
+/// [`NetKernelHost::import_vm`] on the destination host of a cross-host
+/// migration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VmExport {
+    /// The VM's configuration (identity, vCPUs, tenant, rate limit).
+    pub vm: VmConfig,
+    /// The NSM that was serving the VM on the source host — the share whose
+    /// pinned connections now drain.
+    pub from_nsm: NsmId,
+}
+
+/// Per-epoch control-plane observability, recorded through
+/// [`nk_sim::record::TimeSeries`]: the epoch samples and decision counts
+/// the operator would chart, kept alongside the [`ControlEvent`] log so
+/// control behaviour is part of the measurable perf trajectory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ControlTelemetry {
+    /// CoreEngine utilisation per epoch.
+    pub engine_utilisation: TimeSeries,
+    /// Utilisation per epoch of every NSM alive at sampling time.
+    pub nsm_utilisation: BTreeMap<NsmId, TimeSeries>,
+    /// Control actions applied per epoch.
+    pub actions_per_epoch: TimeSeries,
+}
+
 /// A complete NetKernel host: VMs with GuestLibs, NSMs with ServiceLibs and
 /// stacks, a CoreEngine switching NQEs, and a virtual switch carrying the
 /// NSMs' traffic to remote hosts (paper Figure 2).
@@ -81,10 +113,21 @@ pub struct NetKernelHost {
     pools: CorePool,
     /// Cost model used to charge datapath work against the pool.
     cost: CostModel,
+    /// True when datapath work is charged against the pools — either a host
+    /// control plane is configured, or a cluster layer asked for accounting
+    /// via [`NetKernelHost::enable_pool_accounting`].
+    accounting: bool,
     /// The operator control plane, when the configuration enables one.
     ctrl: Option<ControlPlane>,
     /// Every control decision applied so far, in order (the record log).
     control_log: Vec<ControlEvent>,
+    /// Per-epoch control observability (time series of samples and action
+    /// counts).
+    telemetry: ControlTelemetry,
+    /// VMs mid-migration: exported to another host, still serving pinned
+    /// connections here until the drain counter hits zero. Maps each to the
+    /// NSM share being drained.
+    draining: BTreeMap<VmId, NsmId>,
     /// Virtual time at which the next control epoch closes.
     next_epoch_ns: u64,
     /// Pool ledgers at the previous epoch boundary, for per-epoch deltas.
@@ -167,8 +210,11 @@ impl NetKernelHost {
             injector: FaultInjector::idle(),
             pools,
             cost: CostModel::default(),
+            accounting: ctrl.is_some(),
             ctrl,
             control_log: Vec::new(),
+            telemetry: ControlTelemetry::default(),
+            draining: BTreeMap::new(),
             next_epoch_ns,
             epoch_ledgers: BTreeMap::new(),
             epoch_vm_bytes: BTreeMap::new(),
@@ -202,14 +248,14 @@ impl NetKernelHost {
                 cfg.batch_size,
             ))),
             kind => {
-                let ip = NSM_IP_BASE + nsm_cfg.id.raw() as u32;
+                let ip = nsm_ip_on(cfg.host_id, nsm_cfg.id);
                 let port = switch.attach_with_link(
                     ip,
                     LinkConfig::ideal().with_rate_gbps(nsm_cfg.nic_rate_gbps),
                 );
                 let stack_cfg = StackConfig::new(ip)
                     .with_cc(CcAlgorithm::from_kind(nsm_cfg.cc))
-                    .with_ephemeral_start((generation as u16).wrapping_mul(4099));
+                    .with_ephemeral_generation(generation);
                 let stack = TcpStack::new(stack_cfg, port);
                 let service = ServiceLib::new(nsm_cfg.id, device, cfg.batch_size);
                 NsmInstance::Tcp(Box::new(Nsm::new(nsm_cfg.id, kind, service, stack)))
@@ -246,9 +292,39 @@ impl NetKernelHost {
     }
 
     /// The address a guest should connect to in order to reach NSM-hosted
-    /// listeners of `nsm` (its vNIC address).
+    /// listeners of `nsm` on a host-0 (single-host) configuration. Hosts in
+    /// a cluster shift by their id — use [`NetKernelHost::nsm_addr`].
     pub fn nsm_ip(nsm: NsmId) -> u32 {
-        NSM_IP_BASE + nsm.raw() as u32
+        nsm_ip_on(HostId(0), nsm)
+    }
+
+    /// The vNIC address of `nsm` on *this* host (`10.<host>.0.<nsm>`).
+    pub fn nsm_addr(&self, nsm: NsmId) -> u32 {
+        nsm_ip_on(self.cfg.host_id, nsm)
+    }
+
+    /// This host's identity in the cluster address scheme.
+    pub fn host_id(&self) -> HostId {
+        self.cfg.host_id
+    }
+
+    /// Adopt `port` (the endpoint side of a top-of-rack trunk) as this
+    /// host's uplink: frames with no local destination leave through it and
+    /// ToR deliveries enter through it on every poll round. Destinations
+    /// inside this host's own address block stay local even when dead (a
+    /// crashed vNIC must not read as cross-host traffic).
+    pub fn connect_uplink(&mut self, port: Port<Segment>) {
+        self.switch.set_uplink_filtered(
+            port,
+            nk_types::addr::host_prefix(self.cfg.host_id),
+            nk_types::addr::HOST_PREFIX_MASK,
+        );
+    }
+
+    /// Traffic counters of the uplink (zero when none is wired). The
+    /// cluster placer reads these as the host's cross-host traffic signal.
+    pub fn uplink_stats(&self) -> UplinkStats {
+        self.switch.uplink_stats()
     }
 
     /// CoreEngine statistics.
@@ -300,10 +376,7 @@ impl NetKernelHost {
     /// of work (fault events + NQEs + segments + frames + control actions)
     /// processed.
     pub fn step(&mut self, dt_ns: u64) -> usize {
-        self.now_ns += dt_ns;
-        if self.ctrl.is_some() {
-            self.pools.begin_step(dt_ns);
-        }
+        self.advance(dt_ns);
         let now = self.now_ns;
         // The inject and control phases need the whole host (crashing an NSM
         // touches the engine, the switch and the NSM map at once), so the
@@ -319,13 +392,81 @@ impl NetKernelHost {
         total
     }
 
+    /// Advance virtual time and refill the accounting budgets for a step of
+    /// `dt_ns`.
+    fn advance(&mut self, dt_ns: u64) {
+        self.now_ns += dt_ns;
+        if self.accounting {
+            self.pools.begin_step(dt_ns);
+        }
+    }
+
+    // ---- The cluster-facing step protocol ------------------------------------
+    //
+    // A cluster interleaves poll rounds ACROSS hosts (host A's uplink frames
+    // must traverse the top-of-rack switch before host B can answer within
+    // the same step), so it cannot use the self-contained `step()`. These
+    // three methods expose the same step structure — inject, poll rounds,
+    // control — with the round loop handed to the caller. `step()` remains
+    // the single-host composition of the same pieces.
+    //
+    // Because the round loop lives with the caller, a cluster-driven host
+    // does not go through its own `Scheduler`: `sched_stats()` stays at
+    // zero and `HostConfig::max_poll_rounds` does not bound the rounds —
+    // the cluster's own stats and `ClusterConfig::max_rounds` play those
+    // roles at cluster scope.
+
+    /// Open a step of `dt_ns`: advance virtual time, refill accounting
+    /// budgets and apply due fault events. Returns the fault events applied.
+    pub fn begin_step(&mut self, dt_ns: u64) -> usize {
+        self.advance(dt_ns);
+        self.apply_due_faults(self.now_ns)
+    }
+
+    /// One poll round over the whole datapath at the current virtual time.
+    /// Returns the work done; the caller loops until quiescence.
+    pub fn poll_round(&mut self) -> usize {
+        self.poll_datapath(self.now_ns)
+    }
+
+    /// Close a step: run the control phase (a no-op off epoch boundaries or
+    /// without a control plane). Returns the control actions applied.
+    pub fn end_step(&mut self) -> usize {
+        self.run_control(self.now_ns)
+    }
+
+    /// Charge datapath work against the accounting pools even without a
+    /// host-level control plane, optionally on a fresh pool at `clock_hz`.
+    /// The cluster layer calls this at bring-up so its placer sees per-NSM
+    /// utilisation; hosts with their own [`nk_types::ControlPolicy`] already
+    /// account and keep their configured clock.
+    pub fn enable_pool_accounting(&mut self, clock_hz: Option<u64>) {
+        if self.accounting {
+            return;
+        }
+        if let Some(hz) = clock_hz {
+            self.pools = CorePool::with_clock(hz);
+            self.pools
+                .register(PoolMember::Engine, self.cfg.core_engine_cores);
+            for nsm_cfg in &self.cfg.nsms {
+                if self.nsms.contains_key(&nsm_cfg.id) {
+                    self.pools
+                        .register(PoolMember::Nsm(nsm_cfg.id), nsm_cfg.vcpus);
+                }
+            }
+            self.epoch_ledgers.clear();
+        }
+        self.accounting = true;
+    }
+
     /// One poll round over every datapath component, in a fixed order. Work
     /// done by CoreEngine and the NSMs is charged against their core pools
     /// so the control plane sees utilisation.
     fn poll_datapath(&mut self, now_ns: u64) -> usize {
-        // Nobody reads the ledgers without a control plane; keep the cost
-        // arithmetic and map lookups off the hot path in that case.
-        let charge = self.ctrl.is_some();
+        // Nobody reads the ledgers without a control plane (host- or
+        // cluster-level); keep the cost arithmetic and map lookups off the
+        // hot path in that case.
+        let charge = self.accounting;
         let engine_work = Pollable::poll(&mut self.engine, now_ns);
         if charge && engine_work > 0 {
             let cycles = self
@@ -364,6 +505,17 @@ impl NetKernelHost {
             return 0;
         }
         let sample = self.sample_epoch(now_ns);
+        let t_secs = now_ns as f64 / 1e9;
+        self.telemetry
+            .engine_utilisation
+            .push(t_secs, sample.engine_utilisation);
+        for (id, load) in &sample.nsms {
+            self.telemetry
+                .nsm_utilisation
+                .entry(*id)
+                .or_default()
+                .push(t_secs, load.utilisation);
+        }
         let ctrl = self.ctrl.as_mut().expect("checked above");
         self.next_epoch_ns = now_ns + ctrl.policy().epoch_ns;
         let epoch = ctrl.epochs();
@@ -394,6 +546,9 @@ impl NetKernelHost {
                 applied += 1;
             }
         }
+        self.telemetry
+            .actions_per_epoch
+            .push(t_secs, applied as f64);
         applied
     }
 
@@ -485,6 +640,12 @@ impl NetKernelHost {
         &self.control_log
     }
 
+    /// Per-epoch control observability: utilisation samples and action
+    /// counts as [`TimeSeries`].
+    pub fn control_telemetry(&self) -> &ControlTelemetry {
+        &self.telemetry
+    }
+
     /// The cycle-accounting pool (current core allocations and ledgers).
     pub fn core_pool(&self) -> &CorePool {
         &self.pools
@@ -573,7 +734,7 @@ impl NetKernelHost {
     pub fn crash_nsm(&mut self, nsm: NsmId) -> NkResult<usize> {
         let instance = self.nsms.remove(&nsm).ok_or(NkError::NotFound)?;
         if matches!(instance, NsmInstance::Tcp(_)) {
-            self.switch.detach(Self::nsm_ip(nsm));
+            self.switch.detach(self.nsm_addr(nsm));
         }
         drop(instance);
         self.pools.remove(PoolMember::Nsm(nsm));
@@ -628,6 +789,147 @@ impl NetKernelHost {
         self.engine.remap_vm(vm, to)
     }
 
+    // ---- Cross-host migration: export / import / drain -----------------------
+
+    /// Begin moving a VM off this host: snapshot its identity for the
+    /// destination host and put the local instance into *drain* — it keeps
+    /// serving the connections pinned here, and
+    /// [`NetKernelHost::retire_vm`] tears it down once
+    /// [`NetKernelHost::vm_pinned`] reaches zero.
+    pub fn export_vm(&mut self, vm: VmId) -> NkResult<VmExport> {
+        let vm_cfg = self.cfg.vm(vm).cloned().ok_or(NkError::NotFound)?;
+        if !self.guests.contains_key(&vm) {
+            return Err(NkError::NotFound);
+        }
+        if self.draining.contains_key(&vm) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let from_nsm = self.engine.nsm_of(vm).ok_or(NkError::NotFound)?;
+        self.draining.insert(vm, from_nsm);
+        Ok(VmExport {
+            vm: vm_cfg,
+            from_nsm,
+        })
+    }
+
+    /// Bring an exported VM up on this host: fresh queue sets, a fresh
+    /// hugepage region, and new connections served by `nsm`. The paper's
+    /// "switch her NSM on the fly" across the host boundary — connections
+    /// pinned on the source host are *not* transplanted; they drain there.
+    pub fn import_vm(&mut self, export: &VmExport, nsm: NsmId) -> NkResult<()> {
+        let vm_cfg = &export.vm;
+        if self.guests.contains_key(&vm_cfg.id) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        if !self.nsms.contains_key(&nsm) {
+            return Err(NkError::NotFound);
+        }
+        let mut guest_ends = Vec::new();
+        let mut engine_ends = Vec::new();
+        for _ in 0..vm_cfg.vcpus {
+            let (req, resp) = queue_set_pair(self.cfg.queue_capacity);
+            guest_ends.push(req);
+            engine_ends.push(resp);
+        }
+        let wake = WakeState::new();
+        let region = HugepageRegion::new(self.cfg.hugepages_per_pair);
+        self.engine.register_vm(
+            vm_cfg.id,
+            engine_ends,
+            wake.clone(),
+            vm_cfg.tenant,
+            vm_cfg.rate_limit_gbps,
+            Some(region.clone()),
+            self.now_ns,
+        )?;
+        self.engine.map_vm(vm_cfg.id, nsm)?;
+        self.nsms
+            .get_mut(&nsm)
+            .expect("presence checked above")
+            .add_vm(vm_cfg.id, region.clone());
+        let device = NkDevice::new(guest_ends, wake);
+        self.guests
+            .insert(vm_cfg.id, GuestLib::new(vm_cfg.id, device, region.clone()));
+        self.regions.insert(vm_cfg.id, region);
+        self.cfg.vms.push(vm_cfg.clone());
+        // A share previously retired to zero cores revives when a tenant
+        // arrives: restore the NSM's configured allocation so the placer
+        // and autoscaler see real utilisation again instead of a
+        // permanently idle-looking zero-budget pool.
+        if self.pools.cores(PoolMember::Nsm(nsm)) == Some(0) {
+            let vcpus = self.cfg.nsm(nsm).map(|n| n.vcpus).unwrap_or(1);
+            self.pools.set_cores(PoolMember::Nsm(nsm), vcpus);
+        }
+        Ok(())
+    }
+
+    /// True when the VM currently has an instance on this host — resident
+    /// or still draining off it.
+    pub fn has_vm(&self, vm: VmId) -> bool {
+        self.guests.contains_key(&vm)
+    }
+
+    /// Abort an export whose import failed on the destination: the VM
+    /// leaves drain and keeps running here as if the migration had never
+    /// been attempted. Returns whether a drain was actually cancelled.
+    pub fn cancel_export(&mut self, vm: VmId) -> bool {
+        self.draining.remove(&vm).is_some()
+    }
+
+    /// Connections a VM still has pinned on this host — the drain counter a
+    /// cross-host migration watches.
+    pub fn vm_pinned(&self, vm: VmId) -> usize {
+        self.engine.pinned_connections_of(vm)
+    }
+
+    /// Connections pinned to `nsm` from any VM on this host.
+    pub fn nsm_pinned(&self, nsm: NsmId) -> usize {
+        self.engine.pinned_connections_for_nsm(nsm)
+    }
+
+    /// VMs currently draining off this host, with the NSM share each is
+    /// draining from, in id order.
+    pub fn draining_vms(&self) -> Vec<(VmId, NsmId)> {
+        self.draining.iter().map(|(v, n)| (*v, *n)).collect()
+    }
+
+    /// Tear down a fully drained VM: its queues, GuestLib, hugepage region
+    /// and configuration entry all go. Refused while connections are still
+    /// pinned — draining means *waiting*, not resetting.
+    pub fn retire_vm(&mut self, vm: VmId) -> NkResult<()> {
+        if !self.guests.contains_key(&vm) {
+            return Err(NkError::NotFound);
+        }
+        if self.vm_pinned(vm) > 0 {
+            return Err(NkError::InvalidState);
+        }
+        self.engine.deregister_vm(vm)?;
+        self.guests.remove(&vm);
+        self.regions.remove(&vm);
+        self.draining.remove(&vm);
+        self.epoch_vm_bytes.remove(&vm);
+        self.cfg.vms.retain(|v| v.id != vm);
+        Ok(())
+    }
+
+    /// Scale a fully drained NSM's core share to zero (the ROADMAP's
+    /// scale-to-zero of drained NSMs): fires only when no VM maps to it and
+    /// no connection is pinned to it. The NSM instance stays alive at zero
+    /// cores; a later [`NetKernelHost::import_vm`] onto it restores its
+    /// configured allocation, and hosts running their own control plane can
+    /// also revive it through backpressure-driven scale-up. Returns whether
+    /// the share was retired now.
+    pub fn retire_nsm_if_drained(&mut self, nsm: NsmId) -> bool {
+        if !self.nsms.contains_key(&nsm)
+            || !self.engine.mapped_vms(nsm).is_empty()
+            || self.engine.pinned_connections_for_nsm(nsm) > 0
+            || self.pools.cores(PoolMember::Nsm(nsm)) == Some(0)
+        {
+            return false;
+        }
+        self.pools.set_cores(PoolMember::Nsm(nsm), 0)
+    }
+
     /// Reconfigure the egress link towards an NSM's vNIC mid-flight (rate,
     /// loss, latency, reordering). Frames already in flight keep their
     /// original delivery schedule.
@@ -645,7 +947,7 @@ impl NetKernelHost {
         };
         if self
             .switch
-            .set_link_config(Self::nsm_ip(nsm), config, self.now_ns)
+            .set_link_config(self.nsm_addr(nsm), config, self.now_ns)
         {
             Ok(())
         } else {
@@ -1251,6 +1553,133 @@ mod tests {
             .with_mapping(VmToNsmPolicy::All(NsmId(1)))
             .with_control(ControlPolicy::new().with_watermarks(0.9, 0.1));
         assert!(NetKernelHost::new(cfg).is_err());
+    }
+
+    /// A non-zero host id shifts every NSM vNIC into the host's own /16
+    /// block; the datapath works unchanged inside it.
+    #[test]
+    fn host_id_shifts_nsm_addresses() {
+        let cfg = HostConfig::new()
+            .with_host_id(nk_types::HostId(3))
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut host = NetKernelHost::new(cfg).unwrap();
+        assert_eq!(host.nsm_addr(NsmId(1)), 0x0A03_0001);
+        assert_eq!(host.host_id(), nk_types::HostId(3));
+        // A remote inside the host's block is reachable as before.
+        let remote_ip = 0x0A03_0100;
+        let remote = host.add_remote(remote_ip);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 4).unwrap();
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(remote_ip, 7)).unwrap();
+        host.run(20, 100_000);
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable());
+    }
+
+    /// The begin/poll/end step protocol the cluster drives is equivalent to
+    /// `step()` for a single host: the same traffic completes.
+    #[test]
+    fn split_step_protocol_serves_traffic() {
+        let mut host = one_vm_host(StackKind::Kernel);
+        let remote = host.add_remote(REMOTE_IP);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 16).unwrap();
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(REMOTE_IP, 7)).unwrap();
+        for _ in 0..20 {
+            host.begin_step(100_000);
+            while host.poll_round() > 0 {}
+            host.end_step();
+        }
+        let guest = host.guest_mut(VmId(1)).unwrap();
+        assert!(guest.poll(s).writable(), "connect did not complete");
+        assert_eq!(guest.send(s, b"split step").unwrap(), 10);
+        for _ in 0..5 {
+            host.begin_step(100_000);
+            while host.poll_round() > 0 {}
+            host.end_step();
+        }
+        let remote = host.remote_mut(REMOTE_IP).unwrap();
+        let (conn, _) = remote.accept(ls).unwrap();
+        let mut buf = [0u8; 32];
+        assert_eq!(remote.recv(conn, &mut buf).unwrap(), 10);
+    }
+
+    /// Export → import across two hosts: the drain counter tracks pinned
+    /// connections, retire refuses while pinned, and the fully drained
+    /// source NSM share scales to zero.
+    #[test]
+    fn export_import_drain_and_scale_to_zero() {
+        let src_cfg = HostConfig::new()
+            .with_host_id(nk_types::HostId(1))
+            .with_vm(VmConfig::new(VmId(1)))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let dst_cfg = HostConfig::new()
+            .with_host_id(nk_types::HostId(2))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        let mut src = NetKernelHost::new(src_cfg).unwrap();
+        let mut dst = NetKernelHost::new(dst_cfg).unwrap();
+
+        // Pin one connection on the source.
+        let remote = src.add_remote(0x0A01_0100);
+        let ls = remote.socket();
+        remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        remote.listen(ls, 4).unwrap();
+        let guest = src.guest_mut(VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(0x0A01_0100, 7)).unwrap();
+        src.run(20, 100_000);
+        assert!(src.vm_pinned(VmId(1)) >= 1);
+
+        let export = src.export_vm(VmId(1)).unwrap();
+        assert_eq!(export.from_nsm, NsmId(1));
+        assert_eq!(src.draining_vms(), vec![(VmId(1), NsmId(1))]);
+        // Double export is refused.
+        assert_eq!(src.export_vm(VmId(1)), Err(NkError::AlreadyRegistered));
+        // Retire refuses while the connection is pinned.
+        assert_eq!(src.retire_vm(VmId(1)), Err(NkError::InvalidState));
+        assert!(!src.retire_nsm_if_drained(NsmId(1)));
+
+        // The destination brings the VM up and serves new connections.
+        dst.import_vm(&export, NsmId(1)).unwrap();
+        assert_eq!(dst.nsm_of(VmId(1)), Some(NsmId(1)));
+        assert_eq!(
+            dst.import_vm(&export, NsmId(1)),
+            Err(NkError::AlreadyRegistered)
+        );
+        let remote2 = dst.add_remote(0x0A02_0100);
+        let ls2 = remote2.socket();
+        remote2.bind(ls2, SockAddr::new(0, 7)).unwrap();
+        remote2.listen(ls2, 4).unwrap();
+        let guest2 = dst.guest_mut(VmId(1)).unwrap();
+        let s2 = guest2.socket().unwrap();
+        guest2.connect(s2, SockAddr::new(0x0A02_0100, 7)).unwrap();
+        dst.run(20, 100_000);
+        let guest2 = dst.guest_mut(VmId(1)).unwrap();
+        assert!(guest2.poll(s2).writable(), "imported VM must serve");
+
+        // Close the pinned connection: the drain completes and the source
+        // share retires to zero cores.
+        let guest = src.guest_mut(VmId(1)).unwrap();
+        guest.close(s).unwrap();
+        src.run(10, 100_000);
+        assert_eq!(src.vm_pinned(VmId(1)), 0);
+        src.retire_vm(VmId(1)).unwrap();
+        assert!(src.guest_mut(VmId(1)).is_none());
+        assert!(src.config().vm(VmId(1)).is_none());
+        assert!(src.retire_nsm_if_drained(NsmId(1)));
+        assert_eq!(src.nsm_cores(NsmId(1)), Some(0));
+        // Retiring twice is a no-op.
+        assert!(!src.retire_nsm_if_drained(NsmId(1)));
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod model;
 pub mod sched;
 
 pub use faults::{FaultInjector, FaultStats};
-pub use host::{BaselineVm, NetKernelHost, RemoteHost};
+pub use host::{BaselineVm, ControlTelemetry, NetKernelHost, RemoteHost, VmExport};
 pub use metrics::{LatencyMeter, ThroughputMeter};
 pub use model::{PerfModel, TrafficDirection};
 pub use sched::{SchedPhase, SchedStats, Scheduler};

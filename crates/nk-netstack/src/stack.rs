@@ -64,6 +64,23 @@ impl StackConfig {
         self.ephemeral_start = EPHEMERAL_LOW + port % span;
         self
     }
+
+    /// Start the ephemeral port scan at the canonical offset for restart
+    /// `generation` (builder style).
+    ///
+    /// The offset is computed as `generation * 4099 mod span` in 64-bit
+    /// arithmetic. Doing the multiply in `u16` first (as a caller stacking
+    /// [`StackConfig::with_ephemeral_start`] on a scaled generation would)
+    /// silently wraps at 65536, which aliases different generations onto
+    /// the same start long before the range is exhausted. 4099 is coprime
+    /// with the range size, so this walks all `span` distinct starts before
+    /// any repeat — a restarted stack's fresh connections cannot reuse the
+    /// previous life's port sequence for `span` generations.
+    pub fn with_ephemeral_generation(mut self, generation: u32) -> Self {
+        let span = u64::from(EPHEMERAL_HIGH - EPHEMERAL_LOW);
+        self.ephemeral_start = EPHEMERAL_LOW + (u64::from(generation) * 4099 % span) as u16;
+        self
+    }
 }
 
 /// Events produced while ticking the stack, consumed by ServiceLib to build
@@ -692,6 +709,42 @@ mod tests {
 
     const SERVER_IP: u32 = 0x0A00_0001;
     const CLIENT_IP: u32 = 0x0A00_0002;
+
+    /// The per-generation ephemeral start stays in range for arbitrarily
+    /// large restart generations and never aliases two generations within a
+    /// full sweep of the range — the u16 wraparound regression guard.
+    #[test]
+    fn ephemeral_generation_starts_are_in_range_and_collision_free() {
+        let span = (EPHEMERAL_HIGH - EPHEMERAL_LOW) as usize;
+        let mut seen = std::collections::HashSet::new();
+        for generation in 0..span as u32 {
+            let start = StackConfig::new(1)
+                .with_ephemeral_generation(generation)
+                .ephemeral_start;
+            assert!((EPHEMERAL_LOW..EPHEMERAL_HIGH).contains(&start));
+            assert!(
+                seen.insert(start),
+                "generation {generation} reuses start {start}"
+            );
+        }
+        // The old computation multiplied in u16 and wrapped at 65536:
+        // generation 16 aliased to offset 48 instead of its canonical slot.
+        let old_wrapped = StackConfig::new(1)
+            .with_ephemeral_start(16u16.wrapping_mul(4099))
+            .ephemeral_start;
+        let guarded = StackConfig::new(1)
+            .with_ephemeral_generation(16)
+            .ephemeral_start;
+        assert_ne!(old_wrapped, guarded, "u16 wraparound would alias gen 16");
+
+        // Extreme generations stay in range (no panic, no out-of-range port).
+        for generation in [span as u32, u32::MAX / 2, u32::MAX] {
+            let start = StackConfig::new(1)
+                .with_ephemeral_generation(generation)
+                .ephemeral_start;
+            assert!((EPHEMERAL_LOW..EPHEMERAL_HIGH).contains(&start));
+        }
+    }
 
     struct World {
         switch: VirtualSwitch<Segment>,

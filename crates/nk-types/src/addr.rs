@@ -6,8 +6,40 @@
 //! mirroring how the paper stuffs the peer address into the 8-byte `op_data`
 //! field (Figure 3).
 
+use crate::ids::{HostId, NsmId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Mask isolating the per-host block of the cluster address scheme: every
+/// host owns the `10.<host>.0.0/16` block, so the top-of-rack switch routes
+/// inter-host frames by this prefix alone.
+pub const HOST_PREFIX_MASK: u32 = 0xFFFF_0000;
+
+/// Base of the cluster address space (`10.0.0.0`).
+pub const CLUSTER_IP_BASE: u32 = 0x0A00_0000;
+
+/// The `10.<host>.0.0/16` prefix owned by one host.
+pub fn host_prefix(host: HostId) -> u32 {
+    CLUSTER_IP_BASE | (u32::from(host.raw()) << 16)
+}
+
+/// The host owning an address under the cluster scheme, if it is in the
+/// cluster address space at all.
+pub fn host_of_addr(addr: u32) -> Option<HostId> {
+    if addr & 0xFF00_0000 == CLUSTER_IP_BASE {
+        Some(HostId(((addr >> 16) & 0xFF) as u8))
+    } else {
+        None
+    }
+}
+
+/// Address of an NSM's vNIC on a given host (`10.<host>.0.<nsm>`).
+///
+/// Host 0 keeps the single-host scheme (`10.0.0.<nsm>`) unchanged, so every
+/// pre-cluster configuration resolves to the same addresses it always did.
+pub fn nsm_ip_on(host: HostId, nsm: NsmId) -> u32 {
+    host_prefix(host) | u32::from(nsm.raw())
+}
 
 /// An IPv4-style socket address (host, port).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -86,6 +118,23 @@ mod tests {
             SockAddr::v4(192, 168, 1, 2, 80).to_string(),
             "192.168.1.2:80"
         );
+    }
+
+    #[test]
+    fn host_addressing_scheme() {
+        use crate::ids::{HostId, NsmId};
+        assert_eq!(host_prefix(HostId(0)), 0x0A00_0000);
+        assert_eq!(host_prefix(HostId(2)), 0x0A02_0000);
+        // Host 0 keeps the legacy single-host NSM addresses.
+        assert_eq!(nsm_ip_on(HostId(0), NsmId(1)), 0x0A00_0001);
+        assert_eq!(nsm_ip_on(HostId(3), NsmId(7)), 0x0A03_0007);
+        assert_eq!(
+            nsm_ip_on(HostId(3), NsmId(7)) & HOST_PREFIX_MASK,
+            host_prefix(HostId(3))
+        );
+        assert_eq!(host_of_addr(0x0A02_0001), Some(HostId(2)));
+        assert_eq!(host_of_addr(0x0A00_0500), Some(HostId(0)));
+        assert_eq!(host_of_addr(0xC0A8_0001), None);
     }
 
     #[test]

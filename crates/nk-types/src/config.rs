@@ -11,7 +11,7 @@ use crate::constants::{
 };
 use crate::control::ControlPolicy;
 use crate::error::{NkError, NkResult};
-use crate::ids::{NsmId, VmId};
+use crate::ids::{HostId, NsmId, VmId};
 use serde::{Deserialize, Serialize};
 
 /// Which network stack implementation an NSM runs.
@@ -195,6 +195,10 @@ pub enum VmToNsmPolicy {
 /// Full description of one NetKernel host.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct HostConfig {
+    /// Identity of the host in the cluster address scheme: every NSM vNIC
+    /// lives in the `10.<host>.0.0/16` block. Single-host setups keep the
+    /// default of host 0 and see the pre-cluster addresses unchanged.
+    pub host_id: HostId,
     /// Tenant VMs provisioned on the host.
     pub vms: Vec<VmConfig>,
     /// Network stack modules provisioned on the host.
@@ -223,6 +227,7 @@ pub struct HostConfig {
 impl Default for HostConfig {
     fn default() -> Self {
         HostConfig {
+            host_id: HostId(0),
             vms: Vec::new(),
             nsms: Vec::new(),
             mapping: VmToNsmPolicy::LeastLoaded,
@@ -241,6 +246,12 @@ impl HostConfig {
     /// Start from an empty host with default policies.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Set the host's cluster identity (builder style).
+    pub fn with_host_id(mut self, host: HostId) -> Self {
+        self.host_id = host;
+        self
     }
 
     /// Add a VM (builder style).

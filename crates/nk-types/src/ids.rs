@@ -7,6 +7,14 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Identifier of a host in a NetKernel cluster.
+///
+/// The cluster address scheme folds the host id into the second octet of
+/// every NSM vNIC address (`10.<host>.0.<nsm>`), so a `u8` covers the fabric
+/// a single top-of-rack switch can serve.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostId(pub u8);
+
 /// Identifier of a tenant virtual machine on a host.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct VmId(pub u8);
@@ -28,6 +36,13 @@ pub struct QueueSetId(pub u8);
 /// handle allocated by the owning side plays the same role.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SocketId(pub u32);
+
+impl HostId {
+    /// Raw byte value as folded into fabric addresses.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+}
 
 impl VmId {
     /// Raw byte value as stored in an NQE.
@@ -59,6 +74,18 @@ impl SocketId {
     /// A sentinel id meaning "no socket yet" (used by `socket()` requests
     /// before the NSM side has allocated its socket).
     pub const NONE: SocketId = SocketId(u32::MAX);
+}
+
+impl fmt::Debug for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
 }
 
 impl fmt::Debug for VmId {
@@ -157,6 +184,7 @@ mod tests {
 
     #[test]
     fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", HostId(3)), "host3");
         assert_eq!(format!("{:?}", VmId(2)), "vm2");
         assert_eq!(format!("{:?}", NsmId(1)), "nsm1");
         assert_eq!(format!("{:?}", QueueSetId(0)), "qs0");

@@ -12,12 +12,14 @@
 //! * configuration for hosts, VMs and NSMs ([`config`]),
 //! * deterministic fault-injection plans ([`faults`]),
 //! * operator control-plane policies and decision events ([`control`]),
+//! * cluster-scope configurations, placement policies and events ([`cluster`]),
 //! * the provider-facing constants of the testbed ([`constants`]),
 //! * and the guest-facing non-blocking socket API trait ([`api`]) that both
 //!   the NetKernel `GuestLib` and the in-guest baseline stack implement.
 
 pub mod addr;
 pub mod api;
+pub mod cluster;
 pub mod config;
 pub mod constants;
 pub mod control;
@@ -29,12 +31,13 @@ pub mod ops;
 
 pub use addr::SockAddr;
 pub use api::{EpollEvent, PollEvents, ShutdownHow, SocketApi};
+pub use cluster::{ClusterAction, ClusterConfig, ClusterEvent, ClusterPolicy};
 pub use config::{
     CcKind, HostConfig, IsolationPolicy, NsmConfig, StackKind, VmConfig, VmToNsmPolicy,
 };
 pub use control::{ControlAction, ControlEvent, ControlPolicy, ControlTarget};
 pub use error::{NkError, NkResult};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, LinkFault};
-pub use ids::{ConnKey, NsmId, QueueSetId, SocketId, VmId};
+pub use ids::{ConnKey, HostId, NsmId, QueueSetId, SocketId, VmId};
 pub use nqe::{DataHandle, Nqe, NQE_SIZE};
 pub use ops::{OpResult, OpType};

@@ -16,7 +16,7 @@
 //! scale-down really fired.
 
 use nk_host::sched::SchedStats;
-use nk_host::NetKernelHost;
+use nk_host::{ControlTelemetry, NetKernelHost};
 use nk_types::{
     ControlEvent, HostConfig, NkError, NkResult, NsmId, SockAddr, SocketApi, SocketId, VmId,
 };
@@ -127,6 +127,9 @@ pub struct BurstyReport {
     pub reconnects: u64,
     /// The complete control-plane decision log.
     pub control: Vec<ControlEvent>,
+    /// Per-epoch control observability: utilisation samples and action
+    /// counts as time series (empty without a control plane).
+    pub telemetry: ControlTelemetry,
     /// Core allocation per NSM at the end of the run.
     pub final_nsm_cores: BTreeMap<NsmId, usize>,
     /// Cores allocated to CoreEngine at the end of the run.
@@ -273,6 +276,7 @@ impl BurstyScenario {
             errors_observed: clients.iter().map(|c| c.errors_observed).sum(),
             reconnects: clients.iter().map(|c| c.reconnects).sum(),
             control: host.control_events().to_vec(),
+            telemetry: host.control_telemetry().clone(),
             final_nsm_cores,
             final_engine_cores: host.engine_cores(),
             final_mapping,

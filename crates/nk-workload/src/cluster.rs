@@ -1,0 +1,514 @@
+//! Cross-host cluster scenario: tenants spanning hosts, drained migrations.
+//!
+//! Where [`crate::bursty`] drives one host's control plane, this runner
+//! drives a whole [`Cluster`]: tenant VMs on *different hosts* stream
+//! seeded, byte-verified payloads to an echo server attached at the
+//! top-of-rack switch, so every byte crosses host switch → uplink → ToR and
+//! back. Tenants reopen their connection every few chunks (short-connection
+//! behaviour), which is what makes a *drained* cross-host migration
+//! observable end to end: after [`Cluster::migrate_vm`] the next connection
+//! opens through the destination host's NSM while the current one keeps
+//! streaming on the source host until its rotation point — at which moment
+//! the source share empties, the drain completes, and the source NSM scales
+//! to zero, all without a single byte lost or corrupted.
+//!
+//! Migrations come from two places, freely mixed: a scripted plan (fire at
+//! a virtual time, like a fault plan) and the cluster's own placement loop
+//! when a [`nk_types::ClusterPolicy`] is installed. The report carries the
+//! full [`ClusterEvent`] log plus its digest, so tests and the CI
+//! determinism job can assert byte-identical replays.
+
+use nk_cluster::{Cluster, ClusterStats};
+use nk_types::{
+    ClusterConfig, ClusterEvent, HostId, NkError, NkResult, NsmId, SockAddr, SocketApi, SocketId,
+    VmId,
+};
+use std::collections::BTreeMap;
+
+use crate::scenario::seeded_payload;
+
+/// One tenant's offered load (the cluster analogue of
+/// [`crate::bursty::BurstyClient`]).
+#[derive(Clone, Debug)]
+pub struct ClusterTenant {
+    /// The VM the tenant runs in (its home host comes from the cluster
+    /// configuration).
+    pub vm: VmId,
+    /// Virtual time at which the tenant starts transferring.
+    pub start_ns: u64,
+    /// Bytes the tenant must deliver (and see echoed) end to end.
+    pub total_bytes: usize,
+    /// Stop-and-wait chunk size.
+    pub chunk: usize,
+    /// Chunks transferred per connection before the tenant reopens (short
+    /// connections; migrations take effect at these rotation points).
+    pub chunks_per_conn: usize,
+}
+
+impl ClusterTenant {
+    /// A 64 KiB transfer starting at `start_ns`, reconnecting every four
+    /// chunks.
+    pub fn new(vm: VmId, start_ns: u64) -> Self {
+        ClusterTenant {
+            vm,
+            start_ns,
+            total_bytes: 64 * 1024,
+            chunk: 2048,
+            chunks_per_conn: 4,
+        }
+    }
+
+    /// Set the transfer size (builder style).
+    pub fn with_total_bytes(mut self, bytes: usize) -> Self {
+        self.total_bytes = bytes;
+        self
+    }
+}
+
+/// A migration scripted against virtual time (the placement analogue of a
+/// fault-plan entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedMigration {
+    /// Fire once virtual time reaches this.
+    pub at_ns: u64,
+    /// The VM to move (from wherever its home is at that moment).
+    pub vm: VmId,
+    /// The destination host.
+    pub to: HostId,
+}
+
+/// Configuration of one cluster scenario run.
+#[derive(Clone, Debug)]
+pub struct ClusterScenarioConfig {
+    /// The cluster under test.
+    pub cluster: ClusterConfig,
+    /// Seed for the transferred payloads (each tenant derives its own).
+    pub seed: u64,
+    /// Address of the echo server attached at the top-of-rack switch.
+    pub server_ip: u32,
+    /// Port of the echo server.
+    pub server_port: u16,
+    /// The tenants and their activity windows.
+    pub tenants: Vec<ClusterTenant>,
+    /// Scripted cross-host migrations.
+    pub migrations: Vec<PlannedMigration>,
+    /// Step budget (livelock guard).
+    pub max_steps: usize,
+    /// Steps to keep running after every tenant finished, so drains
+    /// complete and the placement loop observes the ramp-down.
+    pub drain_steps: usize,
+    /// Virtual time per step in nanoseconds.
+    pub dt_ns: u64,
+}
+
+impl ClusterScenarioConfig {
+    /// A scenario over `cluster` with pacing matching the other runners.
+    /// The default server address is outside every host's block, so all
+    /// tenant traffic is cross-host by construction.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        ClusterScenarioConfig {
+            cluster,
+            seed: 1,
+            server_ip: 0xC0A8_0001, // 192.168.0.1
+            server_port: 7,
+            tenants: Vec::new(),
+            migrations: Vec::new(),
+            max_steps: 40_000,
+            drain_steps: 200,
+            dt_ns: 100_000,
+        }
+    }
+
+    /// Add a tenant (builder style).
+    pub fn with_tenant(mut self, tenant: ClusterTenant) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Script a migration (builder style).
+    pub fn with_migration(mut self, at_ns: u64, vm: VmId, to: HostId) -> Self {
+        self.migrations.push(PlannedMigration { at_ns, vm, to });
+        self
+    }
+
+    /// Set the payload seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Everything a finished cluster run reports. Two runs of the same
+/// configuration must produce equal reports (the determinism guarantee the
+/// CI digest job replays).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterScenarioReport {
+    /// True when every tenant delivered and verified all its bytes.
+    pub completed: bool,
+    /// Cluster steps executed.
+    pub steps: u64,
+    /// Bytes echoed back and verified, summed over tenants.
+    pub bytes_verified: u64,
+    /// Socket errors observed across tenants.
+    pub errors_observed: u64,
+    /// Reconnects forced by errors (scheduled rotations are not counted).
+    pub reconnects: u64,
+    /// The complete cluster event log (migrations, drains, retirements).
+    pub events: Vec<ClusterEvent>,
+    /// FNV-1a digest of the serialized event log.
+    pub event_digest: u64,
+    /// Host serving each tenant's new connections at the end of the run.
+    pub final_homes: BTreeMap<VmId, HostId>,
+    /// Core allocation of every alive NSM at the end of the run.
+    pub final_nsm_cores: BTreeMap<(HostId, NsmId), usize>,
+    /// Cluster scheduler and placement counters.
+    pub stats: ClusterStats,
+}
+
+/// Per-tenant transfer state: the bursty stop-and-wait machine plus the
+/// host its current socket lives on.
+struct TenantState {
+    spec: ClusterTenant,
+    payload: Vec<u8>,
+    /// The current connection and the host it was opened through. During a
+    /// drain this may lag behind the VM's home: pinned connections finish
+    /// on the source host.
+    sock: Option<(HostId, SocketId)>,
+    established: bool,
+    off: usize,
+    sent_in_chunk: usize,
+    acked_in_chunk: usize,
+    chunks_on_conn: usize,
+    errors_observed: u64,
+    reconnects: u64,
+}
+
+impl TenantState {
+    fn done(&self) -> bool {
+        self.off >= self.spec.total_bytes
+    }
+}
+
+/// A runnable cluster scenario (see the module docs).
+pub struct ClusterScenario {
+    cfg: ClusterScenarioConfig,
+}
+
+impl ClusterScenario {
+    /// Build a scenario from its configuration.
+    pub fn new(cfg: ClusterScenarioConfig) -> Self {
+        ClusterScenario { cfg }
+    }
+
+    /// Run to completion (or the step budget) and report.
+    ///
+    /// Panics with a descriptive message when an invariant is violated —
+    /// byte corruption or cluster scheduler accounting drift.
+    pub fn run(&self) -> NkResult<ClusterScenarioReport> {
+        let cfg = &self.cfg;
+        let mut cluster = Cluster::new(cfg.cluster.clone())?;
+
+        let server = cluster.add_remote(cfg.server_ip);
+        let listener = server.socket();
+        server.bind(listener, SockAddr::new(0, cfg.server_port))?;
+        server.listen(listener, 64)?;
+        let mut server_conns: Vec<SocketId> = Vec::new();
+        let mut echo_buf = vec![0u8; 16 * 1024];
+
+        let mut tenants: Vec<TenantState> = cfg
+            .tenants
+            .iter()
+            .map(|spec| TenantState {
+                payload: seeded_payload(
+                    cfg.seed ^ (spec.vm.raw() as u64).wrapping_mul(0x9E37_79B9),
+                    spec.total_bytes,
+                ),
+                spec: spec.clone(),
+                sock: None,
+                established: false,
+                off: 0,
+                sent_in_chunk: 0,
+                acked_in_chunk: 0,
+                chunks_on_conn: 0,
+                errors_observed: 0,
+                reconnects: 0,
+            })
+            .collect();
+        let mut pending_migrations = cfg.migrations.clone();
+        pending_migrations.sort_by_key(|m| (m.at_ns, m.vm));
+
+        let mut steps = 0u64;
+        let mut drained = 0usize;
+        while (steps as usize) < cfg.max_steps {
+            if tenants.iter().all(TenantState::done) {
+                if drained >= cfg.drain_steps {
+                    break;
+                }
+                drained += 1;
+            }
+            let now = cluster.now_ns();
+            // Scripted migrations fire once their time has come; a plan
+            // entry whose VM already lives on the target is simply spent.
+            while pending_migrations.first().is_some_and(|m| m.at_ns <= now) {
+                let m = pending_migrations.remove(0);
+                if let Some(from) = cluster.home_of(m.vm) {
+                    if from != m.to {
+                        cluster.migrate_vm(m.vm, from, m.to)?;
+                    }
+                }
+            }
+            let target = SockAddr::new(cfg.server_ip, cfg.server_port);
+            for t in tenants.iter_mut() {
+                if now >= t.spec.start_ns && !t.done() {
+                    Self::drive_tenant(&mut cluster, t, target);
+                }
+            }
+            cluster.step(cfg.dt_ns);
+            Self::drive_server(
+                &mut cluster,
+                cfg.server_ip,
+                listener,
+                &mut server_conns,
+                &mut echo_buf,
+            );
+            steps += 1;
+            if steps.is_multiple_of(64) {
+                Self::check_sched(&cluster);
+            }
+        }
+        let completed = tenants.iter().all(TenantState::done);
+
+        // Settle: close every tenant socket so outstanding drains complete.
+        for t in tenants.iter_mut() {
+            if let Some((host, s)) = t.sock.take() {
+                if let Some(g) = cluster.guest_on(host, t.spec.vm) {
+                    let _ = g.close(s);
+                }
+            }
+        }
+        for _ in 0..50 {
+            cluster.step(cfg.dt_ns);
+        }
+        Self::check_sched(&cluster);
+
+        let final_homes = tenants
+            .iter()
+            .filter_map(|t| cluster.home_of(t.spec.vm).map(|h| (t.spec.vm, h)))
+            .collect();
+        let mut final_nsm_cores = BTreeMap::new();
+        for host_id in cluster.host_ids() {
+            let host = cluster.host(host_id).expect("listed host exists");
+            for nsm in host.config().nsms.clone() {
+                if let Some(cores) = host.nsm_cores(nsm.id) {
+                    final_nsm_cores.insert((host_id, nsm.id), cores);
+                }
+            }
+        }
+        Ok(ClusterScenarioReport {
+            completed,
+            steps,
+            bytes_verified: tenants.iter().map(|t| t.off as u64).sum(),
+            errors_observed: tenants.iter().map(|t| t.errors_observed).sum(),
+            reconnects: tenants.iter().map(|t| t.reconnects).sum(),
+            events: cluster.events().to_vec(),
+            event_digest: cluster.event_digest(),
+            final_homes,
+            final_nsm_cores,
+            stats: cluster.stats(),
+        })
+    }
+
+    /// One tenant iteration: (re)connect through the VM's *current home*,
+    /// push the chunk, verify echoed bytes, rotate the connection every few
+    /// chunks.
+    fn drive_tenant(cluster: &mut Cluster, t: &mut TenantState, server: SockAddr) {
+        let chunk_len = t.spec.chunk.min(t.spec.total_bytes - t.off);
+        let Some((host, sock)) = t.sock else {
+            // New connections always open on the home host — this is how a
+            // migration takes effect at the next rotation.
+            let Some(home) = cluster.home_of(t.spec.vm) else {
+                return;
+            };
+            let Some(g) = cluster.guest_on(home, t.spec.vm) else {
+                return;
+            };
+            if let Ok(s) = g.socket() {
+                if g.connect(s, server).is_ok() {
+                    t.sock = Some((home, s));
+                    t.established = false;
+                    t.sent_in_chunk = 0;
+                    t.acked_in_chunk = 0;
+                    t.chunks_on_conn = 0;
+                } else {
+                    let _ = g.close(s);
+                }
+            }
+            return;
+        };
+        let Some(g) = cluster.guest_on(host, t.spec.vm) else {
+            // The source-side instance vanished underneath the socket (it
+            // can only retire unpinned, so this is defensive): reopen at
+            // the current home.
+            t.sock = None;
+            t.established = false;
+            return;
+        };
+
+        let ev = g.poll(sock);
+        if ev.error() || ev.hup() {
+            t.errors_observed += 1;
+            t.reconnects += 1;
+            let _ = g.close(sock);
+            t.sock = None;
+            t.established = false;
+            return;
+        }
+        if !t.established {
+            if ev.writable() {
+                t.established = true;
+            } else {
+                return;
+            }
+        }
+        if t.sent_in_chunk < chunk_len {
+            let from = t.off + t.sent_in_chunk;
+            let to = t.off + chunk_len;
+            match g.send(sock, &t.payload[from..to]) {
+                Ok(n) => t.sent_in_chunk += n,
+                Err(NkError::WouldBlock) => {}
+                Err(_) => return,
+            }
+        }
+        let mut buf = [0u8; 4096];
+        loop {
+            match g.recv(sock, &mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    let at = t.off + t.acked_in_chunk;
+                    assert!(
+                        at + n <= t.off + chunk_len,
+                        "{:?}: server echoed past the outstanding chunk",
+                        t.spec.vm,
+                    );
+                    assert_eq!(
+                        &buf[..n],
+                        &t.payload[at..at + n],
+                        "{:?}: echoed bytes diverge from the payload at offset {at}",
+                        t.spec.vm,
+                    );
+                    t.acked_in_chunk += n;
+                }
+                Err(_) => break,
+            }
+        }
+        if t.acked_in_chunk == chunk_len && chunk_len > 0 {
+            t.off += chunk_len;
+            t.sent_in_chunk = 0;
+            t.acked_in_chunk = 0;
+            t.chunks_on_conn += 1;
+            if t.spec.chunks_per_conn > 0 && t.chunks_on_conn >= t.spec.chunks_per_conn {
+                // Rotation point: close here, reopen at the current home on
+                // the next iteration — a drained migration's handover.
+                let _ = g.close(sock);
+                t.sock = None;
+                t.established = false;
+            }
+        }
+    }
+
+    /// Accept and echo on the ToR-attached server.
+    fn drive_server(
+        cluster: &mut Cluster,
+        server_ip: u32,
+        listener: SocketId,
+        conns: &mut Vec<SocketId>,
+        buf: &mut [u8],
+    ) {
+        let Some(server) = cluster.remote_mut(server_ip) else {
+            return;
+        };
+        while let Ok((conn, _)) = server.accept(listener) {
+            conns.push(conn);
+        }
+        conns.retain(|&conn| loop {
+            match server.recv(conn, buf) {
+                Ok(0) => {
+                    let _ = server.close(conn);
+                    break false;
+                }
+                Ok(n) => {
+                    let _ = server.send(conn, &buf[..n]);
+                }
+                Err(NkError::WouldBlock) => break true,
+                Err(_) => {
+                    let _ = server.close(conn);
+                    break false;
+                }
+            }
+        });
+    }
+
+    /// Cluster scheduler accounting: every step ends in quiescence or at
+    /// the round bound.
+    fn check_sched(cluster: &Cluster) {
+        let s = cluster.stats();
+        assert_eq!(
+            s.quiescent_exits + s.round_limit_hits,
+            s.steps,
+            "cluster steps unaccounted for: {s:?}",
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nk_types::{HostConfig, NsmConfig, VmConfig, VmToNsmPolicy};
+
+    fn host(id: u8, vms: &[u8]) -> HostConfig {
+        let mut cfg = HostConfig::new()
+            .with_host_id(HostId(id))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        for vm in vms {
+            cfg = cfg.with_vm(VmConfig::new(VmId(*vm)));
+        }
+        cfg
+    }
+
+    #[test]
+    fn cross_host_transfer_completes_without_migrations() {
+        let cluster = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(2, &[2]));
+        let report = ClusterScenario::new(
+            ClusterScenarioConfig::new(cluster)
+                .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(16 * 1024))
+                .with_tenant(ClusterTenant::new(VmId(2), 0).with_total_bytes(16 * 1024)),
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.bytes_verified, 32 * 1024);
+        assert_eq!(report.errors_observed, 0);
+        assert!(report.events.is_empty());
+        assert_eq!(report.final_homes[&VmId(1)], HostId(1));
+        assert_eq!(report.final_homes[&VmId(2)], HostId(2));
+    }
+
+    #[test]
+    fn scripted_migration_is_spent_even_when_vm_is_already_there() {
+        let cluster = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(2, &[]));
+        let report = ClusterScenario::new(
+            ClusterScenarioConfig::new(cluster)
+                .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(8 * 1024))
+                .with_migration(0, VmId(1), HostId(1)), // no-op: already home
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed);
+        assert!(report.events.is_empty(), "{:?}", report.events);
+    }
+}

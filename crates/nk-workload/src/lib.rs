@@ -17,14 +17,21 @@
 //! * [`bursty`] — the multi-tenant ramp-up/ramp-down runner driving the
 //!   operator control plane: tenants join and leave over virtual time, every
 //!   byte is verified, and the control-plane decision log (scale-up,
-//!   rebalancing, scale-down) is part of the report.
+//!   rebalancing, scale-down) is part of the report;
+//! * [`cluster`] — the cross-host scenario runner: tenants span the hosts of
+//!   a [`nk_cluster::Cluster`], every byte crosses the inter-host fabric,
+//!   and scripted or placer-driven migrations drain byte-verified.
 
 pub mod agtrace;
 pub mod apps;
 pub mod bursty;
+pub mod cluster;
 pub mod scenario;
 
 pub use agtrace::{AgTrace, AgTraceConfig};
 pub use apps::{ClosedLoopClient, EchoServer};
 pub use bursty::{BurstyClient, BurstyConfig, BurstyReport, BurstyScenario};
+pub use cluster::{
+    ClusterScenario, ClusterScenarioConfig, ClusterScenarioReport, ClusterTenant, PlannedMigration,
+};
 pub use scenario::{random_fault_plan, seeded_payload, Scenario, ScenarioConfig, ScenarioReport};

@@ -14,10 +14,13 @@
 //! * [`service`] — ServiceLib and the Network Stack Modules.
 //! * [`engine`] — CoreEngine: NQE switching, connection table, isolation.
 //! * [`ctrl`] — the operator control plane: load monitoring, autoscaling,
-//!   VM rebalancing.
+//!   VM rebalancing, and the cluster-scope placer.
 //! * [`host`] — host orchestration (threaded and simulated) and metrics.
+//! * [`cluster`] — the cluster fabric: hosts behind a top-of-rack switch,
+//!   cross-host VM migration with connection draining.
 //! * [`workload`] — workload generators used by the evaluation.
 
+pub use nk_cluster as cluster;
 pub use nk_ctrl as ctrl;
 pub use nk_engine as engine;
 pub use nk_fabric as fabric;
@@ -31,11 +34,13 @@ pub use nk_sim as sim;
 pub use nk_types as types;
 pub use nk_workload as workload;
 
+pub use nk_cluster::Cluster;
 pub use nk_types::{
-    ControlAction, ControlEvent, ControlPolicy, ControlTarget, FaultAction, FaultEvent, FaultPlan,
-    LinkFault, NkError, NkResult, SocketApi,
+    ClusterAction, ClusterConfig, ClusterEvent, ClusterPolicy, ControlAction, ControlEvent,
+    ControlPolicy, ControlTarget, FaultAction, FaultEvent, FaultPlan, LinkFault, NkError, NkResult,
+    SocketApi,
 };
 pub use nk_workload::{
-    random_fault_plan, BurstyClient, BurstyConfig, BurstyScenario, Scenario, ScenarioConfig,
-    ScenarioReport,
+    random_fault_plan, BurstyClient, BurstyConfig, BurstyScenario, ClusterScenario,
+    ClusterScenarioConfig, ClusterTenant, Scenario, ScenarioConfig, ScenarioReport,
 };

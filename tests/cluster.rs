@@ -1,0 +1,234 @@
+//! Cluster integration tests: multi-host placement with cross-host VM
+//! migration and connection draining.
+//!
+//! These prove the ISSUE's acceptance scenario end to end: two (or more)
+//! hosts sit behind the inter-host fabric (uplinks through the top-of-rack
+//! switch), tenants stream byte-verified payloads to a ToR-attached echo
+//! server, a cross-host migration drains — new connections land on the
+//! destination host's NSM while pinned ones finish on the source, whose NSM
+//! share then scales to zero — and the whole run replays byte-identically
+//! for a fixed seed (checked through the event-log digest and the full
+//! report).
+
+use netkernel::types::{
+    ClusterAction, ClusterConfig, ClusterPolicy, HostConfig, HostId, NsmConfig, NsmId, VmConfig,
+    VmId, VmToNsmPolicy,
+};
+use netkernel::workload::cluster::{ClusterScenario, ClusterScenarioConfig, ClusterTenant};
+
+fn host(id: u8, vms: &[u8]) -> HostConfig {
+    let mut cfg = HostConfig::new()
+        .with_host_id(HostId(id))
+        .with_nsm(NsmConfig::kernel(NsmId(1)))
+        .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+    for vm in vms {
+        cfg = cfg.with_vm(VmConfig::new(VmId(*vm)));
+    }
+    cfg
+}
+
+/// Two hosts, one tenant each, both streaming to the ToR-attached server:
+/// every byte crosses the inter-host fabric and is verified.
+#[test]
+fn tenants_on_two_hosts_stream_across_the_fabric() {
+    let cluster = ClusterConfig::new()
+        .with_host(host(1, &[1]))
+        .with_host(host(2, &[2]));
+    let report = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster)
+            .with_seed(7)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(32 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(2), 500_000).with_total_bytes(32 * 1024)),
+    )
+    .run()
+    .unwrap();
+    assert!(report.completed, "{report:?}");
+    assert_eq!(report.bytes_verified, 64 * 1024);
+    assert_eq!(report.errors_observed, 0);
+    assert_eq!(
+        report.stats.quiescent_exits + report.stats.round_limit_hits,
+        report.stats.steps
+    );
+}
+
+/// The acceptance scenario: a scripted cross-host migration mid-transfer.
+/// The tenant keeps streaming byte-verified throughout, the source share
+/// drains (DrainComplete) and scales to zero (ScaleToZero), and the tenant
+/// finishes homed on the destination host.
+#[test]
+fn drained_cross_host_migration_completes_and_retires_the_source_share() {
+    let cluster = ClusterConfig::new()
+        .with_host(host(1, &[1]))
+        .with_host(host(2, &[2]));
+    let report = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster)
+            .with_seed(11)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(2), 0).with_total_bytes(32 * 1024))
+            // Fire mid-transfer: vm1 has pinned connections at this point.
+            .with_migration(2_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .unwrap();
+
+    assert!(report.completed, "{report:?}");
+    assert_eq!(report.bytes_verified, 128 * 1024);
+    assert_eq!(
+        report.errors_observed, 0,
+        "a drained migration is not an error path: {report:?}"
+    );
+
+    // The event log tells the whole story, in order: migrate → drain
+    // complete → scale to zero.
+    let migrate = report
+        .events
+        .iter()
+        .position(|e| {
+            e.action
+                == ClusterAction::MigrateVm {
+                    vm: VmId(1),
+                    from: HostId(1),
+                    to: HostId(2),
+                    to_nsm: NsmId(1),
+                }
+        })
+        .unwrap_or_else(|| panic!("no migration event: {:?}", report.events));
+    let drained = report
+        .events
+        .iter()
+        .position(|e| {
+            e.action
+                == ClusterAction::DrainComplete {
+                    vm: VmId(1),
+                    host: HostId(1),
+                    nsm: NsmId(1),
+                }
+        })
+        .unwrap_or_else(|| panic!("drain never completed: {:?}", report.events));
+    let retired = report
+        .events
+        .iter()
+        .position(|e| {
+            e.action
+                == ClusterAction::ScaleToZero {
+                    host: HostId(1),
+                    nsm: NsmId(1),
+                }
+        })
+        .unwrap_or_else(|| panic!("source share never retired: {:?}", report.events));
+    assert!(
+        migrate < drained && drained <= retired,
+        "{:?}",
+        report.events
+    );
+
+    // The source NSM share is at zero cores; the destination serves both
+    // tenants.
+    assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
+    assert!(report.final_nsm_cores[&(HostId(2), NsmId(1))] >= 1);
+    assert_eq!(report.final_homes[&VmId(1)], HostId(2));
+    assert_eq!(report.stats.migrations, 1);
+    assert_eq!(report.stats.drains_completed, 1);
+    assert_eq!(report.stats.shares_retired, 1);
+}
+
+/// Byte-identical determinism: two executions of the same seeded
+/// configuration produce the same report — including the same event-log
+/// digest — and a different seed produces a different execution.
+#[test]
+fn cluster_runs_replay_byte_identically() {
+    let config = || {
+        ClusterScenarioConfig::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[2])),
+        )
+        .with_seed(11)
+        .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(64 * 1024))
+        .with_tenant(ClusterTenant::new(VmId(2), 1_000_000).with_total_bytes(64 * 1024))
+        .with_migration(2_000_000, VmId(1), HostId(2))
+    };
+    let a = ClusterScenario::new(config()).run().unwrap();
+    let b = ClusterScenario::new(config()).run().unwrap();
+    assert_eq!(a, b, "two runs of the same seeded cluster diverged");
+    assert_eq!(a.event_digest, b.event_digest);
+    assert!(a.completed);
+    assert!(!a.events.is_empty());
+
+    // A structurally different run (the migration fires later, the second
+    // tenant carries more bytes) must actually change the execution — the
+    // equality above is not vacuous.
+    let c = ClusterScenario::new(
+        ClusterScenarioConfig::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[2])),
+        )
+        .with_seed(11)
+        .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(64 * 1024))
+        .with_tenant(ClusterTenant::new(VmId(2), 1_000_000).with_total_bytes(96 * 1024))
+        .with_migration(3_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .unwrap();
+    assert!(c.completed);
+    assert_ne!(a, c, "a different plan should change the execution");
+    assert_ne!(a.event_digest, c.event_digest);
+}
+
+/// Placer-driven rebalancing: three tenants packed onto host 1 overload it
+/// while host 2 idles; the cluster placement loop migrates at least one VM
+/// across hosts, the drain completes, and every byte still verifies.
+#[test]
+fn placer_migrates_tenants_off_the_overloaded_host() {
+    let policy = ClusterPolicy::new()
+        .with_epoch_ns(1_000_000)
+        .with_window(2)
+        .with_thresholds(0.5, 0.3)
+        .with_migration_budget(1)
+        .with_cooldown(1)
+        .with_cross_traffic_weight(0.2)
+        .with_pool_clock_hz(1_000_000);
+    let cluster = ClusterConfig::new()
+        .with_host(host(1, &[1, 2, 3]))
+        .with_host(host(2, &[]))
+        .with_policy(policy);
+    let report = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster)
+            .with_seed(11)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(2), 0).with_total_bytes(96 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(3), 1_000_000).with_total_bytes(96 * 1024)),
+    )
+    .run()
+    .unwrap();
+
+    assert!(report.completed, "{report:?}");
+    assert_eq!(report.bytes_verified, 3 * 96 * 1024);
+    assert_eq!(report.errors_observed, 0);
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e.action,
+            ClusterAction::MigrateVm {
+                from: HostId(1),
+                to: HostId(2),
+                ..
+            }
+        )),
+        "the placer never moved a tenant off the overloaded host: {:?}",
+        report.events
+    );
+    // Every placer migration drained cleanly (no share left half-retired);
+    // where a tenant ends up homed depends on how the placer rebalances the
+    // ramp-down, so only the lifecycle is asserted, not the final placement.
+    assert!(report.stats.migrations >= 1);
+    assert_eq!(report.stats.drains_completed, report.stats.migrations);
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e.action, ClusterAction::DrainComplete { .. })),
+        "{:?}",
+        report.events
+    );
+}
