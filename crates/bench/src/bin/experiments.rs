@@ -82,6 +82,9 @@ fn main() {
     if want("clu01") {
         clu01_cluster_migration(&mut results);
     }
+    if want("wm01") {
+        wm01_warm_vs_drained(&mut results);
+    }
 
     if results.experiments.is_empty() {
         // A typo'd experiment name must fail loudly rather than exit green
@@ -942,5 +945,125 @@ fn clu01_cluster_migration(results: &mut BenchResults) {
             "rounds_per_step",
             "ratio",
             report.stats.rounds as f64 / report.stats.steps.max(1) as f64,
+        );
+}
+
+/// wm01: drained vs warm migration — how long a long-running tenant keeps
+/// the source share pinned. The drained mode waits for the connection's
+/// next rotation point; the warm mode transplants the connection and
+/// retires the share in the same instant.
+fn wm01_warm_vs_drained(results: &mut BenchResults) {
+    use nk_types::{
+        ClusterAction, ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, VmConfig, VmId,
+        VmToNsmPolicy,
+    };
+    use nk_workload::{ClusterScenario, ClusterScenarioConfig, ClusterTenant};
+
+    let host = |id: u8, vms: &[u8]| {
+        let mut cfg = HostConfig::new()
+            .with_host_id(HostId(id))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)));
+        for vm in vms {
+            cfg = cfg.with_vm(VmConfig::new(VmId(*vm)));
+        }
+        cfg
+    };
+    let cluster = || {
+        ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(2, &[]))
+            .with_uplink_latency_us(2)
+    };
+
+    // Drained: the tenant rotates its connection every 4 chunks, so the
+    // drain waits for the rotation point.
+    let drained = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster())
+            .with_seed(11)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_migration(2_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .expect("drained scenario runs");
+    assert!(drained.completed, "drained scenario must complete");
+    let at = |events: &[nk_types::ClusterEvent], pick: &dyn Fn(&ClusterAction) -> bool| {
+        events
+            .iter()
+            .find(|e| pick(&e.action))
+            .map(|e| e.at_ns)
+            .expect("event present")
+    };
+    let drained_start = at(&drained.events, &|a| {
+        matches!(a, ClusterAction::MigrateVm { .. })
+    });
+    let drained_done = at(&drained.events, &|a| {
+        matches!(a, ClusterAction::DrainComplete { .. })
+    });
+    let drained_wait_ns = drained_done - drained_start;
+
+    // Warm: the same transfer over one long-lived connection (a drained
+    // migration would stall until the transfer ends); the share retires in
+    // the same instant the handover lands.
+    let warm = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster())
+            .with_seed(11)
+            .with_tenant(
+                ClusterTenant::new(VmId(1), 0)
+                    .with_total_bytes(96 * 1024)
+                    .long_lived(),
+            )
+            .with_warm_migration(2_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .expect("warm scenario runs");
+    assert!(warm.completed, "warm scenario must complete");
+    let warm_start = at(&warm.events, &|a| {
+        matches!(a, ClusterAction::WarmMigrateVm { .. })
+    });
+    let warm_done = at(&warm.events, &|a| {
+        matches!(a, ClusterAction::ScaleToZero { .. })
+    });
+    let warm_wait_ns = warm_done - warm_start;
+
+    print_table(
+        "wm01: source-share drain wait, drained vs warm migration",
+        &["mode", "drain wait (ms)", "reconnects", "bytes verified"],
+        &[
+            vec![
+                "drained".into(),
+                f(drained_wait_ns as f64 / 1e6, 3),
+                drained.reconnects.to_string(),
+                drained.bytes_verified.to_string(),
+            ],
+            vec![
+                "warm".into(),
+                f(warm_wait_ns as f64 / 1e6, 3),
+                warm.reconnects.to_string(),
+                warm.bytes_verified.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "warm handover: {} connection(s) transplanted in {} freeze step(s); drained waited {:.3} ms",
+        warm.stats.conns_transplanted,
+        warm.stats.freeze_steps,
+        drained_wait_ns as f64 / 1e6
+    );
+    results
+        .experiment("wm01")
+        .metric("drained_drain_wait_ms", "ms", drained_wait_ns as f64 / 1e6)
+        .metric("warm_drain_wait_ms", "ms", warm_wait_ns as f64 / 1e6)
+        .metric("warm_freeze_steps", "count", warm.stats.freeze_steps as f64)
+        .metric(
+            "conns_transplanted",
+            "count",
+            warm.stats.conns_transplanted as f64,
+        )
+        .metric("warm_reconnects", "count", warm.reconnects as f64)
+        .metric(
+            "bytes_verified_total",
+            "bytes",
+            (drained.bytes_verified + warm.bytes_verified) as f64,
         );
 }

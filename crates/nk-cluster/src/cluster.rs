@@ -13,6 +13,13 @@ use nk_types::{
 };
 use std::collections::BTreeMap;
 
+/// Upper bound on freeze-window mini-steps per warm migration. The window
+/// normally closes in two or three steps (one wire round trip plus a
+/// quiescence check); a connection that never goes quiet — a peer streaming
+/// into the VM nonstop — is cut at the bound and recovers through TCP
+/// retransmission.
+const MAX_FREEZE_STEPS: usize = 16;
+
 /// Cluster scheduler and placement counters, for observability and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ClusterStats {
@@ -24,8 +31,15 @@ pub struct ClusterStats {
     pub quiescent_exits: u64,
     /// Steps whose final allowed round still reported work.
     pub round_limit_hits: u64,
-    /// Cross-host migrations started.
+    /// Cross-host migrations started (drained mode).
     pub migrations: u64,
+    /// Warm cross-host migrations completed (freeze → transfer → thaw).
+    pub warm_migrations: u64,
+    /// Mini-steps spent inside warm-migration freeze windows (not counted
+    /// under [`ClusterStats::steps`] — they happen *inside* a handover).
+    pub freeze_steps: u64,
+    /// Connections transplanted by warm migrations, total.
+    pub conns_transplanted: u64,
     /// Drains completed (source share fully retired).
     pub drains_completed: u64,
     /// NSM shares scaled to zero after a drain.
@@ -309,6 +323,170 @@ impl Cluster {
             to_nsm,
         });
         Ok(())
+    }
+
+    /// Warm-migrate a VM to another host: the paper's "switch her NSM on
+    /// the fly", with the *connections moving too*. Three phases, all
+    /// inside this call:
+    ///
+    /// 1. **Freeze** — the VM's engine ingress pauses and the cluster runs
+    ///    mini-steps (interleaved poll rounds across hosts, the ToR and the
+    ///    remotes, with virtual time advancing) until the VM's connections
+    ///    are wire-quiet: everything transmitted is acknowledged and no
+    ///    frame for them is in flight.
+    /// 2. **Transfer** — the source exports identity *plus* per-connection
+    ///    stack state ([`nk_types::VmWarmExport`]), the ToR gains a host
+    ///    route steering each transplanted address to the destination trunk
+    ///    (the mid-step reroute), and the destination installs everything.
+    /// 3. **Thaw** — the source share, emptied in the same control epoch,
+    ///    scales to zero immediately; the destination serves the very same
+    ///    connections. No drain, no reset.
+    ///
+    /// Warm mode requires the VM to be its source NSM's only tenant (the
+    /// fabric reroutes the NSM's vNIC address, which would hijack other
+    /// VMs' cross-host flows); otherwise it refuses with
+    /// [`NkError::InvalidState`] and the caller falls back to
+    /// [`Cluster::migrate_vm`] (drained). A failed install rolls everything
+    /// back: routes drop, the export re-installs at the source, the VM
+    /// keeps serving as if nothing happened.
+    pub fn migrate_vm_warm(&mut self, vm: VmId, from: HostId, to: HostId) -> NkResult<()> {
+        if from == to {
+            return Err(NkError::BadConfig);
+        }
+        if self.home_of(vm) != Some(from) {
+            return Err(NkError::NotFound);
+        }
+        if self.hosts.get(&to).is_some_and(|h| h.has_vm(vm)) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let to_nsm = self.pick_destination_nsm(to)?;
+        let src = self.hosts.get_mut(&from).ok_or(NkError::NotFound)?;
+        let from_nsm = src.nsm_of(vm).ok_or(NkError::NotFound)?;
+        // Warm exclusivity: rerouting the share's vNIC address must not
+        // hijack another tenant's connections.
+        let others_mapped = src
+            .config()
+            .vms
+            .iter()
+            .any(|v| v.id != vm && src.nsm_of(v.id) == Some(from_nsm));
+        if others_mapped || src.nsm_pinned(from_nsm) != src.vm_pinned(vm) {
+            return Err(NkError::InvalidState);
+        }
+        src.freeze_vm(vm)?;
+
+        // Freeze window: mini-steps drain the wire. Each advances time by
+        // enough to mature any frame sitting in an uplink or vNIC link. The
+        // exit condition is VM-local — wire-quiet on two consecutive checks
+        // one mini-step apart (so anything the peer had in flight towards
+        // the VM has landed) — and deliberately ignores other tenants'
+        // traffic: a busy neighbor must not stretch this VM's handover.
+        let freeze_dt = (2 * self.cfg.uplink_latency_us * 1_000).max(200_000);
+        let mut quiet_streak = 0;
+        for _ in 0..MAX_FREEZE_STEPS {
+            if self.hosts.get(&from).is_some_and(|h| h.vm_wire_quiet(vm)) {
+                quiet_streak += 1;
+                if quiet_streak >= 2 {
+                    break;
+                }
+            } else {
+                quiet_streak = 0;
+            }
+            self.freeze_ministep(freeze_dt);
+        }
+
+        let src = self.hosts.get_mut(&from).expect("source checked above");
+        let export = match src.export_vm_warm(vm) {
+            Ok(export) => export,
+            Err(e) => {
+                src.thaw_vm(vm);
+                return Err(e);
+            }
+        };
+        // Mid-step reroute: each transplanted address now lives behind the
+        // destination host's trunk.
+        let rerouted = export.rerouted_ips();
+        for ip in &rerouted {
+            self.tor.add_route_via(*ip, u32::MAX, host_prefix(to));
+        }
+        if let Err(e) = self
+            .hosts
+            .get_mut(&to)
+            .expect("destination checked by pick_destination_nsm")
+            .import_vm_warm(&export, to_nsm)
+        {
+            // Roll back: routes out, state back where it came from.
+            for ip in &rerouted {
+                self.tor.remove_route(*ip, u32::MAX);
+            }
+            self.hosts
+                .get_mut(&from)
+                .expect("source exists")
+                .import_vm_warm(&export, from_nsm)
+                .expect("source re-accepts its own export");
+            return Err(e);
+        }
+        let connections = export.conns.len() as u32;
+        self.vm_home.insert(vm, to);
+        self.stats.warm_migrations += 1;
+        self.stats.conns_transplanted += u64::from(connections);
+        self.push_event(ClusterAction::WarmMigrateVm {
+            vm,
+            from,
+            to,
+            to_nsm,
+            connections,
+        });
+        self.push_event(ClusterAction::WarmHandoverComplete {
+            vm,
+            to,
+            connections,
+        });
+        // The source share emptied in this very epoch: scale-to-zero now,
+        // no drain wait.
+        if self
+            .hosts
+            .get_mut(&from)
+            .expect("source exists")
+            .retire_nsm_if_drained(from_nsm)
+        {
+            self.stats.shares_retired += 1;
+            self.push_event(ClusterAction::ScaleToZero {
+                host: from,
+                nsm: from_nsm,
+            });
+        }
+        Ok(())
+    }
+
+    /// One freeze-window mini-step: virtual time advances and every
+    /// datapath component polls to quiescence, but no control epochs close
+    /// and no drains advance — the cluster is mid-handover. Returns the
+    /// work done.
+    fn freeze_ministep(&mut self, dt_ns: u64) -> usize {
+        self.now_ns += dt_ns;
+        let now = self.now_ns;
+        let mut total = 0;
+        for host in self.hosts.values_mut() {
+            total += host.begin_step(dt_ns);
+        }
+        let mut rounds = 0;
+        loop {
+            let mut work = 0;
+            for host in self.hosts.values_mut() {
+                work += host.poll_round();
+            }
+            work += self.tor.step(now);
+            for remote in self.remotes.values_mut() {
+                work += Pollable::poll(remote, now);
+            }
+            rounds += 1;
+            total += work;
+            if work == 0 || rounds >= self.cfg.max_rounds {
+                break;
+            }
+        }
+        self.stats.freeze_steps += 1;
+        total
     }
 
     /// The destination NSM for a migration: among the host's alive
@@ -607,6 +785,128 @@ mod tests {
         cluster.run(10, 100_000);
         cluster.migrate_vm(VmId(1), HostId(2), HostId(1)).unwrap();
         assert_eq!(cluster.home_of(VmId(1)), Some(HostId(1)));
+    }
+
+    /// The warm path end to end: a pinned connection streams to a ToR
+    /// endpoint, the VM warm-migrates, and the *same* connection (same
+    /// guest socket id, same 4-tuple) keeps streaming from the new host.
+    /// The source share scales to zero in the same instant — no drain.
+    #[test]
+    fn warm_migration_transplants_a_live_connection() {
+        let mut cluster = two_host_cluster();
+        let server = cluster.add_remote(SERVER_IP);
+        let ls = server.socket();
+        server.bind(ls, SockAddr::new(0, 7)).unwrap();
+        server.listen(ls, 4).unwrap();
+        let guest = cluster.guest_on(HostId(1), VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        cluster.run(20, 100_000);
+        let guest = cluster.guest_on(HostId(1), VmId(1)).unwrap();
+        assert!(guest.poll(s).writable());
+        assert_eq!(guest.send(s, b"sent from host 1").unwrap(), 16);
+        cluster.run(10, 100_000);
+        assert!(cluster.host(HostId(1)).unwrap().vm_pinned(VmId(1)) >= 1);
+
+        cluster
+            .migrate_vm_warm(VmId(1), HostId(1), HostId(2))
+            .unwrap();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(2)));
+        assert_eq!(cluster.stats().warm_migrations, 1);
+        assert_eq!(cluster.stats().conns_transplanted, 1);
+        assert_eq!(cluster.stats().drains_completed, 0, "warm ≠ drained");
+        // The source instance is gone outright and its share is at zero.
+        assert!(cluster.guest_on(HostId(1), VmId(1)).is_none());
+        assert_eq!(
+            cluster.host(HostId(1)).unwrap().nsm_cores(NsmId(1)),
+            Some(0)
+        );
+        // All three milestones landed at the same virtual instant — the
+        // "same control epoch, no drain wait" acceptance condition.
+        let warm_at = cluster
+            .events()
+            .iter()
+            .find(|e| matches!(e.action, ClusterAction::WarmMigrateVm { .. }))
+            .expect("warm event logged")
+            .at_ns;
+        for wanted in [
+            cluster
+                .events()
+                .iter()
+                .find(|e| matches!(e.action, ClusterAction::WarmHandoverComplete { .. })),
+            cluster
+                .events()
+                .iter()
+                .find(|e| matches!(e.action, ClusterAction::ScaleToZero { .. })),
+        ] {
+            assert_eq!(wanted.expect("milestone logged").at_ns, warm_at);
+        }
+
+        // The connection survived: same socket id, now on host 2.
+        let guest = cluster.guest_on(HostId(2), VmId(1)).unwrap();
+        assert!(guest.has_socket(s));
+        assert_eq!(guest.send(s, b" and from host 2").unwrap(), 16);
+        cluster.run(20, 100_000);
+
+        let server = cluster.remote_mut(SERVER_IP).unwrap();
+        let (conn, _) = server.accept(ls).unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        while let Ok(n) = server.recv(conn, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(
+            got, b"sent from host 1 and from host 2",
+            "byte-contiguous stream across the handover"
+        );
+        // And the server's replies reach the transplanted connection.
+        let server = cluster.remote_mut(SERVER_IP).unwrap();
+        server.send(conn, b"echo").unwrap();
+        cluster.run(10, 100_000);
+        let guest = cluster.guest_on(HostId(2), VmId(1)).unwrap();
+        assert_eq!(guest.recv(s, &mut buf).unwrap(), 4);
+    }
+
+    /// Warm mode refuses a share serving other tenants (the reroute would
+    /// hijack their flows); drained migration remains available.
+    #[test]
+    fn warm_migration_requires_an_exclusive_source_share() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1, 3]))
+                .with_host(host(2, &[2])),
+        )
+        .unwrap();
+        assert_eq!(
+            cluster.migrate_vm_warm(VmId(1), HostId(1), HostId(2)),
+            Err(NkError::InvalidState)
+        );
+        // The refusal leaves the VM serving and un-frozen; the drained
+        // path still works.
+        assert!(!cluster.host(HostId(1)).unwrap().vm_frozen(VmId(1)));
+        cluster.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(2)));
+    }
+
+    /// Warm migration validates like the drained one.
+    #[test]
+    fn invalid_warm_migrations_are_rejected() {
+        let mut cluster = two_host_cluster();
+        assert_eq!(
+            cluster.migrate_vm_warm(VmId(1), HostId(1), HostId(1)),
+            Err(NkError::BadConfig)
+        );
+        assert_eq!(
+            cluster.migrate_vm_warm(VmId(1), HostId(2), HostId(1)),
+            Err(NkError::NotFound)
+        );
+        assert_eq!(
+            cluster.migrate_vm_warm(VmId(9), HostId(1), HostId(2)),
+            Err(NkError::NotFound)
+        );
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct Placer {
     inner: ControlPolicy,
     monitor: LoadMonitor,
     rebalancer: Rebalancer,
+    /// Epoch each (VM, from, to) migration was last executed in. The
+    /// *reverse* pair is checked before a move: a tenant that just
+    /// travelled A → B may not bounce B → A until
+    /// [`ClusterPolicy::pair_cooldown_epochs`] have passed — the
+    /// cluster-scope hysteresis that stops an evacuation from load-following
+    /// the tenant straight back.
+    last_pair: BTreeMap<(VmId, HostId, HostId), u64>,
     epoch: u64,
 }
 
@@ -84,6 +91,7 @@ impl Placer {
             inner,
             monitor,
             rebalancer: Rebalancer::new(),
+            last_pair: BTreeMap::new(),
             epoch: 0,
         })
     }
@@ -132,21 +140,38 @@ impl Placer {
             nsms,
         };
         self.monitor.observe(&pseudo);
+        let epoch = self.epoch;
         let actions = self
             .rebalancer
-            .decide(&self.inner, self.epoch, &self.monitor, &pseudo);
+            .decide(&self.inner, epoch, &self.monitor, &pseudo);
         self.epoch += 1;
-        actions
-            .into_iter()
-            .filter_map(|action| match action {
-                ControlAction::Rebalance { vm, from, to } => Some(Migration {
-                    vm,
-                    from: HostId(from.raw()),
-                    to: HostId(to.raw()),
-                }),
-                _ => None,
-            })
-            .collect()
+        let candidates = actions.into_iter().filter_map(|action| match action {
+            ControlAction::Rebalance { vm, from, to } => Some(Migration {
+                vm,
+                from: HostId(from.raw()),
+                to: HostId(to.raw()),
+            }),
+            _ => None,
+        });
+        let mut out = Vec::new();
+        for m in candidates {
+            // Per-(VM, host-pair) hysteresis: veto the reverse of a recent
+            // move. The vetoed VM's per-VM cooldown was already stamped by
+            // the rebalancer — extra damping, by design.
+            let bounced = self.policy.pair_cooldown_epochs > 0
+                && self
+                    .last_pair
+                    .get(&(m.vm, m.to, m.from))
+                    .is_some_and(|&last| {
+                        epoch.saturating_sub(last) <= self.policy.pair_cooldown_epochs
+                    });
+            if bounced {
+                continue;
+            }
+            self.last_pair.insert((m.vm, m.from, m.to), epoch);
+            out.push(m);
+        }
+        out
     }
 }
 
@@ -237,6 +262,72 @@ mod tests {
         assert!(p.on_epoch(&hot_one()).is_empty());
         assert!(p.on_epoch(&hot_one()).is_empty());
         assert_eq!(p.on_epoch(&hot_one()).len(), 1);
+    }
+
+    /// The ping-pong regression: after an evacuation the load follows the
+    /// tenant, so the reverse host looks hot next. The per-VM cooldown
+    /// alone expires quickly; the per-(VM, host-pair) cooldown must keep
+    /// vetoing the bounce-back until it expires too — while leaving other
+    /// VMs and same-direction moves unaffected.
+    #[test]
+    fn pair_cooldown_blocks_the_bounce_back() {
+        let pol = policy().with_cooldown(1).with_pair_cooldown(5);
+        let mut p = Placer::new(pol).unwrap();
+
+        // Epoch 0: host 1 is hot, vm1 evacuates 1 → 2.
+        let s = sample(host_load(0.9, 0.0, &[(1, 900)]), host_load(0.05, 0.0, &[]));
+        assert_eq!(
+            p.on_epoch(&s),
+            vec![Migration {
+                vm: VmId(1),
+                from: HostId(1),
+                to: HostId(2),
+            }]
+        );
+
+        // The load followed vm1: host 2 is now the hot one, every epoch.
+        let back = || sample(host_load(0.05, 0.0, &[]), host_load(0.9, 0.0, &[(1, 900)]));
+        // Epoch 1: per-VM cooldown (1) blocks; epochs 2..=5: the per-VM
+        // cooldown has expired but the pair cooldown still vetoes the
+        // reverse move (and each veto leaves the budget unspent).
+        for epoch in 1..=5 {
+            assert!(
+                p.on_epoch(&back()).is_empty(),
+                "epoch {epoch}: the bounce-back must be vetoed"
+            );
+        }
+        // A *different* VM on the hot host is not pair-blocked.
+        let other = sample(host_load(0.05, 0.0, &[]), host_load(0.9, 0.0, &[(2, 900)]));
+        assert_eq!(
+            p.on_epoch(&other),
+            vec![Migration {
+                vm: VmId(2),
+                from: HostId(2),
+                to: HostId(1),
+            }]
+        );
+        // Once the pair cooldown expires the reverse move is legal again.
+        let mut moved = false;
+        for _ in 0..8 {
+            if p.on_epoch(&back()).iter().any(|m| m.vm == VmId(1)) {
+                moved = true;
+                break;
+            }
+        }
+        assert!(moved, "the pair cooldown must expire eventually");
+    }
+
+    /// `pair_cooldown_epochs == 0` disables the pair guard entirely: only
+    /// the per-VM cooldown spaces the bounce.
+    #[test]
+    fn zero_pair_cooldown_disables_the_guard() {
+        let pol = policy().with_cooldown(1).with_pair_cooldown(0);
+        let mut p = Placer::new(pol).unwrap();
+        let s = sample(host_load(0.9, 0.0, &[(1, 900)]), host_load(0.05, 0.0, &[]));
+        assert_eq!(p.on_epoch(&s).len(), 1);
+        let back = || sample(host_load(0.05, 0.0, &[]), host_load(0.9, 0.0, &[(1, 900)]));
+        assert!(p.on_epoch(&back()).is_empty(), "per-VM cooldown epoch 1");
+        assert_eq!(p.on_epoch(&back()).len(), 1, "bounce legal at epoch 2");
     }
 
     #[test]

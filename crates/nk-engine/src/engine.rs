@@ -1,13 +1,14 @@
 //! The NQE switching engine.
 
-use crate::table::ConnTable;
+use crate::table::{ConnEntry, ConnTable};
 use nk_queue::{RequesterEnd, ResponderEnd, WakeState};
 use nk_shmem::HugepageRegion;
 use nk_sim::TokenBucket;
 use nk_types::{
-    ConnKey, IsolationPolicy, NkError, NkResult, Nqe, NsmId, OpResult, OpType, QueueSetId, VmId,
+    ConnKey, IsolationPolicy, NkError, NkResult, Nqe, NsmId, OpResult, OpType, QueueSetId,
+    SocketId, VmId,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-VM switching statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -86,6 +87,11 @@ pub struct CoreEngine {
     vms: BTreeMap<VmId, VmPort>,
     nsms: BTreeMap<NsmId, NsmPort>,
     mapping: BTreeMap<VmId, NsmId>,
+    /// VMs inside a warm-migration freeze window: no *fresh* requests are
+    /// popped from their queues (in-flight work still drains — stalled NQEs
+    /// retry and responses deliver), so the snapshot closes over a
+    /// quiescent pipeline.
+    frozen: BTreeSet<VmId>,
     table: ConnTable,
     isolation: IsolationPolicy,
     batch: usize,
@@ -103,6 +109,7 @@ impl CoreEngine {
             vms: BTreeMap::new(),
             nsms: BTreeMap::new(),
             mapping: BTreeMap::new(),
+            frozen: BTreeSet::new(),
             table: ConnTable::new(),
             isolation,
             batch: batch.max(1),
@@ -178,6 +185,7 @@ impl CoreEngine {
         self.vms.remove(&vm).ok_or(NkError::NotFound)?;
         self.vm_order.retain(|v| *v != vm);
         self.mapping.remove(&vm);
+        self.frozen.remove(&vm);
         self.table.remove_vm(vm);
         Ok(())
     }
@@ -314,6 +322,102 @@ impl CoreEngine {
         self.vms.get(&vm).map(|p| p.tenant)
     }
 
+    // ---- Warm migration: freeze window + entry transplant --------------------
+
+    /// Open or close a warm-migration freeze window on a VM. Frozen VMs
+    /// have no fresh requests popped from their queues; already-admitted
+    /// work (stalled NQEs, NSM responses) keeps draining, so a few poll
+    /// rounds after freezing the VM's pipeline is quiescent and
+    /// snapshot-consistent.
+    pub fn set_frozen(&mut self, vm: VmId, frozen: bool) {
+        if frozen {
+            self.frozen.insert(vm);
+        } else {
+            self.frozen.remove(&vm);
+        }
+    }
+
+    /// True while the VM sits inside a freeze window.
+    pub fn is_frozen(&self, vm: VmId) -> bool {
+        self.frozen.contains(&vm)
+    }
+
+    /// Every connection-table entry of a VM, sorted (non-destructive).
+    /// Warm migration pre-validates transplantability against this view
+    /// before any state is torn out.
+    pub fn vm_entries(&self, vm: VmId) -> Vec<(ConnKey, ConnEntry)> {
+        self.table.entries_for_vm(vm)
+    }
+
+    /// Remove and return every connection-table entry of a VM — the
+    /// extraction half of a warm migration. The entries unpin immediately
+    /// (the drain counters drop to zero); the caller re-installs them on
+    /// the destination host's engine.
+    pub fn extract_vm_entries(&mut self, vm: VmId) -> Vec<(ConnKey, ConnEntry)> {
+        self.table.extract_vm(vm)
+    }
+
+    /// The NSM queue set a tuple would pin to on `nsm` — resolved ahead of
+    /// [`CoreEngine::install_entry`] so the ServiceLib side can be wired to
+    /// the same set before the pin lands.
+    pub fn nsm_queue_set_for(&self, key: &ConnKey, nsm: NsmId) -> NkResult<QueueSetId> {
+        let sets = self
+            .nsms
+            .get(&nsm)
+            .map(|n| n.ends.len().max(1))
+            .ok_or(NkError::NotFound)?;
+        Ok(Self::pick_nsm_queue_set(
+            VmId(key.entity),
+            key.queue_set,
+            key.socket,
+            sets,
+        ))
+    }
+
+    /// Install a transplanted connection-table entry: the tuple pins to
+    /// `nsm` with the NSM-side socket already known. The NSM queue set is
+    /// chosen with the same hash new connections use, so transplanted and
+    /// fresh tuples of one socket land identically; it is returned for the
+    /// ServiceLib side to mirror.
+    pub fn install_entry(
+        &mut self,
+        key: ConnKey,
+        nsm: NsmId,
+        nsm_socket: SocketId,
+    ) -> NkResult<QueueSetId> {
+        let sets = self
+            .nsms
+            .get(&nsm)
+            .map(|n| n.ends.len().max(1))
+            .ok_or(NkError::NotFound)?;
+        let qs = Self::pick_nsm_queue_set(VmId(key.entity), key.queue_set, key.socket, sets);
+        let entry = ConnEntry {
+            nsm,
+            nsm_queue_set: qs,
+            nsm_socket: Some(nsm_socket),
+        };
+        if !self.table.install(key, entry) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        Ok(qs)
+    }
+
+    /// Hash a VM tuple onto one of `sets` NSM queue sets (§4.3 step 2) —
+    /// shared by fresh pinning and warm-migration installation.
+    fn pick_nsm_queue_set(
+        vm: VmId,
+        queue_set: QueueSetId,
+        socket: SocketId,
+        sets: usize,
+    ) -> QueueSetId {
+        let h = (vm.raw() as usize)
+            .wrapping_mul(31)
+            .wrapping_add(queue_set.raw() as usize)
+            .wrapping_mul(31)
+            .wrapping_add(socket.raw() as usize);
+        QueueSetId((h % sets) as u8)
+    }
+
     /// One polling round over every VM and NSM queue set (the paper's
     /// CoreEngine "uses polling across all queue sets to maximize
     /// performance", §4.3). Returns the number of NQEs switched.
@@ -372,6 +476,12 @@ impl CoreEngine {
                     }
                 }
                 if blocked {
+                    continue;
+                }
+                // Inside a freeze window only already-admitted work drains;
+                // fresh requests stay queued until the VM thaws (or its
+                // queues move with it).
+                if self.frozen.contains(&vm) {
                     continue;
                 }
                 'queue_set: loop {
@@ -460,12 +570,7 @@ impl CoreEngine {
                     return Forward::Dropped { woken };
                 };
                 // Hash the VM tuple onto an NSM queue set (§4.3 step 2).
-                let h = (nqe.vm.raw() as usize)
-                    .wrapping_mul(31)
-                    .wrapping_add(nqe.queue_set.raw() as usize)
-                    .wrapping_mul(31)
-                    .wrapping_add(nqe.socket.raw() as usize);
-                let qs = QueueSetId((h % sets) as u8);
+                let qs = Self::pick_nsm_queue_set(nqe.vm, nqe.queue_set, nqe.socket, sets);
                 table.get_or_insert_with(key, || (nsm_id, qs));
                 (nsm_id, qs)
             }
@@ -882,6 +987,77 @@ mod tests {
         assert_eq!(ce.pinned_connections_of(VmId(1)), 0);
         assert_eq!(ce.pinned_connections(VmId(1), NsmId(1)), 0);
         assert_eq!(ce.connections(), 0);
+    }
+
+    /// A frozen VM's fresh requests stay queued; thawing releases them.
+    /// Responses still deliver during the freeze, so the pipeline drains
+    /// towards the guest.
+    #[test]
+    fn freeze_window_parks_fresh_requests_and_thaw_releases_them() {
+        let (mut guest, mut nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        guest.submit(request(OpType::SocketCreate, 1)).unwrap();
+        ce.poll(0);
+        let mut reqs = Vec::new();
+        assert_eq!(nsm.pop_requests(&mut reqs, 8), 1);
+
+        ce.set_frozen(VmId(1), true);
+        assert!(ce.is_frozen(VmId(1)));
+        guest.submit(request(OpType::SocketCreate, 2)).unwrap();
+        ce.poll(0);
+        assert_eq!(nsm.pop_requests(&mut reqs, 8), 0, "frozen VM forwarded");
+
+        // In-flight responses still reach the frozen guest.
+        let comp = Nqe::completion_for(&reqs[0], OpResult::Ok, 9).unwrap();
+        nsm.respond(comp).unwrap();
+        ce.poll(0);
+        assert!(guest.pop_completion().is_some());
+
+        ce.set_frozen(VmId(1), false);
+        ce.poll(0);
+        assert_eq!(nsm.pop_requests(&mut reqs, 8), 1, "thaw releases the queue");
+    }
+
+    /// Extraction unpins a VM's tuples (the warm migration's zero-drain
+    /// property) and installation re-pins them with the same queue-set hash
+    /// fresh connections would get.
+    #[test]
+    fn extract_and_install_transplant_table_entries() {
+        let (mut guest, mut nsm, mut ce) = setup(IsolationPolicy::RoundRobin, None);
+        for sock in [4u32, 7] {
+            guest.submit(request(OpType::Connect, sock)).unwrap();
+        }
+        ce.poll(0);
+        let mut reqs = Vec::new();
+        nsm.pop_requests(&mut reqs, 8);
+        for r in &reqs {
+            let comp = Nqe::completion_for(r, OpResult::Ok, 100 + r.socket.raw()).unwrap();
+            nsm.respond(comp).unwrap();
+        }
+        ce.poll(0);
+        assert_eq!(ce.pinned_connections_of(VmId(1)), 2);
+
+        let entries = ce.extract_vm_entries(VmId(1));
+        assert_eq!(entries.len(), 2);
+        assert_eq!(ce.pinned_connections_of(VmId(1)), 0, "extraction unpins");
+        assert_eq!(ce.vm_entries(VmId(1)), vec![]);
+
+        // Install on "the destination" (same engine stands in): the chosen
+        // queue set matches what a fresh pin of the tuple would hash to.
+        for (key, entry) in &entries {
+            let qs = ce
+                .install_entry(*key, NsmId(1), entry.nsm_socket.unwrap())
+                .unwrap();
+            assert_eq!(qs, entry.nsm_queue_set, "hash must be stable");
+        }
+        assert_eq!(ce.pinned_connections_of(VmId(1)), 2);
+        assert_eq!(
+            ce.install_entry(entries[0].0, NsmId(1), SocketId(1)),
+            Err(NkError::AlreadyRegistered)
+        );
+        assert_eq!(
+            ce.install_entry(entries[0].0, NsmId(9), SocketId(1)),
+            Err(NkError::NotFound)
+        );
     }
 
     #[test]

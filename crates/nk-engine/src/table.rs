@@ -79,6 +79,42 @@ impl ConnTable {
         before - self.entries.len()
     }
 
+    /// Every entry belonging to a VM, sorted by key (non-destructive view;
+    /// warm migration pre-validates against this before extracting).
+    pub fn entries_for_vm(&self, vm: VmId) -> Vec<(ConnKey, ConnEntry)> {
+        let mut out: Vec<(ConnKey, ConnEntry)> = self
+            .entries
+            .iter()
+            .filter(|(k, _)| k.entity == vm.0)
+            .map(|(k, e)| (*k, *e))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Remove and return every entry belonging to a VM, sorted by key — the
+    /// extraction half of a warm migration's connection transplant. Unlike
+    /// [`ConnTable::remove_vm`] the entries come back to the caller, which
+    /// re-installs them on the destination host.
+    pub fn extract_vm(&mut self, vm: VmId) -> Vec<(ConnKey, ConnEntry)> {
+        let out = self.entries_for_vm(vm);
+        for (k, _) in &out {
+            self.entries.remove(k);
+        }
+        out
+    }
+
+    /// Install a fully formed entry (the installation half of a warm
+    /// migration): the tuple pins to `nsm` with a known NSM-side socket.
+    /// Refused when the tuple is already pinned.
+    pub fn install(&mut self, key: ConnKey, entry: ConnEntry) -> bool {
+        if self.entries.contains_key(&key) {
+            return false;
+        }
+        self.entries.insert(key, entry);
+        true
+    }
+
     /// Number of connections currently mapped to `nsm`.
     pub fn connections_for_nsm(&self, nsm: NsmId) -> usize {
         self.entries.values().filter(|e| e.nsm == nsm).count()
@@ -170,6 +206,34 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.connections_for_nsm(NsmId(1)), 0);
         assert!(t.remove_nsm(NsmId(1)).is_empty());
+    }
+
+    #[test]
+    fn extract_and_install_round_trip_entries() {
+        let mut t = ConnTable::new();
+        t.get_or_insert_with(key(1, 0, 2), || (NsmId(1), QueueSetId(0)));
+        t.get_or_insert_with(key(1, 0, 1), || (NsmId(1), QueueSetId(1)));
+        t.get_or_insert_with(key(2, 0, 3), || (NsmId(1), QueueSetId(0)));
+        t.complete(&key(1, 0, 1), SocketId(77));
+
+        let view = t.entries_for_vm(VmId(1));
+        assert_eq!(view.len(), 2);
+        assert_eq!(t.len(), 3, "the view is non-destructive");
+
+        let extracted = t.extract_vm(VmId(1));
+        assert_eq!(extracted, view, "extraction returns the same sorted set");
+        assert_eq!(extracted[0].0, key(1, 0, 1));
+        assert_eq!(extracted[0].1.nsm_socket, Some(SocketId(77)));
+        assert_eq!(t.connections_for_vm(VmId(1)), 0);
+        assert_eq!(t.len(), 1, "other VMs' entries survive");
+
+        // Re-install on "the destination": pinned again, double install
+        // refused.
+        for (k, e) in &extracted {
+            assert!(t.install(*k, *e));
+        }
+        assert!(!t.install(extracted[0].0, extracted[0].1));
+        assert_eq!(t.connections_for_vm(VmId(1)), 2);
     }
 
     #[test]

@@ -118,6 +118,21 @@ impl<P> VirtualSwitch<P> {
         port
     }
 
+    /// Attach `addr` as an *alias* of an existing port: frames for `addr`
+    /// are delivered into `port`'s receive queue exactly like frames for
+    /// the port's own address. A warm migration uses this to land a
+    /// transplanted connection's original address on the destination NSM's
+    /// vNIC — the stack demultiplexes by full 4-tuple, so one port can
+    /// serve any number of adopted addresses.
+    pub fn attach_alias(&mut self, addr: u32, port: Port<P>, link: LinkConfig) {
+        self.ports.insert(addr, port);
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(addr as u64);
+        self.links.insert(addr, Link::new(link, self.seed));
+    }
+
     /// Detach an endpoint.
     pub fn detach(&mut self, addr: u32) {
         self.ports.remove(&addr);
@@ -359,6 +374,29 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].payload, 2);
         assert_eq!(sw.uplink_stats().tx_frames, 1);
+    }
+
+    /// An alias delivers a second address into an existing port's queue.
+    #[test]
+    fn alias_delivers_into_the_adopting_port() {
+        let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
+        let a = sw.attach(1);
+        let b = sw.attach(2);
+        sw.attach_alias(99, b.clone(), LinkConfig::ideal());
+        a.send(frame(1, 99, 42));
+        a.send(frame(1, 2, 43));
+        sw.step(0);
+        let mut got = vec![b.recv().unwrap().payload, b.recv().unwrap().payload];
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![42, 43],
+            "both the alias and the home address land"
+        );
+        sw.detach(99);
+        a.send(frame(1, 99, 44));
+        sw.step(0);
+        assert_eq!(sw.unroutable(), 1);
     }
 
     #[test]

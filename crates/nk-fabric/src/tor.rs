@@ -21,6 +21,9 @@ struct Trunk<P> {
     mask: u32,
     port: Port<P>,
     link: Link<P>,
+    /// The link shape this trunk was attached with, kept so detour routes
+    /// ([`TorSwitch::add_route_via`]) inherit the downlink's character.
+    config: LinkConfig,
 }
 
 /// A prefix-routed top-of-rack switch over frames with payload `P`.
@@ -69,6 +72,7 @@ impl<P> TorSwitch<P> {
             mask,
             port: port.clone(),
             link: Link::new(link, self.seed),
+            config: link,
         };
         self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
         self.routes.push(trunk);
@@ -83,6 +87,50 @@ impl<P> TorSwitch<P> {
     /// datacenter gateway every host talks to. Returns its port.
     pub fn attach_endpoint(&mut self, addr: u32, link: LinkConfig) -> Port<P> {
         self.attach_trunk(addr, u32::MAX, link)
+    }
+
+    /// Install a detour: frames for `prefix/mask` are delivered down the
+    /// trunk that currently serves `via`, overriding the longest-prefix
+    /// match. A warm migration adds a host route (`/32`) for each
+    /// transplanted connection's address so the peer's frames follow the
+    /// connection to its new host — the mid-step reroute of the handover.
+    /// Replaces any previous route for the same `(prefix, mask)`. Returns
+    /// `false` (and installs nothing) when no trunk serves `via`.
+    pub fn add_route_via(&mut self, prefix: u32, mask: u32, via: u32) -> bool {
+        let Some(i) = Self::route_of(&self.routes, via) else {
+            return false;
+        };
+        let prefix = prefix & mask;
+        let port = self.routes[i].port.clone();
+        let config = self.routes[i].config;
+        self.seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(prefix as u64)
+            .wrapping_add(mask as u64);
+        let trunk = Trunk {
+            prefix,
+            mask,
+            port,
+            link: Link::new(config, self.seed),
+            config,
+        };
+        self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
+        self.routes.push(trunk);
+        self.routes
+            .sort_by_key(|t| (std::cmp::Reverse(t.mask), t.prefix));
+        true
+    }
+
+    /// Remove the route for exactly `(prefix, mask)` — the undo of
+    /// [`TorSwitch::add_route_via`] when a handover rolls back. Returns
+    /// whether a route was removed. Frames already accepted onto the
+    /// removed route's link are dropped with it.
+    pub fn remove_route(&mut self, prefix: u32, mask: u32) -> bool {
+        let prefix = prefix & mask;
+        let before = self.routes.len();
+        self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
+        before != self.routes.len()
     }
 
     /// Number of attached routes (trunks plus endpoints).
@@ -219,6 +267,34 @@ mod tests {
         assert_eq!(tor.hairpins(), 1);
         assert_eq!(tor.unroutable(), 1);
         assert!(t1.recv().is_none());
+    }
+
+    /// A detour route steers one address off its home trunk and onto
+    /// another host's trunk — the warm-migration reroute — and removing it
+    /// restores longest-prefix routing.
+    #[test]
+    fn detour_route_overrides_prefix_and_is_removable() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        let gw = tor.attach_endpoint(0xC0A8_0001, LinkConfig::ideal());
+
+        // The migrated address 10.1.0.1 now lives behind host 2's trunk.
+        assert!(tor.add_route_via(0x0A01_0001, u32::MAX, 0x0A02_0000));
+        assert!(!tor.add_route_via(0x0A01_0001, u32::MAX, 0xDEAD_0000));
+
+        gw.send(frame(0xC0A8_0001, 0x0A01_0001, 1)); // rerouted address
+        gw.send(frame(0xC0A8_0001, 0x0A01_0002, 2)); // rest of the block
+        tor.step(0);
+        assert_eq!(t2.recv().unwrap().payload, 1, "detour wins over the /16");
+        assert_eq!(t1.recv().unwrap().payload, 2);
+
+        // Rollback: the /32 goes away and the block routes whole again.
+        assert!(tor.remove_route(0x0A01_0001, u32::MAX));
+        assert!(!tor.remove_route(0x0A01_0001, u32::MAX));
+        gw.send(frame(0xC0A8_0001, 0x0A01_0001, 3));
+        tor.step(0);
+        assert_eq!(t1.recv().unwrap().payload, 3);
     }
 
     /// Downlink latency applies on the way towards a trunk.

@@ -4,6 +4,7 @@ use crate::sockstate::{GuestSocket, GuestSocketState, RxChunk};
 use nk_queue::{NkDevice, RequesterEnd};
 use nk_shmem::HugepageRegion;
 use nk_types::api::{EpollEvent, ShutdownHow};
+use nk_types::migrate::GuestSockSnapshot;
 use nk_types::{
     DataHandle, NkError, NkResult, Nqe, OpResult, OpType, PollEvents, QueueSetId, SockAddr,
     SocketApi, SocketId, VmId,
@@ -83,6 +84,95 @@ impl GuestLib {
         &self.region
     }
 
+    /// True when a socket with this id currently exists. After a warm
+    /// migration the application's socket id reappears under the VM's new
+    /// host; workload drivers use this to follow the transplant.
+    pub fn has_socket(&self, id: SocketId) -> bool {
+        self.sockets.contains_key(&id)
+    }
+
+    /// True when [`GuestLib::export_socket`] would accept the socket —
+    /// established or half-closed, not mid-handshake or closing. A warm
+    /// export pre-validates against this before tearing anything out.
+    pub fn socket_transplantable(&self, id: SocketId) -> bool {
+        matches!(
+            self.sockets.get(&id).map(|s| s.state),
+            Some(GuestSocketState::Established) | Some(GuestSocketState::PeerClosed)
+        )
+    }
+
+    // ---- Warm-migration export / install ------------------------------------
+
+    /// Tear a connected socket out of this GuestLib for a warm migration.
+    ///
+    /// Unconsumed receive chunks are copied out of (and freed from) the
+    /// source hugepages — the snapshot owns plain bytes, not region
+    /// handles, because the destination has a different region. Only
+    /// established (or half-closed) connections export; listeners and
+    /// embryonic sockets have no transplantable stack state.
+    pub fn export_socket(&mut self, sock: SocketId) -> NkResult<GuestSockSnapshot> {
+        let peer_closed = match self.sockets.get(&sock).map(|s| s.state) {
+            Some(GuestSocketState::Established) => false,
+            Some(GuestSocketState::PeerClosed) => true,
+            Some(_) => return Err(NkError::InvalidState),
+            None => return Err(NkError::BadSocket),
+        };
+        let s = self.sockets.remove(&sock).expect("state checked above");
+        let mut rx_bytes = Vec::new();
+        for chunk in &s.rx_chunks {
+            let mut tmp = vec![0u8; chunk.len];
+            self.region.read(chunk.handle, &mut tmp)?;
+            rx_bytes.extend_from_slice(&tmp[chunk.consumed..]);
+            let _ = self.region.free(chunk.handle);
+        }
+        Ok(GuestSockSnapshot {
+            id: s.id,
+            queue_set: s.queue_set,
+            local: s.local,
+            remote: s.remote,
+            peer_closed,
+            send_buf_cap: s.send_budget.capacity(),
+            send_reserved: s.send_budget.used(),
+            rx_bytes,
+            interest: s.interest.0,
+        })
+    }
+
+    /// Recreate a warm-migrated socket under its original id. Unread
+    /// payload is re-parked in *this* GuestLib's hugepages; the send budget
+    /// resumes with the snapshot's reservation so in-flight send credit
+    /// accounting stays balanced when the transplanted NSM state flushes.
+    pub fn install_socket(&mut self, snap: &GuestSockSnapshot) -> NkResult<()> {
+        if self.sockets.contains_key(&snap.id) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let mut s = GuestSocket::new(snap.id, snap.queue_set, snap.send_buf_cap);
+        s.state = if snap.peer_closed {
+            GuestSocketState::PeerClosed
+        } else {
+            GuestSocketState::Established
+        };
+        s.local = snap.local;
+        s.remote = snap.remote;
+        s.interest = PollEvents(snap.interest);
+        s.send_budget.reserve_up_to(snap.send_reserved);
+        if !snap.rx_bytes.is_empty() {
+            let handle = self.region.alloc_and_write(&snap.rx_bytes)?;
+            s.rx_chunks.push_back(RxChunk {
+                handle,
+                len: snap.rx_bytes.len(),
+                consumed: 0,
+            });
+        }
+        // Keep fresh ids clear of the transplanted one (ids allocated by
+        // the NSM side live in their own range and need no bump).
+        if snap.id.raw() < NSM_SOCKET_ID_BASE {
+            self.next_socket = self.next_socket.max(snap.id.raw() + 1);
+        }
+        self.sockets.insert(snap.id, s);
+        Ok(())
+    }
+
     fn queue_set_for(&self, id: SocketId) -> QueueSetId {
         let sets = self.device.queue_sets().max(1) as u32;
         QueueSetId((id.raw() % sets) as u8)
@@ -133,10 +223,16 @@ impl GuestLib {
                 }
             }
             OpType::ConnectComplete => {
+                // Only a socket still connecting transitions: a late
+                // completion drained after the application already moved on
+                // (closed the socket, observed an error) must not resurrect
+                // it into the established state.
                 if let Some(s) = self.sockets.get_mut(&nqe.socket) {
-                    match nqe.result() {
-                        OpResult::Ok => s.state = GuestSocketState::Established,
-                        OpResult::Err(e) => s.state = GuestSocketState::Error(e),
+                    if matches!(s.state, GuestSocketState::Connecting) {
+                        match nqe.result() {
+                            OpResult::Ok => s.state = GuestSocketState::Established,
+                            OpResult::Err(e) => s.state = GuestSocketState::Error(e),
+                        }
                     }
                 }
             }
@@ -693,6 +789,55 @@ mod tests {
             seen.len() >= 3,
             "sockets pinned to too few queue sets: {seen:?}"
         );
+    }
+
+    /// Export pulls unread payload out of the source region; install parks
+    /// it in the destination region and the application reads on under the
+    /// same socket id.
+    #[test]
+    fn export_install_moves_a_socket_between_guestlibs() {
+        let (mut guest, mut resp, region) = guest_with_responders(1);
+        let s = guest.socket().unwrap();
+        let create = pop_request(&mut resp).unwrap();
+        guest.connect(s, SockAddr::v4(10, 0, 0, 2, 80)).unwrap();
+        let req = pop_request(&mut resp).unwrap();
+        respond(
+            &mut resp,
+            Nqe::completion_for(&req, OpResult::Ok, 0).unwrap(),
+        );
+        guest.drive();
+
+        // Unread data parked in the source region, partially consumed.
+        let handle = region.alloc_and_write(b"warm migration payload").unwrap();
+        let data =
+            Nqe::new(OpType::DataReceived, VmId(1), create.queue_set, s).with_data(handle, 22);
+        respond(&mut resp, data);
+        let mut buf = [0u8; 5];
+        assert_eq!(guest.recv(s, &mut buf).unwrap(), 5);
+        let free_before = region.available();
+
+        let snap = guest.export_socket(s).unwrap();
+        assert_eq!(snap.id, s);
+        assert_eq!(snap.rx_bytes, b"migration payload");
+        assert!(!guest.has_socket(s));
+        assert!(
+            region.available() > free_before,
+            "export must free the source chunks"
+        );
+        assert_eq!(guest.export_socket(s), Err(NkError::BadSocket));
+
+        // Install into a fresh GuestLib (the destination instance).
+        let (mut dest, _dresp, _dregion) = guest_with_responders(1);
+        dest.install_socket(&snap).unwrap();
+        assert!(dest.has_socket(s));
+        assert!(dest.poll(s).readable());
+        let mut rest = [0u8; 32];
+        assert_eq!(dest.recv(s, &mut rest).unwrap(), 17);
+        assert_eq!(&rest[..17], b"migration payload");
+        assert_eq!(dest.install_socket(&snap), Err(NkError::AlreadyRegistered));
+        // A fresh socket id never collides with the transplanted one.
+        let fresh = dest.socket().unwrap();
+        assert_ne!(fresh, s);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use crate::cc::CongestionControl;
 use crate::segment::{seq_ge, seq_gt, seq_le, seq_lt, Segment, SegmentFlags};
 use nk_types::constants::{DEFAULT_RECV_BUF, DEFAULT_SEND_BUF, MSS};
-use nk_types::SockAddr;
+use nk_types::migrate::{TcpConnSnapshot, TcpPhase};
+use nk_types::{NkError, NkResult, SockAddr};
 use std::collections::{BTreeMap, VecDeque};
 
 /// TCP connection states (RFC 793 names).
@@ -267,6 +268,27 @@ impl TcpConnection {
     /// Bytes queued but not yet acknowledged.
     pub fn send_buffered(&self) -> usize {
         self.send_buf.len()
+    }
+
+    /// Bytes sent and not yet acknowledged (in flight on the wire). Zero
+    /// means the peer has confirmed everything we transmitted — the
+    /// wire-quiet condition a warm-migration freeze window waits for.
+    pub fn in_flight(&self) -> usize {
+        self.snd_nxt.wrapping_sub(self.snd_una) as usize
+    }
+
+    /// True when the connection is in a phase [`TcpConnection::snapshot`]
+    /// accepts — post-handshake and not yet dying.
+    pub fn transplantable(&self) -> bool {
+        matches!(
+            self.state,
+            ConnState::Established
+                | ConnState::FinWait1
+                | ConnState::FinWait2
+                | ConnState::CloseWait
+                | ConnState::Closing
+                | ConnState::LastAck
+        )
     }
 
     /// Bytes available to read right now.
@@ -721,6 +743,101 @@ impl TcpConnection {
         self.rto_deadline = Some(now_ns + self.rto_ns);
         self.dup_acks = 0;
     }
+
+    // ---- Warm-migration snapshot and restore -------------------------------
+
+    /// Export this connection's transferable state for a warm migration.
+    ///
+    /// Only post-handshake connections snapshot: an embryonic connection has
+    /// no state worth moving and a closed one has none left. The send side
+    /// is rewound to `snd_una` (go-back-N), so whatever was in flight when
+    /// the freeze window closed is retransmitted by the destination instead
+    /// of being chased across the fabric.
+    pub fn snapshot(&self) -> NkResult<TcpConnSnapshot> {
+        let phase = match self.state {
+            ConnState::Established => TcpPhase::Established,
+            ConnState::FinWait1 => TcpPhase::FinWait1,
+            ConnState::FinWait2 => TcpPhase::FinWait2,
+            ConnState::CloseWait => TcpPhase::CloseWait,
+            ConnState::Closing => TcpPhase::Closing,
+            ConnState::LastAck => TcpPhase::LastAck,
+            ConnState::SynSent
+            | ConnState::SynReceived
+            | ConnState::TimeWait
+            | ConnState::Closed => return Err(NkError::InvalidState),
+        };
+        Ok(TcpConnSnapshot {
+            local: self.local,
+            remote: self.remote,
+            phase,
+            snd_una: self.snd_una,
+            send_buf: self.send_buf.iter().copied().collect(),
+            send_buf_cap: self.send_buf_cap,
+            snd_wnd: self.snd_wnd,
+            fin_queued: self.fin_queued,
+            rcv_nxt: self.rcv_nxt,
+            recv_buf: self.recv_buf.iter().copied().collect(),
+            recv_buf_cap: self.recv_buf_cap,
+            ooo: self.ooo.iter().map(|(s, p)| (*s, p.clone())).collect(),
+            peer_fin_seq: self.peer_fin_seq,
+            peer_fin_received: self.peer_fin_received,
+            srtt_ns: self.srtt_ns,
+            rttvar_ns: self.rttvar_ns,
+            rto_ns: self.rto_ns,
+        })
+    }
+
+    /// Rebuild a connection from a warm-migration snapshot.
+    ///
+    /// `cc` is a *fresh* congestion-control instance: the network path
+    /// changed with the host, so the window is re-probed rather than
+    /// carried over. The send side resumes at `snd_una` and retransmits
+    /// everything unacknowledged; `ack_pending` is armed so the first tick
+    /// announces the receive window to the peer — the handover's "I am
+    /// alive here now" signal.
+    pub fn restore(snap: &TcpConnSnapshot, cc: Box<dyn CongestionControl>) -> Self {
+        let state = match snap.phase {
+            TcpPhase::Established => ConnState::Established,
+            TcpPhase::FinWait1 => ConnState::FinWait1,
+            TcpPhase::FinWait2 => ConnState::FinWait2,
+            TcpPhase::CloseWait => ConnState::CloseWait,
+            TcpPhase::Closing => ConnState::Closing,
+            TcpPhase::LastAck => ConnState::LastAck,
+        };
+        TcpConnection {
+            local: snap.local,
+            remote: snap.remote,
+            state,
+            snd_una: snap.snd_una,
+            // Go-back-N: the destination re-sends everything unacked.
+            snd_nxt: snap.snd_una,
+            send_buf: snap.send_buf.iter().copied().collect(),
+            send_buf_cap: snap.send_buf_cap,
+            snd_wnd: snap.snd_wnd,
+            fin_queued: snap.fin_queued,
+            // A FIN the source had in flight is re-sent after the data.
+            fin_seq: None,
+            rcv_nxt: snap.rcv_nxt,
+            recv_buf: snap.recv_buf.iter().copied().collect(),
+            recv_buf_cap: snap.recv_buf_cap,
+            ooo: snap.ooo.iter().map(|(s, p)| (*s, p.clone())).collect(),
+            peer_fin_seq: snap.peer_fin_seq,
+            peer_fin_received: snap.peer_fin_received,
+            ack_pending: true,
+            dup_ack_burst: 0,
+            ece_pending: false,
+            rto_ns: snap.rto_ns.clamp(MIN_RTO_NS, MAX_RTO_NS),
+            srtt_ns: snap.srtt_ns,
+            rttvar_ns: snap.rttvar_ns,
+            rto_deadline: None,
+            rtt_sample: None,
+            dup_acks: 0,
+            time_wait_deadline: None,
+            cc,
+            stats: ConnStats::default(),
+            rst_pending: false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1009,6 +1126,84 @@ mod tests {
         let srtt = c.srtt_ns.unwrap();
         assert!((4_000_000..=6_000_000).contains(&srtt), "srtt {srtt}");
         assert!(c.rto_ns >= MIN_RTO_NS);
+    }
+
+    /// A mid-transfer connection snapshotted on one "host" and restored on
+    /// another keeps streaming: unacked bytes are retransmitted by the
+    /// restored side, buffered receive data survives, and the peer never
+    /// notices beyond duplicate segments.
+    #[test]
+    fn snapshot_restore_resumes_a_mid_transfer_connection() {
+        let (mut c, mut s) = pair(0);
+        // Client sends a first batch, the server echoes acknowledgements.
+        c.write(&vec![0xA5u8; 4 * MSS]);
+        let now = pump(&mut c, &mut s, 1_000, 1_000);
+        assert_eq!(s.recv_available(), 4 * MSS);
+
+        // More data is written and *transmitted but not delivered* (lost on
+        // the wire at migration time).
+        c.write(&vec![0x5Au8; 2 * MSS]);
+        let lost = c.poll_transmit(now);
+        assert!(!lost.is_empty(), "in-flight data expected");
+        assert!(c.in_flight() > 0);
+
+        // Snapshot and restore — the new instance rewinds to snd_una.
+        let snap = c.snapshot().unwrap();
+        let mut c2 = TcpConnection::restore(&snap, CcAlgorithm::Reno.build());
+        assert_eq!(c2.in_flight(), 0);
+        assert_eq!(c2.state(), ConnState::Established);
+        assert_eq!(c2.local(), c.local());
+        assert_eq!(c2.remote(), c.remote());
+
+        // The restored side retransmits the lost bytes and the stream
+        // completes end to end.
+        let now = pump(&mut c2, &mut s, now + 1_000, 1_000);
+        assert_eq!(s.recv_available(), 6 * MSS);
+        let mut buf = vec![0u8; 6 * MSS];
+        s.read(&mut buf);
+        assert!(buf[..4 * MSS].iter().all(|&b| b == 0xA5));
+        assert!(buf[4 * MSS..].iter().all(|&b| b == 0x5A));
+
+        // And the reverse direction still works through the restored side.
+        s.write(b"ack from peer");
+        pump(&mut c2, &mut s, now, 1_000);
+        let mut buf = [0u8; 32];
+        assert_eq!(c2.read(&mut buf), 13);
+        assert_eq!(&buf[..13], b"ack from peer");
+    }
+
+    /// Buffered receive-side data (read by the application after the move)
+    /// and out-of-order stash survive the snapshot.
+    #[test]
+    fn snapshot_carries_receive_side_buffers() {
+        let (mut c, mut s) = pair(0);
+        c.write(&vec![3u8; 3 * MSS]);
+        let segs = c.poll_transmit(1_000);
+        assert_eq!(segs.len(), 3);
+        // Deliver segment 0 (in order) and segment 2 (out of order).
+        s.on_segment(&segs[0], 1_000);
+        s.on_segment(&segs[2], 1_000);
+        assert_eq!(s.recv_available(), MSS);
+
+        let snap = s.snapshot().unwrap();
+        assert_eq!(snap.recv_buf.len(), MSS);
+        assert_eq!(snap.ooo.len(), 1);
+        let mut s2 = TcpConnection::restore(&snap, CcAlgorithm::Reno.build());
+        // The missing middle segment arrives at the restored side: the
+        // out-of-order stash drains and the stream is whole.
+        s2.on_segment(&segs[1], 2_000);
+        assert_eq!(s2.recv_available(), 3 * MSS);
+    }
+
+    /// Handshake-phase and closed connections refuse to snapshot.
+    #[test]
+    fn snapshot_refuses_embryonic_and_closed_connections() {
+        let cc = CcAlgorithm::Reno.build();
+        let c = TcpConnection::connect(addr(1), peer(2), 0, cc, 0);
+        assert_eq!(c.snapshot(), Err(NkError::InvalidState));
+        let (mut c, _s) = pair(0);
+        c.abort();
+        assert_eq!(c.snapshot(), Err(NkError::InvalidState));
     }
 
     #[test]

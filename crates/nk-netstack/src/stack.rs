@@ -484,6 +484,71 @@ impl TcpStack {
         self.events.drain(..).collect()
     }
 
+    // ---- Warm-migration export / install ------------------------------------
+
+    /// True when `sock` is a connection with nothing in flight (every byte
+    /// it transmitted has been acknowledged). Non-connection sockets and
+    /// unknown ids read as quiet — the freeze window only waits on live
+    /// connections.
+    pub fn conn_quiet(&self, sock: SocketId) -> bool {
+        match self.sockets.get(&sock) {
+            Some(SocketEntry::Conn(c)) => c.in_flight() == 0,
+            _ => true,
+        }
+    }
+
+    /// True when `sock` is a connection [`TcpStack::export_conn`] would
+    /// accept — post-handshake, not dying. Used to pre-validate a warm
+    /// export before anything destructive happens.
+    pub fn conn_transplantable(&self, sock: SocketId) -> bool {
+        match self.sockets.get(&sock) {
+            Some(SocketEntry::Conn(c)) => c.transplantable(),
+            _ => false,
+        }
+    }
+
+    /// True while any connection in this stack has `ip` as its local
+    /// address. Hosts use this to decide when an adopted (warm-migrated)
+    /// address alias is no longer serving anyone and can be dropped.
+    pub fn serves_ip(&self, ip: u32) -> bool {
+        self.demux.keys().any(|(local, _)| local.ip == ip)
+    }
+
+    /// Tear a connection out of this stack for a warm migration, returning
+    /// its serializable state. The socket, its demultiplexer entry and its
+    /// edge-detection state all go; stray segments that still arrive for
+    /// the tuple are dropped (counted as `no_socket_drops`), never answered
+    /// with a reset — the connection lives on elsewhere.
+    pub fn export_conn(&mut self, sock: SocketId) -> NkResult<nk_types::TcpConnSnapshot> {
+        let snap = match self.sockets.get(&sock) {
+            Some(SocketEntry::Conn(c)) => c.snapshot()?,
+            Some(_) => return Err(NkError::InvalidState),
+            None => return Err(NkError::BadSocket),
+        };
+        self.demux.remove(&(snap.local, snap.remote));
+        self.sockets.remove(&sock);
+        self.was_writable.remove(&sock);
+        self.embryonic.remove(&sock);
+        Ok(snap)
+    }
+
+    /// Install a warm-migrated connection into this stack under a fresh
+    /// socket id. The connection keeps its original 4-tuple — the local
+    /// address is the *source* NSM's, which the fabric reroutes here — so
+    /// the demultiplexer matches the peer's frames even though the address
+    /// differs from this stack's own. Congestion control starts fresh from
+    /// this stack's configured algorithm.
+    pub fn install_conn(&mut self, snap: &nk_types::TcpConnSnapshot) -> NkResult<SocketId> {
+        if self.demux.contains_key(&(snap.local, snap.remote)) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        let conn = TcpConnection::restore(snap, self.cfg.cc.build());
+        let id = self.alloc_socket_id();
+        self.demux.insert((snap.local, snap.remote), id);
+        self.sockets.insert(id, SocketEntry::Conn(Box::new(conn)));
+        Ok(id)
+    }
+
     // ---- Datapath -----------------------------------------------------------
 
     /// Process incoming frames, run timers, and transmit outgoing segments.
@@ -990,6 +1055,66 @@ mod tests {
             w.now += 10_000_000;
         }
         assert!(w.server.socket_count() < before, "connection not reaped");
+    }
+
+    /// A connection exported from one stack instance and installed into
+    /// another (standing on a different host, with a different local IP)
+    /// keeps streaming: the 4-tuple survives, the new stack demultiplexes
+    /// the peer's frames, and every byte arrives.
+    #[test]
+    fn export_install_moves_a_live_connection_between_stacks() {
+        let mut w = World::new();
+        let ls = listening_server(&mut w, 80);
+        let cs = w.client.socket();
+        w.client
+            .connect(cs, SockAddr::new(SERVER_IP, 80), w.now)
+            .unwrap();
+        w.run(10);
+        let (conn, _) = w.server.accept(ls).unwrap();
+        assert_eq!(w.client.send(cs, b"before the move").unwrap(), 15);
+        w.run(10);
+        let mut buf = [0u8; 64];
+        assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 15);
+
+        // Transplant: the client IP's switch port is re-homed (the fabric
+        // reroute) and a stack with a *different* local IP adopts the
+        // connection.
+        assert!(w.client.conn_quiet(cs));
+        let snap = w.client.export_conn(cs).unwrap();
+        assert_eq!(snap.local.ip, CLIENT_IP);
+        let new_port = w.switch.attach(CLIENT_IP);
+        let mut migrated = TcpStack::new(StackConfig::new(0x0A00_0009), new_port);
+        let new_sock = migrated.install_conn(&snap).unwrap();
+
+        // Stray frames for the tuple at the old stack are dropped, not
+        // reset.
+        assert_eq!(w.client.export_conn(cs), Err(NkError::BadSocket));
+
+        migrated.send(new_sock, b"after the move").unwrap();
+        for _ in 0..10 {
+            w.now += 100_000;
+            migrated.tick(w.now);
+            w.server.tick(w.now);
+            w.switch.step(w.now);
+        }
+        assert_eq!(w.server.recv(conn, &mut buf).unwrap(), 14);
+        assert_eq!(&buf[..14], b"after the move");
+
+        // And the reverse direction reaches the migrated stack.
+        w.server.send(conn, b"pong").unwrap();
+        for _ in 0..10 {
+            w.now += 100_000;
+            migrated.tick(w.now);
+            w.server.tick(w.now);
+            w.switch.step(w.now);
+        }
+        assert_eq!(migrated.recv(new_sock, &mut buf).unwrap(), 4);
+
+        // Installing the same tuple twice is refused.
+        assert_eq!(
+            migrated.install_conn(&snap),
+            Err(NkError::AlreadyRegistered)
+        );
     }
 
     #[test]

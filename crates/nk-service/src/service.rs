@@ -104,6 +104,103 @@ impl ServiceLib {
         self.regions.insert(vm, region);
     }
 
+    /// Detach a VM: the region mapping and all translation state of its
+    /// sockets go. Called when the VM migrates away or leaves the host — a
+    /// stale mapping would pin the hugepage region alive in an NSM that no
+    /// longer serves the VM.
+    pub fn remove_vm(&mut self, vm: VmId, stack: &mut TcpStack) {
+        self.regions.remove(&vm);
+        let stale: Vec<((VmId, SocketId), SocketId)> = self
+            .fwd
+            .iter()
+            .filter(|((owner, _), _)| *owner == vm)
+            .map(|(k, s)| (*k, *s))
+            .collect();
+        for (key, sock) in stale {
+            let _ = stack.close(sock);
+            self.fwd.remove(&key);
+            self.ctx.remove(&sock);
+            self.pending_send.remove(&sock);
+            self.rx_outstanding.remove(&sock);
+        }
+    }
+
+    /// True while this ServiceLib holds state for the VM (region mapping or
+    /// live sockets).
+    pub fn has_vm(&self, vm: VmId) -> bool {
+        self.regions.contains_key(&vm) || self.fwd.keys().any(|(owner, _)| *owner == vm)
+    }
+
+    // ---- Warm-migration export / install ------------------------------------
+
+    /// Tear one guest socket's translation state out of this ServiceLib for
+    /// a warm migration: returns the stack-side socket, the payload queued
+    /// but not yet pushed into the stack, and the outstanding receive
+    /// credit. The caller exports the stack connection under the returned
+    /// socket id.
+    pub fn extract_conn(
+        &mut self,
+        vm: VmId,
+        guest_sock: SocketId,
+    ) -> NkResult<(SocketId, Vec<Vec<u8>>, usize)> {
+        let sock = self
+            .fwd
+            .remove(&(vm, guest_sock))
+            .ok_or(NkError::BadSocket)?;
+        self.ctx.remove(&sock);
+        let pending = self
+            .pending_send
+            .remove(&sock)
+            .map(|q| q.into_iter().collect())
+            .unwrap_or_default();
+        let outstanding = self.rx_outstanding.remove(&sock).unwrap_or(0);
+        Ok((sock, pending, outstanding))
+    }
+
+    /// The stack-side socket a guest tuple currently maps to, if any.
+    pub fn stack_sock_of(&self, vm: VmId, guest_sock: SocketId) -> Option<SocketId> {
+        self.fwd.get(&(vm, guest_sock)).copied()
+    }
+
+    /// Wire a warm-migrated connection into this ServiceLib: the guest
+    /// tuple maps to `stack_sock` (freshly installed into the destination
+    /// stack), queued payload resumes flushing, and the receive-credit
+    /// accounting continues where the source left off. `nsm_qs` must be the
+    /// NSM-side queue set CoreEngine pinned the tuple to.
+    #[allow(clippy::too_many_arguments)]
+    pub fn install_conn(
+        &mut self,
+        vm: VmId,
+        guest_sock: SocketId,
+        vm_qs: QueueSetId,
+        nsm_qs: usize,
+        stack_sock: SocketId,
+        pending_send: Vec<Vec<u8>>,
+        rx_outstanding: usize,
+    ) -> NkResult<()> {
+        if self.fwd.contains_key(&(vm, guest_sock)) || self.ctx.contains_key(&stack_sock) {
+            return Err(NkError::AlreadyRegistered);
+        }
+        self.fwd.insert((vm, guest_sock), stack_sock);
+        self.ctx.insert(
+            stack_sock,
+            ConnCtx {
+                vm,
+                guest_sock,
+                vm_qs,
+                nsm_qs,
+            },
+        );
+        if !pending_send.is_empty() {
+            self.pending_send
+                .insert(stack_sock, pending_send.into_iter().collect());
+        }
+        if rx_outstanding > 0 {
+            self.rx_outstanding.insert(stack_sock, rx_outstanding);
+        }
+        Ok(())
+    }
+
     /// Statistics.
     pub fn stats(&self) -> ServiceStats {
         self.stats
@@ -474,6 +571,73 @@ impl Nsm {
         self.service.add_vm(vm, region);
     }
 
+    /// Detach a VM: its region mapping and translation state go (any of
+    /// its sockets still in the stack are closed).
+    pub fn remove_vm(&mut self, vm: VmId) {
+        self.service.remove_vm(vm, &mut self.stack);
+    }
+
+    /// True while this NSM holds state for the VM.
+    pub fn serves_vm(&self, vm: VmId) -> bool {
+        self.service.has_vm(vm)
+    }
+
+    /// Borrow the underlying stack immutably (wire-quiet queries).
+    pub fn stack(&self) -> &TcpStack {
+        &self.stack
+    }
+
+    /// Export one guest connection's NSM-side state for a warm migration:
+    /// the TCP snapshot plus ServiceLib's queued payload and receive
+    /// credit. The connection leaves this NSM entirely.
+    pub fn export_conn(
+        &mut self,
+        vm: VmId,
+        guest_sock: SocketId,
+    ) -> NkResult<(nk_types::TcpConnSnapshot, Vec<Vec<u8>>, usize)> {
+        // Snapshot the stack side first: if the connection is not in a
+        // transplantable phase the export fails *before* any translation
+        // state is torn out.
+        let stack_sock = self
+            .service
+            .stack_sock_of(vm, guest_sock)
+            .ok_or(NkError::BadSocket)?;
+        let snap = self.stack.export_conn(stack_sock)?;
+        let (_, pending, outstanding) = self
+            .service
+            .extract_conn(vm, guest_sock)
+            .expect("mapping observed above");
+        Ok((snap, pending, outstanding))
+    }
+
+    /// Install a warm-migrated connection into this NSM: the TCP state
+    /// machine goes into the stack under a fresh socket id, and ServiceLib
+    /// resumes translation for the guest tuple on `nsm_qs`. Returns the
+    /// stack-side socket id for the CoreEngine connection table.
+    pub fn install_conn(
+        &mut self,
+        vm: VmId,
+        conn: &nk_types::ConnSnapshot,
+        nsm_qs: usize,
+    ) -> NkResult<SocketId> {
+        let stack_sock = self.stack.install_conn(&conn.tcp)?;
+        if let Err(e) = self.service.install_conn(
+            vm,
+            conn.guest_sock,
+            conn.vm_queue_set,
+            nsm_qs,
+            stack_sock,
+            conn.pending_send.clone(),
+            conn.rx_outstanding,
+        ) {
+            // Unwind the stack install so a refused wiring leaves no
+            // orphaned connection behind.
+            let _ = self.stack.export_conn(stack_sock);
+            return Err(e);
+        }
+        Ok(stack_sock)
+    }
+
     /// ServiceLib statistics.
     pub fn service_stats(&self) -> ServiceStats {
         self.service.stats()
@@ -698,6 +862,106 @@ mod tests {
                 .any(|n| n.op == OpType::ConnectComplete && !n.result().is_ok()),
             "{resp:?}"
         );
+    }
+
+    /// A VM detached from an NSM leaves nothing behind: no region mapping,
+    /// no socket translation state, and its stack sockets are closed.
+    #[test]
+    fn remove_vm_detaches_region_and_sockets() {
+        let mut w = World::new(StackKind::Kernel);
+        let ls = w.remote.socket();
+        w.remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        w.remote.listen(ls, 8).unwrap();
+        w.submit(req(OpType::SocketCreate, 5));
+        w.submit(req(OpType::Connect, 5).with_op_data(SockAddr::new(REMOTE_IP, 7).pack()));
+        w.run(10);
+        assert!(w.nsm.serves_vm(VmId(1)));
+
+        w.nsm.remove_vm(VmId(1));
+        assert!(!w.nsm.serves_vm(VmId(1)));
+        // Later requests from the detached VM fail cleanly (no region).
+        w.submit(req(OpType::Send, 5).with_data(DataHandle(0), 4));
+        w.run(2);
+        let resp = w.responses();
+        assert!(resp
+            .iter()
+            .any(|n| n.op == OpType::SendComplete && !n.result().is_ok()));
+    }
+
+    /// A connection exported from one NSM and installed into another keeps
+    /// its guest tuple working end to end: pending payload flushes, receive
+    /// credit survives, and the peer sees a contiguous byte stream.
+    #[test]
+    fn export_install_moves_a_connection_between_nsms() {
+        let mut w = World::new(StackKind::Kernel);
+        let ls = w.remote.socket();
+        w.remote.bind(ls, SockAddr::new(0, 7)).unwrap();
+        w.remote.listen(ls, 8).unwrap();
+        w.submit(req(OpType::SocketCreate, 5));
+        w.submit(req(OpType::Connect, 5).with_op_data(SockAddr::new(REMOTE_IP, 7).pack()));
+        w.run(10);
+        let payload = b"first half ".to_vec();
+        let handle = w.region.alloc_and_write(&payload).unwrap();
+        w.submit(req(OpType::Send, 5).with_data(handle, payload.len() as u32));
+        w.run(10);
+        let _ = w.responses();
+
+        let (snap, pending, outstanding) = w.nsm.export_conn(VmId(1), SocketId(5)).unwrap();
+        assert_eq!(snap.remote, SockAddr::new(REMOTE_IP, 7));
+        assert!(!w.nsm.serves_vm(VmId(1)) || w.nsm.export_conn(VmId(1), SocketId(5)).is_err());
+
+        // Second NSM on the same switch adopts the port address (the
+        // "fabric reroute" of a single-switch world) and the connection.
+        let new_port = w.switch.attach(NSM_IP);
+        let (guest_end2, nsm_end2) = queue_set_pair(1024);
+        let device2 = NkDevice::new(vec![nsm_end2], WakeState::new());
+        let service2 = ServiceLib::new(NsmId(2), device2, 8);
+        let stack2 = TcpStack::new(StackConfig::new(0x0A00_0099), new_port);
+        let mut nsm2 = Nsm::new(NsmId(2), StackKind::Kernel, service2, stack2);
+        nsm2.add_vm(VmId(1), w.region.clone());
+        let conn = nk_types::ConnSnapshot {
+            guest_sock: SocketId(5),
+            vm_queue_set: QueueSetId(0),
+            tcp: snap,
+            pending_send: pending,
+            rx_outstanding: outstanding,
+            guest: nk_types::GuestSockSnapshot {
+                id: SocketId(5),
+                queue_set: QueueSetId(0),
+                local: None,
+                remote: Some(SockAddr::new(REMOTE_IP, 7)),
+                peer_closed: false,
+                send_buf_cap: 64 * 1024,
+                send_reserved: 0,
+                rx_bytes: Vec::new(),
+                interest: 0,
+            },
+        };
+        nsm2.install_conn(VmId(1), &conn, 0).unwrap();
+
+        // The guest keeps sending through the new NSM's queue pair.
+        let mut guest_end2 = guest_end2;
+        let second = b"second half".to_vec();
+        let handle = w.region.alloc_and_write(&second).unwrap();
+        guest_end2
+            .submit(req(OpType::Send, 5).with_data(handle, second.len() as u32))
+            .unwrap();
+        for _ in 0..10 {
+            w.now += 100_000;
+            nsm2.tick(w.now);
+            w.remote.tick(w.now);
+            w.switch.step(w.now);
+        }
+        let (conn_sock, _) = w.remote.accept(ls).unwrap();
+        let mut buf = [0u8; 64];
+        let mut got = Vec::new();
+        while let Ok(n) = w.remote.recv(conn_sock, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        assert_eq!(got, b"first half second half");
     }
 
     #[test]

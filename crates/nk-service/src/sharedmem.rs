@@ -85,6 +85,21 @@ impl SharedMemNsm {
         self.regions.insert(vm, region);
     }
 
+    /// Detach a VM: its region mapping and any of its sockets (including
+    /// listener registrations) are dropped. Called when the VM migrates to
+    /// another NSM or leaves the host — a stale mapping here would pin the
+    /// region alive and resurrect the VM on a later restart.
+    pub fn remove_vm(&mut self, vm: VmId) {
+        self.regions.remove(&vm);
+        self.sockets.retain(|(owner, _), _| *owner != vm);
+        self.listeners.retain(|_, (owner, _)| *owner != vm);
+    }
+
+    /// True while this NSM holds state for the VM.
+    pub fn has_vm(&self, vm: VmId) -> bool {
+        self.regions.contains_key(&vm)
+    }
+
     fn respond(&mut self, nsm_qs: usize, nqe: Nqe) {
         if let Some(end) = self.device.queue_set(nsm_qs) {
             let _ = end.respond(nqe);

@@ -41,6 +41,13 @@ pub struct ClusterPolicy {
     pub max_migrations_per_epoch: usize,
     /// Minimum epochs between two migrations of the same VM.
     pub cooldown_epochs: u64,
+    /// Minimum epochs before a VM may migrate *back* along the reverse of a
+    /// pair it just travelled (host A → B blocks B → A for this long). This
+    /// is the cluster-scope hysteresis of the ROADMAP's placement-stability
+    /// item: load follows a migrated tenant, so without a per-(VM,
+    /// host-pair) cooldown the placer evacuates a hot host and then
+    /// ping-pongs the tenant straight back. `0` disables the guard.
+    pub pair_cooldown_epochs: u64,
     /// Weight of uplink (cross-host traffic) utilisation in the host score.
     pub cross_traffic_weight: f64,
     /// Clock rate of the accounting pools the host scores derive from.
@@ -58,6 +65,7 @@ impl Default for ClusterPolicy {
             spread: 0.40,
             max_migrations_per_epoch: 1,
             cooldown_epochs: 4,
+            pair_cooldown_epochs: 8,
             cross_traffic_weight: 0.50,
             pool_clock_hz: None,
         }
@@ -98,6 +106,13 @@ impl ClusterPolicy {
     /// Set the per-VM migration cooldown in epochs (builder style).
     pub fn with_cooldown(mut self, epochs: u64) -> Self {
         self.cooldown_epochs = epochs;
+        self
+    }
+
+    /// Set the per-(VM, host-pair) reverse-migration cooldown in epochs
+    /// (builder style). `0` disables it.
+    pub fn with_pair_cooldown(mut self, epochs: u64) -> Self {
+        self.pair_cooldown_epochs = epochs;
         self
     }
 
@@ -278,6 +293,35 @@ pub enum ClusterAction {
         /// The NSM whose share retired.
         nsm: NsmId,
     },
+    /// Warm-migrate a VM to another host: after a freeze window quiesced
+    /// the in-flight frames, the live state of every pinned connection was
+    /// exported from the source and the fabric rerouted the connections'
+    /// addresses towards the destination. Pinned connections *move* instead
+    /// of draining, so the source share empties immediately.
+    WarmMigrateVm {
+        /// The VM being migrated.
+        vm: VmId,
+        /// The host it is leaving.
+        from: HostId,
+        /// The host taking over all of its connections, old and new.
+        to: HostId,
+        /// The destination host's NSM serving the VM after the move.
+        to_nsm: NsmId,
+        /// Pinned connections transplanted with the VM.
+        connections: u32,
+    },
+    /// The warm handover completed: every transplanted connection is
+    /// installed and serving on the destination host. Emitted in the same
+    /// control epoch as the matching [`ClusterAction::WarmMigrateVm`] — a
+    /// warm migration has no drain wait.
+    WarmHandoverComplete {
+        /// The migrated VM.
+        vm: VmId,
+        /// Its new home.
+        to: HostId,
+        /// Connections serving there.
+        connections: u32,
+    },
 }
 
 /// A [`ClusterAction`] stamped with when it was taken.
@@ -317,10 +361,12 @@ mod tests {
             .with_thresholds(0.5, 0.3)
             .with_migration_budget(2)
             .with_cooldown(1)
+            .with_pair_cooldown(6)
             .with_cross_traffic_weight(0.25)
             .with_pool_clock_hz(1_000_000);
         assert!(p.validate().is_ok());
         assert_eq!(p.max_migrations_per_epoch, 2);
+        assert_eq!(p.pair_cooldown_epochs, 6);
     }
 
     #[test]
@@ -406,6 +452,18 @@ mod tests {
             ClusterAction::ScaleToZero {
                 host: HostId(1),
                 nsm: NsmId(1),
+            },
+            ClusterAction::WarmMigrateVm {
+                vm: VmId(1),
+                from: HostId(1),
+                to: HostId(2),
+                to_nsm: NsmId(1),
+                connections: 3,
+            },
+            ClusterAction::WarmHandoverComplete {
+                vm: VmId(1),
+                to: HostId(2),
+                connections: 3,
             },
         ] {
             let ev = ClusterEvent {

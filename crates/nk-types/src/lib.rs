@@ -13,6 +13,7 @@
 //! * deterministic fault-injection plans ([`faults`]),
 //! * operator control-plane policies and decision events ([`control`]),
 //! * cluster-scope configurations, placement policies and events ([`cluster`]),
+//! * cross-host migration payloads, drained and warm ([`migrate`]),
 //! * the provider-facing constants of the testbed ([`constants`]),
 //! * and the guest-facing non-blocking socket API trait ([`api`]) that both
 //!   the NetKernel `GuestLib` and the in-guest baseline stack implement.
@@ -26,6 +27,7 @@ pub mod control;
 pub mod error;
 pub mod faults;
 pub mod ids;
+pub mod migrate;
 pub mod nqe;
 pub mod ops;
 
@@ -39,5 +41,8 @@ pub use control::{ControlAction, ControlEvent, ControlPolicy, ControlTarget};
 pub use error::{NkError, NkResult};
 pub use faults::{FaultAction, FaultEvent, FaultPlan, LinkFault};
 pub use ids::{ConnKey, HostId, NsmId, QueueSetId, SocketId, VmId};
+pub use migrate::{
+    ConnSnapshot, GuestSockSnapshot, TcpConnSnapshot, TcpPhase, VmExport, VmWarmExport,
+};
 pub use nqe::{DataHandle, Nqe, NQE_SIZE};
 pub use ops::{OpResult, OpType};

@@ -14,9 +14,15 @@
 //!
 //! Migrations come from two places, freely mixed: a scripted plan (fire at
 //! a virtual time, like a fault plan) and the cluster's own placement loop
-//! when a [`nk_types::ClusterPolicy`] is installed. The report carries the
-//! full [`ClusterEvent`] log plus its digest, so tests and the CI
-//! determinism job can assert byte-identical replays.
+//! when a [`nk_types::ClusterPolicy`] is installed. Scripted entries may be
+//! *warm* ([`ClusterScenarioConfig::with_warm_migration`]): the pinned
+//! connection is transplanted mid-stream — the tenant's socket reappears on
+//! the destination host under the same id and the byte stream continues
+//! without a reconnect, which is what lets a
+//! [`ClusterTenant::long_lived`] transfer (no rotation points, so a drained
+//! migration would stall until the very end) migrate mid-flight. The report
+//! carries the full [`ClusterEvent`] log plus its digest, so tests and the
+//! CI determinism job can assert byte-identical replays.
 
 use nk_cluster::{Cluster, ClusterStats};
 use nk_types::{
@@ -63,6 +69,15 @@ impl ClusterTenant {
         self.total_bytes = bytes;
         self
     }
+
+    /// Keep one connection for the whole transfer (builder style). A
+    /// long-lived connection never reaches a rotation point, so a *drained*
+    /// migration would stall until the transfer ends — the scenario warm
+    /// migration exists for.
+    pub fn long_lived(mut self) -> Self {
+        self.chunks_per_conn = 0;
+        self
+    }
 }
 
 /// A migration scripted against virtual time (the placement analogue of a
@@ -75,6 +90,8 @@ pub struct PlannedMigration {
     pub vm: VmId,
     /// The destination host.
     pub to: HostId,
+    /// Warm mode: transplant pinned connections instead of draining them.
+    pub warm: bool,
 }
 
 /// Configuration of one cluster scenario run.
@@ -125,9 +142,26 @@ impl ClusterScenarioConfig {
         self
     }
 
-    /// Script a migration (builder style).
+    /// Script a drained migration (builder style).
     pub fn with_migration(mut self, at_ns: u64, vm: VmId, to: HostId) -> Self {
-        self.migrations.push(PlannedMigration { at_ns, vm, to });
+        self.migrations.push(PlannedMigration {
+            at_ns,
+            vm,
+            to,
+            warm: false,
+        });
+        self
+    }
+
+    /// Script a *warm* migration (builder style): pinned connections move
+    /// with the VM instead of draining on the source.
+    pub fn with_warm_migration(mut self, at_ns: u64, vm: VmId, to: HostId) -> Self {
+        self.migrations.push(PlannedMigration {
+            at_ns,
+            vm,
+            to,
+            warm: true,
+        });
         self
     }
 
@@ -253,7 +287,11 @@ impl ClusterScenario {
                 let m = pending_migrations.remove(0);
                 if let Some(from) = cluster.home_of(m.vm) {
                     if from != m.to {
-                        cluster.migrate_vm(m.vm, from, m.to)?;
+                        if m.warm {
+                            cluster.migrate_vm_warm(m.vm, from, m.to)?;
+                        } else {
+                            cluster.migrate_vm(m.vm, from, m.to)?;
+                        }
                     }
                 }
             }
@@ -346,9 +384,21 @@ impl ClusterScenario {
             return;
         };
         let Some(g) = cluster.guest_on(host, t.spec.vm) else {
-            // The source-side instance vanished underneath the socket (it
-            // can only retire unpinned, so this is defensive): reopen at
-            // the current home.
+            // The source-side instance is gone. After a *warm* migration
+            // the socket reappears — same id, same connection — under the
+            // VM's new home: follow it there and keep streaming. Otherwise
+            // (defensive; a drained instance only retires unpinned) reopen
+            // at the current home.
+            if let Some(home) = cluster.home_of(t.spec.vm) {
+                if home != host
+                    && cluster
+                        .guest_on(home, t.spec.vm)
+                        .is_some_and(|g| g.has_socket(sock))
+                {
+                    t.sock = Some((home, sock));
+                    return;
+                }
+            }
             t.sock = None;
             t.established = false;
             return;
@@ -494,6 +544,34 @@ mod tests {
         assert!(report.events.is_empty());
         assert_eq!(report.final_homes[&VmId(1)], HostId(1));
         assert_eq!(report.final_homes[&VmId(2)], HostId(2));
+    }
+
+    /// A long-lived connection (no rotation points) crosses a warm
+    /// migration mid-stream: no reconnect, no errors, every byte verified.
+    #[test]
+    fn warm_migration_carries_a_long_lived_connection() {
+        let cluster = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(2, &[]));
+        let report = ClusterScenario::new(
+            ClusterScenarioConfig::new(cluster)
+                .with_tenant(
+                    ClusterTenant::new(VmId(1), 0)
+                        .with_total_bytes(32 * 1024)
+                        .long_lived(),
+                )
+                .with_warm_migration(1_000_000, VmId(1), HostId(2)),
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.bytes_verified, 32 * 1024);
+        assert_eq!(report.errors_observed, 0);
+        assert_eq!(report.reconnects, 0, "warm handover must be seamless");
+        assert_eq!(report.stats.warm_migrations, 1);
+        assert_eq!(report.stats.drains_completed, 0);
+        assert_eq!(report.final_homes[&VmId(1)], HostId(2));
+        assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
     }
 
     #[test]

@@ -132,6 +132,148 @@ fn drained_cross_host_migration_completes_and_retires_the_source_share() {
     assert_eq!(report.stats.shares_retired, 1);
 }
 
+/// The warm acceptance scenario: a *long-lived* pinned connection (no
+/// rotation points — a drained migration would stall until the transfer
+/// ends) survives a cross-host warm migration with byte-identical payload
+/// delivery, and the source NSM share scales to zero in the same control
+/// epoch — no drain wait.
+#[test]
+fn warm_migration_moves_a_long_lived_connection_without_draining() {
+    let cluster = ClusterConfig::new()
+        .with_host(host(1, &[1]))
+        .with_host(host(2, &[2]))
+        .with_uplink_latency_us(2);
+    let report = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster)
+            .with_seed(11)
+            .with_tenant(
+                ClusterTenant::new(VmId(1), 0)
+                    .with_total_bytes(96 * 1024)
+                    .long_lived(),
+            )
+            .with_tenant(ClusterTenant::new(VmId(2), 0).with_total_bytes(32 * 1024))
+            // Fire mid-transfer: vm1's single connection is pinned and busy.
+            .with_warm_migration(2_000_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .unwrap();
+
+    assert!(report.completed, "{report:?}");
+    assert_eq!(report.bytes_verified, 128 * 1024);
+    assert_eq!(report.errors_observed, 0, "a warm handover is not an error");
+    assert_eq!(report.reconnects, 0, "the connection must survive the move");
+    assert_eq!(report.stats.warm_migrations, 1);
+    assert_eq!(report.stats.conns_transplanted, 1);
+    assert_eq!(
+        report.stats.drains_completed, 0,
+        "warm migration must not drain: {report:?}"
+    );
+
+    // Milestones in order and in the same instant: warm migrate → handover
+    // complete → source share at zero. Zero drain wait.
+    let warm = report
+        .events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.action,
+                ClusterAction::WarmMigrateVm {
+                    vm: VmId(1),
+                    from: HostId(1),
+                    to: HostId(2),
+                    connections: 1,
+                    ..
+                }
+            )
+        })
+        .unwrap_or_else(|| panic!("no warm-migrate event: {:?}", report.events));
+    let handover = report
+        .events
+        .iter()
+        .position(|e| {
+            matches!(
+                e.action,
+                ClusterAction::WarmHandoverComplete {
+                    vm: VmId(1),
+                    to: HostId(2),
+                    connections: 1,
+                }
+            )
+        })
+        .unwrap_or_else(|| panic!("no handover event: {:?}", report.events));
+    let retired = report
+        .events
+        .iter()
+        .position(|e| {
+            e.action
+                == ClusterAction::ScaleToZero {
+                    host: HostId(1),
+                    nsm: NsmId(1),
+                }
+        })
+        .unwrap_or_else(|| panic!("source share never retired: {:?}", report.events));
+    assert!(warm < handover && handover < retired, "{:?}", report.events);
+    assert_eq!(
+        report.events[warm].at_ns, report.events[retired].at_ns,
+        "scale-to-zero must land in the same control epoch as the handover"
+    );
+
+    assert_eq!(report.final_homes[&VmId(1)], HostId(2));
+    assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
+    assert!(report.final_nsm_cores[&(HostId(2), NsmId(1))] >= 1);
+}
+
+/// Warm-migration determinism: the same seeded warm scenario replays
+/// byte-identically — equal reports, equal event-log digests.
+#[test]
+fn warm_migration_replays_byte_identically() {
+    let config = || {
+        ClusterScenarioConfig::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[2]))
+                .with_uplink_latency_us(2),
+        )
+        .with_seed(23)
+        .with_tenant(
+            ClusterTenant::new(VmId(1), 0)
+                .with_total_bytes(64 * 1024)
+                .long_lived(),
+        )
+        .with_tenant(ClusterTenant::new(VmId(2), 700_000).with_total_bytes(48 * 1024))
+        .with_warm_migration(1_500_000, VmId(1), HostId(2))
+    };
+    let a = ClusterScenario::new(config()).run().unwrap();
+    let b = ClusterScenario::new(config()).run().unwrap();
+    assert_eq!(a, b, "two runs of the same seeded warm scenario diverged");
+    assert_eq!(a.event_digest, b.event_digest);
+    assert!(a.completed);
+    assert_eq!(a.stats.warm_migrations, 1);
+
+    // A structurally different warm plan changes the execution — the
+    // equality above is not vacuous.
+    let c = ClusterScenario::new(
+        ClusterScenarioConfig::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[2]))
+                .with_uplink_latency_us(2),
+        )
+        .with_seed(23)
+        .with_tenant(
+            ClusterTenant::new(VmId(1), 0)
+                .with_total_bytes(64 * 1024)
+                .long_lived(),
+        )
+        .with_tenant(ClusterTenant::new(VmId(2), 700_000).with_total_bytes(48 * 1024))
+        .with_warm_migration(2_500_000, VmId(1), HostId(2)),
+    )
+    .run()
+    .unwrap();
+    assert!(c.completed);
+    assert_ne!(a.event_digest, c.event_digest);
+}
+
 /// Byte-identical determinism: two executions of the same seeded
 /// configuration produce the same report — including the same event-log
 /// digest — and a different seed produces a different execution.
