@@ -85,6 +85,9 @@ fn main() {
     if want("wm01") {
         wm01_warm_vs_drained(&mut results);
     }
+    if want("par01") {
+        par01_parallel_datapath(&mut results);
+    }
 
     if results.experiments.is_empty() {
         // A typo'd experiment name must fail loudly rather than exit green
@@ -1066,4 +1069,257 @@ fn wm01_warm_vs_drained(results: &mut BenchResults) {
             "bytes",
             (drained.bytes_verified + warm.bytes_verified) as f64,
         );
+}
+
+/// par01: the sharded cluster datapath — steps/sec vs worker threads at
+/// 2, 8 and 16 hosts.
+///
+/// Every host runs a tenant streaming 4 KiB chunks to a host-local echo
+/// server (datapath work that lives inside one shard), and the edge hosts
+/// additionally stream to a ToR-attached server (cross-shard traffic over
+/// the uplink channels). Two rates are reported per thread count:
+///
+/// * **modeled** — the serial wall rate scaled by `serial_work /
+///   critical_work` from the executor (per round: the largest shard plus
+///   the serial hub). This is the schedule's speedup and is what the
+///   acceptance gate checks, because CI containers frequently pin the
+///   whole process to a single core, where parallel wall clock measures
+///   contention rather than the sharding.
+/// * **wall** — what this machine actually did, for honesty.
+///
+/// The run also asserts the determinism contract: cluster stats, guest
+/// byte counts and the event digest are identical for every thread count.
+fn par01_parallel_datapath(results: &mut BenchResults) {
+    use nk_cluster::Cluster;
+    use nk_types::addr::host_prefix;
+    use nk_types::{
+        ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, SockAddr, SocketApi, VmConfig, VmId,
+        VmToNsmPolicy,
+    };
+
+    const STEPS: usize = 60;
+    const DT_NS: u64 = 100_000;
+    const CHUNK: usize = 4096;
+    const ECHO_PORT: u16 = 7;
+    const TOR_IP: u32 = 0xC0A8_0001; // 192.168.0.1, outside every host block
+    const TOR_PORT: u16 = 9;
+
+    struct RunOut {
+        wall_steps_per_s: f64,
+        modeled_speedup: f64,
+        hub_share: f64,
+        barrier_frames: u64,
+        threads_used: usize,
+        stats: nk_cluster::ClusterStats,
+        digest: u64,
+        guest_bytes: u64,
+    }
+
+    let run = |hosts: u8, threads: usize| -> RunOut {
+        let mut cfg = ClusterConfig::new()
+            .with_uplink_latency_us(2)
+            .with_threads(threads);
+        for h in 1..=hosts {
+            cfg = cfg.with_host(
+                HostConfig::new()
+                    .with_host_id(HostId(h))
+                    .with_nsm(NsmConfig::kernel(NsmId(1)))
+                    .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+                    .with_vm(VmConfig::new(VmId(h))),
+            );
+        }
+        let mut cluster = Cluster::new(cfg).expect("valid par01 cluster");
+
+        // The ToR server the edge hosts stream to (cross-shard traffic).
+        let tor = cluster.add_remote(TOR_IP);
+        let tor_ls = tor.socket();
+        tor.bind(tor_ls, SockAddr::new(0, TOR_PORT)).unwrap();
+        tor.listen(tor_ls, 64).unwrap();
+
+        // Per host: a local echo server plus one tenant connection to it.
+        let local_ip = |h: u8| host_prefix(HostId(h)) | 0xFF;
+        let mut guest_socks = Vec::new();
+        let mut local_ls = Vec::new();
+        for h in 1..=hosts {
+            let host = cluster.host_mut(HostId(h)).unwrap();
+            let echo = host.add_remote(local_ip(h));
+            let ls = echo.socket();
+            echo.bind(ls, SockAddr::new(0, ECHO_PORT)).unwrap();
+            echo.listen(ls, 16).unwrap();
+            local_ls.push(ls);
+            let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+            let s = guest.socket().unwrap();
+            guest
+                .connect(s, SockAddr::new(local_ip(h), ECHO_PORT))
+                .unwrap();
+            guest_socks.push(s);
+        }
+        // The edge tenants (first and last host) also talk across the ToR.
+        let mut tor_socks = Vec::new();
+        for h in [1, hosts] {
+            let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+            let s = guest.socket().unwrap();
+            guest.connect(s, SockAddr::new(TOR_IP, TOR_PORT)).unwrap();
+            tor_socks.push((h, s));
+        }
+        cluster.run(5, DT_NS); // handshakes
+
+        let chunk = [0x5Au8; CHUNK];
+        let mut buf = [0u8; CHUNK];
+        let mut guest_bytes = 0u64;
+        let mut echo_conns: Vec<Vec<_>> = vec![Vec::new(); hosts as usize];
+        let mut tor_conns = Vec::new();
+        let start = std::time::Instant::now();
+        for _ in 0..STEPS {
+            // Tenants: keep a chunk in flight, drain the echoes.
+            for (i, &s) in guest_socks.iter().enumerate() {
+                let h = i as u8 + 1;
+                let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+                if guest.poll(s).writable() {
+                    let _ = guest.send(s, &chunk);
+                }
+                while let Ok(n) = guest.recv(s, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    guest_bytes += n as u64;
+                }
+            }
+            for &(h, s) in &tor_socks {
+                let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+                if guest.poll(s).writable() {
+                    let _ = guest.send(s, &chunk[..256]);
+                }
+                while let Ok(n) = guest.recv(s, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    guest_bytes += n as u64;
+                }
+            }
+            // Echo servers: accept whatever arrived, echo whatever is read.
+            for h in 1..=hosts {
+                let i = h as usize - 1;
+                let echo = cluster
+                    .host_mut(HostId(h))
+                    .unwrap()
+                    .remote_mut(local_ip(h))
+                    .unwrap();
+                while let Ok((c, _)) = echo.accept(local_ls[i]) {
+                    echo_conns[i].push(c);
+                }
+                for &c in &echo_conns[i] {
+                    while let Ok(n) = echo.recv(c, &mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        let _ = echo.send(c, &buf[..n]);
+                    }
+                }
+            }
+            let tor = cluster.remote_mut(TOR_IP).unwrap();
+            while let Ok((c, _)) = tor.accept(tor_ls) {
+                tor_conns.push(c);
+            }
+            for &c in &tor_conns {
+                while let Ok(n) = tor.recv(c, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    let _ = tor.send(c, &buf[..n]);
+                }
+            }
+            cluster.step(DT_NS);
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+
+        let exec = cluster.exec_stats();
+        RunOut {
+            wall_steps_per_s: STEPS as f64 / elapsed,
+            modeled_speedup: exec.modeled_speedup(),
+            hub_share: exec.hub_work as f64 / exec.serial_work.max(1) as f64,
+            barrier_frames: exec.barrier_frames,
+            threads_used: exec.threads,
+            stats: cluster.stats(),
+            digest: cluster.event_digest(),
+            guest_bytes,
+        }
+    };
+
+    let record = results.experiment("par01");
+    let mut rows = Vec::new();
+    let mut speedup_h16_t4 = 0.0;
+    for &hosts in &[2u8, 8, 16] {
+        let base = run(hosts, 1);
+        assert!(base.guest_bytes > 0, "h{hosts}: the workload must flow");
+        for &threads in &[1usize, 2, 4, 8] {
+            let parallel;
+            let out = if threads == 1 {
+                &base
+            } else {
+                parallel = run(hosts, threads);
+                &parallel
+            };
+            // The determinism contract: thread count changes nothing
+            // observable.
+            assert_eq!(out.stats, base.stats, "h{hosts} t{threads}: stats");
+            assert_eq!(out.digest, base.digest, "h{hosts} t{threads}: digest");
+            assert_eq!(
+                out.guest_bytes, base.guest_bytes,
+                "h{hosts} t{threads}: bytes"
+            );
+            let modeled = base.wall_steps_per_s * out.modeled_speedup;
+            if hosts == 16 && threads == 4 {
+                speedup_h16_t4 = out.modeled_speedup;
+            }
+            rows.push(vec![
+                hosts.to_string(),
+                format!("{threads} ({})", out.threads_used),
+                f(modeled, 0),
+                f(out.modeled_speedup, 2),
+                f(out.wall_steps_per_s, 0),
+                format!("{:.0}%", 100.0 * out.hub_share),
+                out.barrier_frames.to_string(),
+            ]);
+            record
+                .metric(
+                    &format!("modeled_steps_per_s_h{hosts}_t{threads}"),
+                    "steps/s",
+                    modeled,
+                )
+                .metric(
+                    &format!("modeled_speedup_h{hosts}_t{threads}"),
+                    "x",
+                    out.modeled_speedup,
+                )
+                .metric(
+                    &format!("wall_steps_per_s_h{hosts}_t{threads}"),
+                    "steps/s",
+                    out.wall_steps_per_s,
+                );
+        }
+    }
+    record.metric("speedup_h16_t4", "x", speedup_h16_t4);
+    print_table(
+        "par01: sharded datapath — steps/sec vs worker threads (modeled = serial rate x schedule speedup)",
+        &[
+            "hosts",
+            "threads (used)",
+            "modeled steps/s",
+            "speedup",
+            "wall steps/s",
+            "hub share",
+            "barrier frames",
+        ],
+        &rows,
+    );
+    println!(
+        "16 hosts @ 4 threads: modeled speedup {speedup_h16_t4:.2}x over the serial walk \
+         (per-round critical path = max shard + hub; wall clock on this machine depends on \
+         available cores)"
+    );
+    assert!(
+        speedup_h16_t4 >= 2.0,
+        "acceptance: 16-host workload must model >= 2x at 4 threads, got {speedup_h16_t4:.2}"
+    );
 }

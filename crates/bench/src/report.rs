@@ -7,7 +7,7 @@
 //! written to `BENCH_results.json` — the file CI archives per commit so the
 //! perf trajectory accumulates instead of evaporating with the build log.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Print a table with a title, a header row and data rows, with columns
 /// aligned on width.
@@ -48,7 +48,7 @@ pub fn f(v: f64, decimals: usize) -> String {
 }
 
 /// One named number of one experiment (e.g. `send_gbps_8k` in `Gbps`).
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Metric {
     /// Machine-friendly metric name.
     pub label: String,
@@ -59,7 +59,7 @@ pub struct Metric {
 }
 
 /// The machine-readable record of one experiment.
-#[derive(Clone, Debug, PartialEq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
     /// Experiment name as used on the CLI (`fig13`, `tab05`, …).
     pub name: String,
@@ -81,7 +81,7 @@ impl ExperimentResult {
 
 /// Collector for a whole experiments run, serialized to
 /// `BENCH_results.json`.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct BenchResults {
     /// One entry per experiment that ran, in execution order.
     pub experiments: Vec<ExperimentResult>,
@@ -107,9 +107,37 @@ impl BenchResults {
         serde_json::to_string_pretty(self).expect("results serialize")
     }
 
-    /// Write the results to `path`.
+    /// Merge these results over a previous run's parsed file: experiments
+    /// re-run now replace their old entry *in place* (so the file order
+    /// stays stable across partial re-runs), new ones append, everything
+    /// else is kept.
+    pub fn merged_over(&self, mut previous: BenchResults) -> BenchResults {
+        for experiment in &self.experiments {
+            match previous
+                .experiments
+                .iter_mut()
+                .find(|e| e.name == experiment.name)
+            {
+                Some(slot) => *slot = experiment.clone(),
+                None => previous.experiments.push(experiment.clone()),
+            }
+        }
+        previous
+    }
+
+    /// Write the results to `path`, merging with whatever is already there:
+    /// a partial run (`experiments par01`) updates its own entries and
+    /// keeps every other experiment's previous numbers, so
+    /// `BENCH_results.json` accumulates the perf trajectory instead of
+    /// clobbering it. A missing or unparseable previous file is replaced
+    /// outright.
     pub fn write(&self, path: &str) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json() + "\n")
+        let merged = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<BenchResults>(&text).ok())
+            .map(|previous| self.merged_over(previous))
+            .unwrap_or_else(|| self.clone());
+        std::fs::write(path, merged.to_json() + "\n")
     }
 }
 
@@ -161,6 +189,44 @@ mod tests {
         results.write(path).unwrap();
         let text = std::fs::read_to_string(path).unwrap();
         assert!(text.contains("mnqes_b256"));
+        let parsed: BenchResults = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, results, "written file parses back losslessly");
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A partial re-run updates its own experiments in place and keeps the
+    /// rest of the file — the accumulate-don't-clobber contract.
+    #[test]
+    fn writing_merges_with_the_previous_file() {
+        let path = std::env::temp_dir().join("nk_bench_results_merge_test.json");
+        let path = path.to_str().unwrap();
+        let mut first = BenchResults::new();
+        first.experiment("fig13").metric("gbps", "Gbps", 30.0);
+        first.experiment("tab05").metric("mean_ms", "ms", 14.0);
+        first.write(path).unwrap();
+
+        let mut rerun = BenchResults::new();
+        rerun.experiment("tab05").metric("mean_ms", "ms", 12.5);
+        rerun.experiment("par01").metric("speedup", "x", 2.5);
+        rerun.write(path).unwrap();
+
+        let merged: BenchResults =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let names: Vec<&str> = merged.experiments.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["fig13", "tab05", "par01"],
+            "prior entries keep their position, new ones append"
+        );
+        assert_eq!(merged.experiments[1].metrics[0].value, 12.5, "re-run wins");
+        assert_eq!(merged.experiments[0].metrics[0].value, 30.0, "kept as-is");
+
+        // An unparseable previous file is replaced, not appended to.
+        std::fs::write(path, "not json").unwrap();
+        rerun.write(path).unwrap();
+        let replaced: BenchResults =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(replaced, rerun);
         let _ = std::fs::remove_file(path);
     }
 }

@@ -1,5 +1,6 @@
 //! The cluster: hosts behind one top-of-rack switch, one clock, one placer.
 
+use crate::exec::{ExecStats, ShardedExecutor, StepOutcome};
 use nk_ctrl::placer::{ClusterSample, HostLoad, Placer};
 use nk_fabric::link::LinkConfig;
 use nk_fabric::tor::TorSwitch;
@@ -9,7 +10,8 @@ use nk_netstack::{Segment, StackConfig, TcpStack};
 use nk_sim::{CycleLedger, Pollable, PoolMember};
 use nk_types::addr::{host_prefix, HOST_PREFIX_MASK};
 use nk_types::{
-    ClusterAction, ClusterConfig, ClusterEvent, HostId, NkError, NkResult, NsmId, StackKind, VmId,
+    ClusterAction, ClusterConfig, ClusterEvent, ControlEvent, HostId, NkError, NkResult, NsmId,
+    StackKind, VmId,
 };
 use std::collections::BTreeMap;
 
@@ -44,6 +46,21 @@ pub struct ClusterStats {
     pub drains_completed: u64,
     /// NSM shares scaled to zero after a drain.
     pub shares_retired: u64,
+    /// Work done in begin phases (fault events), all hosts, all steps.
+    ///
+    /// The per-phase counters below are *sums over hosts*, so — like every
+    /// other field here — they are identical for any
+    /// [`nk_types::ClusterConfig::threads`] value. Per-shard breakdowns,
+    /// which do depend on the thread count, live in
+    /// [`crate::exec::ExecStats`] (see [`Cluster::exec_stats`]).
+    pub begin_work: u64,
+    /// Datapath work done in poll rounds, all hosts, all steps.
+    pub poll_work: u64,
+    /// Control actions applied in close phases, all hosts, all steps.
+    pub control_work: u64,
+    /// Frames the ToR forwarded at round barriers — the traffic crossing
+    /// the cluster fabric (and, when sharded, the only cross-shard edge).
+    pub barrier_frames: u64,
 }
 
 /// An in-flight drain: the VM has moved, its source share has not emptied
@@ -80,6 +97,10 @@ pub struct Cluster {
     /// Per-VM forwarded bytes at the previous placement epoch.
     prev_vm_bytes: BTreeMap<(HostId, VmId), u64>,
     stats: ClusterStats,
+    /// Drives the begin/rounds/close step over all hosts — serially at
+    /// `threads == 1`, sharded across worker threads otherwise. Semantics
+    /// are identical either way; see [`crate::exec`].
+    exec: ShardedExecutor,
     now_ns: u64,
 }
 
@@ -112,6 +133,7 @@ impl Cluster {
             None => None,
         };
         let next_epoch_ns = cfg.policy.as_ref().map(|p| p.epoch_ns).unwrap_or(u64::MAX);
+        let threads = Self::resolve_threads(cfg.threads);
         Ok(Cluster {
             cfg,
             hosts,
@@ -128,8 +150,25 @@ impl Cluster {
             prev_uplink: BTreeMap::new(),
             prev_vm_bytes: BTreeMap::new(),
             stats: ClusterStats::default(),
+            exec: ShardedExecutor::new(threads),
             now_ns: 0,
         })
+    }
+
+    /// The datapath thread count: `NK_CLUSTER_THREADS` (when set to a
+    /// positive integer) wins over [`ClusterConfig::threads`], so a CI job
+    /// or an operator can re-run any scenario at a different parallelism
+    /// without touching the config — the results are identical either way.
+    fn resolve_threads(configured: usize) -> usize {
+        match std::env::var("NK_CLUSTER_THREADS") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|t| *t > 0)
+                .unwrap_or(configured),
+            Err(_) => configured,
+        }
     }
 
     /// The cluster's configuration.
@@ -142,9 +181,23 @@ impl Cluster {
         self.now_ns
     }
 
-    /// Scheduler and placement counters.
+    /// Scheduler and placement counters. Every field is independent of the
+    /// datapath thread count.
     pub fn stats(&self) -> ClusterStats {
         self.stats
+    }
+
+    /// Executor counters: per-phase and per-shard work plus the
+    /// serial-vs-critical-path model. Unlike [`Cluster::stats`], the
+    /// per-shard breakdowns here depend on the thread count.
+    pub fn exec_stats(&self) -> &ExecStats {
+        self.exec.stats()
+    }
+
+    /// Datapath worker threads in use (after the `NK_CLUSTER_THREADS`
+    /// override).
+    pub fn threads(&self) -> usize {
+        self.exec.threads()
     }
 
     /// A host by id.
@@ -198,6 +251,26 @@ impl Cluster {
         &self.events
     }
 
+    /// Every host's control-event log merged into one cluster-wide view,
+    /// ordered by `(epoch, HostId, seq)` where `seq` is the event's index
+    /// in its own host's log. Each host appends only to its own log (even
+    /// when hosts run on different worker threads) and the merge key never
+    /// mentions wall-clock anything, so this view — like the event digest —
+    /// is identical for any thread count.
+    pub fn control_events(&self) -> Vec<(HostId, ControlEvent)> {
+        let mut merged: Vec<(u64, HostId, usize, ControlEvent)> = Vec::new();
+        for (id, host) in &self.hosts {
+            for (seq, event) in host.control_events().iter().enumerate() {
+                merged.push((event.epoch, *id, seq, *event));
+            }
+        }
+        merged.sort_by_key(|&(epoch, id, seq, _)| (epoch, id, seq));
+        merged
+            .into_iter()
+            .map(|(_, id, _, event)| (id, event))
+            .collect()
+    }
+
     /// FNV-1a digest of the serialized event log. Two runs of the same
     /// seeded configuration must produce the same digest — the check the
     /// CI determinism job replays.
@@ -223,43 +296,59 @@ impl Cluster {
     /// boundaries the placer may migrate VMs across hosts. Returns the
     /// total work done.
     pub fn step(&mut self, dt_ns: u64) -> usize {
-        self.now_ns += dt_ns;
-        let now = self.now_ns;
-        let mut total = 0;
-        for host in self.hosts.values_mut() {
-            total += host.begin_step(dt_ns);
+        let outcome = self.drive_step(dt_ns, true);
+        if outcome.quiescent {
+            self.stats.quiescent_exits += 1;
+        } else {
+            self.stats.round_limit_hits += 1;
         }
-        let mut rounds = 0;
-        loop {
-            let mut work = 0;
-            for host in self.hosts.values_mut() {
-                work += host.poll_round();
-            }
-            work += self.tor.step(now);
-            for remote in self.remotes.values_mut() {
-                work += Pollable::poll(remote, now);
-            }
-            rounds += 1;
-            total += work;
-            if work == 0 {
-                self.stats.quiescent_exits += 1;
-                break;
-            }
-            if rounds >= self.cfg.max_rounds {
-                self.stats.round_limit_hits += 1;
-                break;
-            }
-        }
-        for host in self.hosts.values_mut() {
-            total += host.end_step();
-        }
+        let mut total = outcome.work;
         total += self.advance_drains();
+        let now = self.now_ns;
         if self.placer.is_some() && now >= self.next_epoch_ns {
             total += self.run_placement_epoch(now);
         }
         self.stats.steps += 1;
-        self.stats.rounds += rounds as u64;
+        self.stats.rounds += outcome.rounds as u64;
         total
+    }
+
+    /// The shared core of [`Cluster::step`] and the freeze-window
+    /// mini-step: advance virtual time and drive one begin / rounds
+    /// (/ close, for full steps) sequence over every host through the
+    /// executor. The hub closure — the ToR plus the ToR-attached endpoint
+    /// stacks — runs at each round barrier with every worker parked,
+    /// draining host uplinks in route order (ascending host id), so the
+    /// cross-shard frame merge is deterministic for any thread count.
+    fn drive_step(&mut self, dt_ns: u64, close: bool) -> StepOutcome {
+        self.now_ns += dt_ns;
+        let before = {
+            let s = self.exec.stats();
+            (s.begin_work, s.poll_work, s.close_work, s.barrier_frames)
+        };
+        let tor = &mut self.tor;
+        let remotes = &mut self.remotes;
+        let outcome = self.exec.drive(
+            &mut self.hosts,
+            |now| {
+                let frames = tor.step(now);
+                let mut work = frames;
+                for remote in remotes.values_mut() {
+                    work += Pollable::poll(remote, now);
+                }
+                (work, frames)
+            },
+            self.now_ns,
+            dt_ns,
+            self.cfg.max_rounds,
+            close,
+        );
+        let s = self.exec.stats();
+        self.stats.begin_work += s.begin_work - before.0;
+        self.stats.poll_work += s.poll_work - before.1;
+        self.stats.control_work += s.close_work - before.2;
+        self.stats.barrier_frames += s.barrier_frames - before.3;
+        outcome
     }
 
     /// Step repeatedly with a fixed increment.
@@ -463,30 +552,9 @@ impl Cluster {
     /// and no drains advance — the cluster is mid-handover. Returns the
     /// work done.
     fn freeze_ministep(&mut self, dt_ns: u64) -> usize {
-        self.now_ns += dt_ns;
-        let now = self.now_ns;
-        let mut total = 0;
-        for host in self.hosts.values_mut() {
-            total += host.begin_step(dt_ns);
-        }
-        let mut rounds = 0;
-        loop {
-            let mut work = 0;
-            for host in self.hosts.values_mut() {
-                work += host.poll_round();
-            }
-            work += self.tor.step(now);
-            for remote in self.remotes.values_mut() {
-                work += Pollable::poll(remote, now);
-            }
-            rounds += 1;
-            total += work;
-            if work == 0 || rounds >= self.cfg.max_rounds {
-                break;
-            }
-        }
+        let outcome = self.drive_step(dt_ns, false);
         self.stats.freeze_steps += 1;
-        total
+        outcome.work
     }
 
     /// The destination NSM for a migration: among the host's alive

@@ -18,6 +18,13 @@
 //! log folds into a digest, so a cluster run replays byte-identically from
 //! its seed.
 
+//! The datapath is parallel when asked: [`exec::ShardedExecutor`] shards
+//! hosts across worker threads with a round barrier, and the results —
+//! event logs, digests, stats — are byte-identical for any
+//! [`nk_types::ClusterConfig::threads`] value.
+
 pub mod cluster;
+pub mod exec;
 
 pub use cluster::{Cluster, ClusterStats};
+pub use exec::{ExecStats, ShardStats, ShardedExecutor, StepOutcome, StepUnit};

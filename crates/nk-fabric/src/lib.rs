@@ -11,6 +11,8 @@
 //!   with an optional uplink into a top-of-rack switch;
 //! * [`tor`] — the prefix-routed top-of-rack switch joining host uplinks
 //!   into one cluster fabric;
+//! * [`uplink`] — the host↔ToR trunk as a pair of wait-free SPSC channels,
+//!   the only cross-thread edge of the sharded cluster datapath;
 //! * [`nic`] — a multi-queue NIC front-end with receive-side scaling (RSS),
 //!   used by multi-core stacks to spread connections over queues;
 //! * [`rng`] — a tiny deterministic PRNG so loss/reordering are reproducible.
@@ -24,9 +26,11 @@ pub mod port;
 pub mod rng;
 pub mod switch;
 pub mod tor;
+pub mod uplink;
 
 pub use link::{Link, LinkConfig};
 pub use nic::MultiQueueNic;
 pub use port::{Frame, Port};
 pub use switch::{UplinkStats, VirtualSwitch};
 pub use tor::TorSwitch;
+pub use uplink::{uplink_pair, HostUplink, TorUplink};

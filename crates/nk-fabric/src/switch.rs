@@ -8,6 +8,7 @@
 
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::port::{Frame, Port};
+use crate::uplink::HostUplink;
 use std::collections::BTreeMap;
 
 /// Traffic counters of a switch's uplink towards the top-of-rack switch.
@@ -39,7 +40,9 @@ pub struct VirtualSwitch<P> {
     /// Uplink towards a top-of-rack switch, when this switch is one host of
     /// a cluster: frames with no local destination leave through it instead
     /// of being dropped, and frames the ToR delivers re-enter through it.
-    uplink: Option<Port<P>>,
+    /// This is the host side of the trunk's SPSC channel pair — the only
+    /// edge that crosses a shard boundary when the cluster runs sharded.
+    uplink: Option<HostUplink<P>>,
     /// Addresses under this `(prefix, mask)` are local to this switch even
     /// when no port currently owns them (a crashed vNIC): frames for them
     /// die here as unroutable instead of leaking out the uplink as phantom
@@ -72,12 +75,12 @@ impl<P> VirtualSwitch<P> {
         }
     }
 
-    /// Wire this switch's uplink: `port` is the endpoint side of a trunk the
+    /// Wire this switch's uplink: `uplink` is the host side of a trunk the
     /// top-of-rack switch attached. From now on frames with no local port go
     /// out the uplink instead of being dropped, and frames the ToR delivers
     /// are forwarded to local ports on every step.
-    pub fn set_uplink(&mut self, port: Port<P>) {
-        self.uplink = Some(port);
+    pub fn set_uplink(&mut self, uplink: HostUplink<P>) {
+        self.uplink = Some(uplink);
     }
 
     /// Like [`VirtualSwitch::set_uplink`], but frames for addresses inside
@@ -85,8 +88,13 @@ impl<P> VirtualSwitch<P> {
     /// to this switch, so a destination in it with no port (a crashed vNIC)
     /// is a local drop, not cross-host traffic. A clustered host passes its
     /// own address block here.
-    pub fn set_uplink_filtered(&mut self, port: Port<P>, local_prefix: u32, local_mask: u32) {
-        self.uplink = Some(port);
+    pub fn set_uplink_filtered(
+        &mut self,
+        uplink: HostUplink<P>,
+        local_prefix: u32,
+        local_mask: u32,
+    ) {
+        self.uplink = Some(uplink);
         self.uplink_local = Some((local_prefix & local_mask, local_mask));
     }
 
@@ -165,8 +173,10 @@ impl<P> VirtualSwitch<P> {
     /// Returns the number of frames delivered to ports during this call.
     pub fn step(&mut self, now_ns: u64) -> usize {
         // Ingress: collect from all ports, in address order, through the
-        // reusable scratch buffer (no per-port allocation).
-        let uplink = self.uplink.clone();
+        // reusable scratch buffer (no per-port allocation). The uplink is
+        // moved out for the duration of the pass: its SPSC ends need `&mut`
+        // and the borrow must not overlap the link-map accesses.
+        let mut uplink = self.uplink.take();
         let mut scratch = std::mem::take(&mut self.scratch);
         for port in self.ports.values() {
             scratch.clear();
@@ -177,7 +187,7 @@ impl<P> VirtualSwitch<P> {
                     .is_some_and(|(prefix, mask)| f.dst & mask == prefix);
                 match self.links.get_mut(&f.dst) {
                     Some(link) if self.ports.contains_key(&f.dst) => link.offer(f, now_ns),
-                    _ => match &uplink {
+                    _ => match &mut uplink {
                         Some(up) if !local_dead => {
                             self.uplink_stats.tx_frames += 1;
                             self.uplink_stats.tx_bytes += f.wire_bytes as u64;
@@ -193,7 +203,7 @@ impl<P> VirtualSwitch<P> {
         // like locally originated traffic. Frames for addresses this host
         // does not own are dropped here — never bounced back out — so a
         // routing mistake cannot ping-pong between switch and ToR.
-        if let Some(up) = &uplink {
+        if let Some(up) = &mut uplink {
             while let Some(f) = up.recv() {
                 self.uplink_stats.rx_frames += 1;
                 self.uplink_stats.rx_bytes += f.wire_bytes as u64;
@@ -215,6 +225,7 @@ impl<P> VirtualSwitch<P> {
                 }
             }
         }
+        self.uplink = uplink;
         self.scratch = scratch;
         delivered
     }
@@ -330,31 +341,35 @@ mod tests {
     fn uplink_carries_nonlocal_traffic_both_ways() {
         let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
         let a = sw.attach(1);
-        let up = Port::new(0x10);
-        sw.set_uplink(up.clone());
+        let (host_end, mut tor_end) = crate::uplink::uplink_pair(0x10);
+        sw.set_uplink(host_end);
         assert!(sw.has_uplink());
 
         // Outbound: no local port 99 → the frame exits via the uplink.
         a.send(frame(1, 99, 7));
         sw.step(0);
         assert_eq!(sw.unroutable(), 0);
-        let out = up.drain_tx(10);
-        assert_eq!(out.len(), 1);
+        let mut out = Vec::new();
+        assert_eq!(tor_end.drain_into(&mut out), 1);
         assert_eq!(out[0].payload, 7);
         assert_eq!(sw.uplink_stats().tx_frames, 1);
         assert_eq!(sw.uplink_stats().tx_bytes, 100);
 
         // Inbound: the ToR delivers a frame for local port 1.
-        up.deliver(frame(99, 1, 8));
+        tor_end.deliver(frame(99, 1, 8));
         sw.step(0);
         assert_eq!(a.recv().unwrap().payload, 8);
         assert_eq!(sw.uplink_stats().rx_frames, 1);
 
         // Inbound for an unknown address is dropped, not bounced back.
-        up.deliver(frame(99, 42, 9));
+        tor_end.deliver(frame(99, 42, 9));
         sw.step(0);
         assert_eq!(sw.unroutable(), 1);
-        assert_eq!(up.tx_pending(), 0, "no ping-pong back to the ToR");
+        assert_eq!(
+            tor_end.pending_from_host(),
+            0,
+            "no ping-pong back to the ToR"
+        );
     }
 
     /// The filtered uplink keeps dead-local traffic local: a destination
@@ -364,14 +379,14 @@ mod tests {
     fn uplink_filter_keeps_dead_local_traffic_local() {
         let mut sw: VirtualSwitch<u32> = VirtualSwitch::new();
         let a = sw.attach(0x0A01_0001);
-        let up = Port::new(0x0A01_0000);
-        sw.set_uplink_filtered(up.clone(), 0x0A01_0000, 0xFFFF_0000);
+        let (host_end, mut tor_end) = crate::uplink::uplink_pair(0x0A01_0000);
+        sw.set_uplink_filtered(host_end, 0x0A01_0000, 0xFFFF_0000);
         a.send(frame(0x0A01_0001, 0x0A01_0099, 1)); // dead address in-block
         a.send(frame(0x0A01_0001, 0x0A02_0001, 2)); // genuinely remote
         sw.step(0);
         assert_eq!(sw.unroutable(), 1, "in-block miss dies locally");
-        let out = up.drain_tx(10);
-        assert_eq!(out.len(), 1);
+        let mut out = Vec::new();
+        assert_eq!(tor_end.drain_into(&mut out), 1);
         assert_eq!(out[0].payload, 2);
         assert_eq!(sw.uplink_stats().tx_frames, 1);
     }

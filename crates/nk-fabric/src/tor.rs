@@ -7,19 +7,45 @@
 //! attach with exact-match routes. Routes are kept most-specific-first, so
 //! an endpoint inside a host's block still wins over the host trunk.
 //!
-//! The trunk [`Port`] returned by [`TorSwitch::attach_trunk`] is the same
-//! object a host switch adopts as its uplink
-//! ([`crate::switch::VirtualSwitch::set_uplink`]): the host sends by pushing
-//! the port's TX queue, which the ToR drains; the ToR delivers into the RX
-//! queue, which the host drains. One shared port, two owners, no copies.
+//! Host trunks and endpoints attach differently because they live on
+//! different threads of a sharded cluster. A host trunk
+//! ([`TorSwitch::attach_trunk`]) hands the host a [`HostUplink`] — the host
+//! side of a pair of wait-free SPSC channels — while the ToR keeps the
+//! matching [`TorUplink`]; the host pushes frames from its worker thread and
+//! the coordinator drains them at the round barrier, in route order (host
+//! trunks sort by prefix, i.e. ascending `HostId`), which keeps cross-shard
+//! frame merging deterministic for any thread count. An endpoint
+//! ([`TorSwitch::attach_endpoint`]) stays a shared [`Port`]: its stack runs
+//! on the coordinator alongside the ToR, so no cross-thread edge exists.
 
 use crate::link::{Link, LinkConfig, LinkStats};
 use crate::port::{Frame, Port};
+use crate::uplink::{uplink_pair, HostUplink, TorUplink};
+use std::collections::BTreeMap;
+
+/// Where a route's frames come from and go to.
+enum Conduit<P> {
+    /// A coordinator-local endpoint: one shared port, ToR keeps a clone.
+    Endpoint(Port<P>),
+    /// A host trunk: key into [`TorSwitch::uplinks`]. Detour routes
+    /// installed by [`TorSwitch::add_route_via`] copy the key of the trunk
+    /// serving `via`, so any number of routes can feed one uplink.
+    Uplink(u32),
+}
+
+impl<P> Conduit<P> {
+    fn duplicate(&self) -> Self {
+        match self {
+            Conduit::Endpoint(port) => Conduit::Endpoint(port.clone()),
+            Conduit::Uplink(key) => Conduit::Uplink(*key),
+        }
+    }
+}
 
 struct Trunk<P> {
     prefix: u32,
     mask: u32,
-    port: Port<P>,
+    conduit: Conduit<P>,
     link: Link<P>,
     /// The link shape this trunk was attached with, kept so detour routes
     /// ([`TorSwitch::add_route_via`]) inherit the downlink's character.
@@ -34,6 +60,9 @@ struct Trunk<P> {
 /// build on.
 pub struct TorSwitch<P> {
     routes: Vec<Trunk<P>>,
+    /// ToR ends of the host uplinks, keyed by attach order.
+    uplinks: BTreeMap<u32, TorUplink<P>>,
+    next_uplink_key: u32,
     /// Frames dropped because no route matched the destination.
     unroutable: u64,
     /// Frames dropped because the best route led back out the ingress trunk
@@ -48,6 +77,8 @@ impl<P> TorSwitch<P> {
     pub fn new() -> Self {
         TorSwitch {
             routes: Vec::new(),
+            uplinks: BTreeMap::new(),
+            next_uplink_key: 0,
             unroutable: 0,
             hairpins: 0,
             seed: 0x70F2,
@@ -55,38 +86,77 @@ impl<P> TorSwitch<P> {
         }
     }
 
-    /// Attach a host trunk owning the block `prefix/mask`; returns the trunk
-    /// port for the host switch to adopt as its uplink. `link` shapes the
-    /// traffic *towards* the trunk (the downlink direction). Re-attaching an
-    /// existing `(prefix, mask)` replaces the old trunk.
-    pub fn attach_trunk(&mut self, prefix: u32, mask: u32, link: LinkConfig) -> Port<P> {
-        let prefix = prefix & mask;
-        let port = Port::new(prefix);
+    fn advance_seed(&mut self, prefix: u32, mask: u32) {
         self.seed = self
             .seed
             .wrapping_mul(0x9E37_79B9)
             .wrapping_add(prefix as u64)
             .wrapping_add(mask as u64);
-        let trunk = Trunk {
-            prefix,
-            mask,
-            port: port.clone(),
-            link: Link::new(link, self.seed),
-            config: link,
-        };
-        self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
+    }
+
+    fn install(&mut self, trunk: Trunk<P>) {
+        self.routes
+            .retain(|t| (t.prefix, t.mask) != (trunk.prefix, trunk.mask));
         self.routes.push(trunk);
         // Most-specific-first, ties by prefix: deterministic longest-prefix
         // matching without a trie.
         self.routes
             .sort_by_key(|t| (std::cmp::Reverse(t.mask), t.prefix));
-        port
+        self.collect_dead_uplinks();
+    }
+
+    /// Drop ToR uplink ends no route references any more (a replaced or
+    /// removed trunk).
+    fn collect_dead_uplinks(&mut self) {
+        let live: std::collections::BTreeSet<u32> = self
+            .routes
+            .iter()
+            .filter_map(|t| match t.conduit {
+                Conduit::Uplink(key) => Some(key),
+                Conduit::Endpoint(_) => None,
+            })
+            .collect();
+        self.uplinks.retain(|key, _| live.contains(key));
+    }
+
+    /// Attach a host trunk owning the block `prefix/mask`; returns the host
+    /// side of the uplink channel pair for the host switch to adopt
+    /// ([`crate::switch::VirtualSwitch::set_uplink`]). `link` shapes the
+    /// traffic *towards* the trunk (the downlink direction). Re-attaching an
+    /// existing `(prefix, mask)` replaces the old trunk (the old host end
+    /// goes dead).
+    pub fn attach_trunk(&mut self, prefix: u32, mask: u32, link: LinkConfig) -> HostUplink<P> {
+        let prefix = prefix & mask;
+        self.advance_seed(prefix, mask);
+        let (host_end, tor_end) = uplink_pair(prefix);
+        let key = self.next_uplink_key;
+        self.next_uplink_key += 1;
+        self.uplinks.insert(key, tor_end);
+        self.install(Trunk {
+            prefix,
+            mask,
+            conduit: Conduit::Uplink(key),
+            link: Link::new(link, self.seed),
+            config: link,
+        });
+        host_end
     }
 
     /// Attach a single endpoint (an exact-match /32 route), e.g. a
-    /// datacenter gateway every host talks to. Returns its port.
+    /// datacenter gateway every host talks to. Returns its port. Endpoints
+    /// stay mutex-shared [`Port`]s — their stacks run on the coordinator
+    /// next to the ToR, never across a shard boundary.
     pub fn attach_endpoint(&mut self, addr: u32, link: LinkConfig) -> Port<P> {
-        self.attach_trunk(addr, u32::MAX, link)
+        self.advance_seed(addr, u32::MAX);
+        let port = Port::new(addr);
+        self.install(Trunk {
+            prefix: addr,
+            mask: u32::MAX,
+            conduit: Conduit::Endpoint(port.clone()),
+            link: Link::new(link, self.seed),
+            config: link,
+        });
+        port
     }
 
     /// Install a detour: frames for `prefix/mask` are delivered down the
@@ -101,24 +171,17 @@ impl<P> TorSwitch<P> {
             return false;
         };
         let prefix = prefix & mask;
-        let port = self.routes[i].port.clone();
+        let conduit = self.routes[i].conduit.duplicate();
         let config = self.routes[i].config;
-        self.seed = self
-            .seed
-            .wrapping_mul(0x9E37_79B9)
-            .wrapping_add(prefix as u64)
-            .wrapping_add(mask as u64);
-        let trunk = Trunk {
+        self.advance_seed(prefix, mask);
+        let link = Link::new(config, self.seed);
+        self.install(Trunk {
             prefix,
             mask,
-            port,
-            link: Link::new(config, self.seed),
+            conduit,
+            link,
             config,
-        };
-        self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
-        self.routes.push(trunk);
-        self.routes
-            .sort_by_key(|t| (std::cmp::Reverse(t.mask), t.prefix));
+        });
         true
     }
 
@@ -130,7 +193,11 @@ impl<P> TorSwitch<P> {
         let prefix = prefix & mask;
         let before = self.routes.len();
         self.routes.retain(|t| (t.prefix, t.mask) != (prefix, mask));
-        before != self.routes.len()
+        let removed = before != self.routes.len();
+        if removed {
+            self.collect_dead_uplinks();
+        }
+        removed
     }
 
     /// Number of attached routes (trunks plus endpoints).
@@ -161,14 +228,28 @@ impl<P> TorSwitch<P> {
         routes.iter().position(|t| dst & t.mask == t.prefix)
     }
 
-    /// Forward frames: drain every trunk's TX side in route order, push each
-    /// frame through the destination trunk's link, and deliver everything
+    /// Forward frames: drain every route's ingress in route order, push each
+    /// frame through the destination route's link, and deliver everything
     /// whose time has come. Returns the number of frames delivered.
+    ///
+    /// In a sharded cluster this runs on the coordinator at the round
+    /// barrier: host workers are parked, so the drain over routes — sorted
+    /// by prefix, i.e. ascending host id — is the deterministic merge point
+    /// of all cross-shard traffic.
     pub fn step(&mut self, now_ns: u64) -> usize {
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.routes.len() {
             scratch.clear();
-            self.routes[i].port.drain_tx_into(usize::MAX, &mut scratch);
+            match &self.routes[i].conduit {
+                Conduit::Endpoint(port) => {
+                    port.drain_tx_into(usize::MAX, &mut scratch);
+                }
+                Conduit::Uplink(key) => {
+                    if let Some(up) = self.uplinks.get_mut(key) {
+                        up.drain_into(&mut scratch);
+                    }
+                }
+            }
             for f in scratch.drain(..) {
                 match Self::route_of(&self.routes, f.dst) {
                     Some(j) if j != i => self.routes[j].link.offer(f, now_ns),
@@ -182,11 +263,18 @@ impl<P> TorSwitch<P> {
             }
         }
         let mut delivered = 0;
-        for trunk in self.routes.iter_mut() {
+        for i in 0..self.routes.len() {
             scratch.clear();
-            trunk.link.drain_deliverable(now_ns, &mut scratch);
+            self.routes[i].link.drain_deliverable(now_ns, &mut scratch);
             for f in scratch.drain(..) {
-                trunk.port.deliver(f);
+                match &self.routes[i].conduit {
+                    Conduit::Endpoint(port) => port.deliver(f),
+                    Conduit::Uplink(key) => {
+                        if let Some(up) = self.uplinks.get_mut(key) {
+                            up.deliver(f);
+                        }
+                    }
+                }
                 delivered += 1;
             }
         }
@@ -229,8 +317,8 @@ mod tests {
     #[test]
     fn routes_between_trunks_by_prefix() {
         let mut tor: TorSwitch<u32> = TorSwitch::new();
-        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
-        let t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
         assert_eq!(tor.routes(), 2);
 
         t1.send(frame(0x0A01_0001, 0x0A02_0007, 11));
@@ -244,10 +332,10 @@ mod tests {
     #[test]
     fn endpoints_are_more_specific_than_trunks() {
         let mut tor: TorSwitch<u32> = TorSwitch::new();
-        let trunk = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut trunk = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
         let gw = tor.attach_endpoint(0x0A01_0500, LinkConfig::ideal());
 
-        let other = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        let mut other = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
         other.send(frame(0x0A02_0001, 0x0A01_0500, 1));
         other.send(frame(0x0A02_0001, 0x0A01_0001, 2));
         tor.step(0);
@@ -260,7 +348,7 @@ mod tests {
     #[test]
     fn hairpins_and_unknown_destinations_are_dropped() {
         let mut tor: TorSwitch<u32> = TorSwitch::new();
-        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
         t1.send(frame(0x0A01_0001, 0x0A01_0099, 1)); // back out the same trunk
         t1.send(frame(0x0A01_0001, 0xDEAD_0000, 2)); // no route at all
         tor.step(0);
@@ -275,8 +363,8 @@ mod tests {
     #[test]
     fn detour_route_overrides_prefix_and_is_removable() {
         let mut tor: TorSwitch<u32> = TorSwitch::new();
-        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
-        let t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
         let gw = tor.attach_endpoint(0xC0A8_0001, LinkConfig::ideal());
 
         // The migrated address 10.1.0.1 now lives behind host 2's trunk.
@@ -301,8 +389,8 @@ mod tests {
     #[test]
     fn trunk_link_latency_applies() {
         let mut tor: TorSwitch<u32> = TorSwitch::new();
-        let t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
-        let t2 = tor.attach_trunk(
+        let mut t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t2 = tor.attach_trunk(
             0x0A02_0000,
             HOST_MASK,
             LinkConfig::ideal().with_latency_us(50),
@@ -341,5 +429,26 @@ mod tests {
         tor.step(0);
         sw_a.step(0);
         assert_eq!(a.recv().unwrap().payload, 78);
+    }
+
+    /// Replacing a trunk kills the old host end (its channels go dead) and
+    /// garbage-collects the old ToR uplink end.
+    #[test]
+    fn reattach_replaces_the_trunk_and_collects_the_old_uplink() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let mut old = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut gw_feed = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        let mut new = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        assert_eq!(tor.routes(), 2, "re-attach replaced, not duplicated");
+
+        gw_feed.send(frame(0x0A02_0001, 0x0A01_0001, 9));
+        tor.step(0);
+        assert_eq!(new.recv().unwrap().payload, 9, "new end serves the block");
+        assert!(old.recv().is_none(), "old end is dead");
+
+        // Frames the dead end sends are never drained.
+        old.send(frame(0x0A01_0001, 0x0A02_0001, 1));
+        tor.step(0);
+        assert!(gw_feed.recv().is_none());
     }
 }

@@ -7,6 +7,7 @@ use nk_engine::CoreEngine;
 use nk_fabric::link::LinkConfig;
 use nk_fabric::port::Port;
 use nk_fabric::switch::{UplinkStats, VirtualSwitch};
+use nk_fabric::uplink::HostUplink;
 use nk_guest::GuestLib;
 use nk_netstack::cc::CcAlgorithm;
 use nk_netstack::{Segment, StackConfig, TcpStack};
@@ -148,6 +149,16 @@ pub struct NetKernelHost {
     epoch_vm_bytes: BTreeMap<VmId, u64>,
     now_ns: u64,
 }
+
+// The cluster's sharded executor moves whole hosts onto worker threads, so
+// everything a host owns — guests, NSMs, stacks, hugepage regions, wake
+// state, the switch with its uplink channel end — must be `Send`. Checked
+// here at compile time so a non-Send field (an `Rc`, a thread-bound cache)
+// is caught in this crate, not as an inscrutable error in `nk-cluster`.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<NetKernelHost>();
+};
 
 impl NetKernelHost {
     /// Build a host from its configuration.
@@ -333,14 +344,14 @@ impl NetKernelHost {
         self.cfg.host_id
     }
 
-    /// Adopt `port` (the endpoint side of a top-of-rack trunk) as this
-    /// host's uplink: frames with no local destination leave through it and
-    /// ToR deliveries enter through it on every poll round. Destinations
-    /// inside this host's own address block stay local even when dead (a
-    /// crashed vNIC must not read as cross-host traffic).
-    pub fn connect_uplink(&mut self, port: Port<Segment>) {
+    /// Adopt `uplink` (the host side of a top-of-rack trunk's SPSC channel
+    /// pair) as this host's uplink: frames with no local destination leave
+    /// through it and ToR deliveries enter through it on every poll round.
+    /// Destinations inside this host's own address block stay local even
+    /// when dead (a crashed vNIC must not read as cross-host traffic).
+    pub fn connect_uplink(&mut self, uplink: HostUplink<Segment>) {
         self.switch.set_uplink_filtered(
-            port,
+            uplink,
             nk_types::addr::host_prefix(self.cfg.host_id),
             nk_types::addr::HOST_PREFIX_MASK,
         );

@@ -9,6 +9,9 @@
 //!
 //! * [`spsc`] — a bounded single-producer/single-consumer lock-free ring
 //!   buffer, the building block of every NQE queue;
+//! * [`unbounded`] — an unbounded wait-free SPSC queue, the cross-shard
+//!   fabric edge of the parallel cluster datapath (frames must never be
+//!   dropped for capacity reasons, or behaviour would depend on timing);
 //! * [`queueset`] — the four-queue set (job / completion / send / receive) of
 //!   the paper's Figure 5, split into a requester end and a responder end;
 //! * [`device`] — the NK device: the per-entity collection of queue sets plus
@@ -17,7 +20,9 @@
 pub mod device;
 pub mod queueset;
 pub mod spsc;
+pub mod unbounded;
 
 pub use device::{IrqState, NkDevice, WakeState};
 pub use queueset::{queue_set_pair, QueueKind, RequesterEnd, ResponderEnd};
 pub use spsc::{channel, Consumer, Producer};
+pub use unbounded::{unbounded, UnboundedConsumer, UnboundedProducer};

@@ -162,6 +162,11 @@ pub struct ClusterConfig {
     /// Upper bound on interleaved poll rounds per cluster step (the
     /// cluster-level analogue of [`HostConfig::max_poll_rounds`]).
     pub max_rounds: usize,
+    /// Worker threads the cluster datapath is sharded over (hosts are the
+    /// unit of parallelism; rounds are separated by barriers, so results
+    /// are byte-identical for any value). `1` — the default — is the serial
+    /// reference path.
+    pub threads: usize,
     /// Cluster placement policy. `None` leaves placement static (hosts may
     /// still run their own per-host control planes).
     pub policy: Option<ClusterPolicy>,
@@ -174,6 +179,7 @@ impl Default for ClusterConfig {
             uplink_rate_gbps: crate::constants::LINE_RATE_GBPS,
             uplink_latency_us: 0,
             max_rounds: crate::constants::DEFAULT_POLL_ROUNDS,
+            threads: 1,
             policy: None,
         }
     }
@@ -207,6 +213,14 @@ impl ClusterConfig {
     /// Bound the interleaved poll rounds per cluster step (builder style).
     pub fn with_max_rounds(mut self, rounds: usize) -> Self {
         self.max_rounds = rounds;
+        self
+    }
+
+    /// Shard the datapath over `threads` worker threads (builder style).
+    /// Determinism is preserved for any value; `1` runs the serial
+    /// reference path.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -249,7 +263,7 @@ impl ClusterConfig {
                 }
             }
         }
-        if self.uplink_rate_gbps <= 0.0 || self.max_rounds == 0 {
+        if self.uplink_rate_gbps <= 0.0 || self.max_rounds == 0 || self.threads == 0 {
             return Err(NkError::BadConfig);
         }
         if let Some(policy) = &self.policy {
@@ -433,6 +447,9 @@ mod tests {
             .with_host(host(1, 1))
             .with_max_rounds(0);
         assert_eq!(no_rounds.validate(), Err(NkError::BadConfig));
+
+        let no_threads = ClusterConfig::new().with_host(host(1, 1)).with_threads(0);
+        assert_eq!(no_threads.validate(), Err(NkError::BadConfig));
     }
 
     #[test]
@@ -483,6 +500,7 @@ mod tests {
             .with_host(host(1, 1))
             .with_uplink_rate_gbps(40.0)
             .with_uplink_latency_us(5)
+            .with_threads(4)
             .with_policy(ClusterPolicy::new().with_pool_clock_hz(1_000_000));
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ClusterConfig = serde_json::from_str(&json).unwrap();
