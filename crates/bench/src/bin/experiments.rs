@@ -85,6 +85,9 @@ fn main() {
     if want("wm01") {
         wm01_warm_vs_drained(&mut results);
     }
+    if want("ev01") {
+        ev01_evacuation(&mut results);
+    }
     if want("par01") {
         par01_parallel_datapath(&mut results);
     }
@@ -1069,6 +1072,149 @@ fn wm01_warm_vs_drained(results: &mut BenchResults) {
             "bytes",
             (drained.bytes_verified + warm.bytes_verified) as f64,
         );
+}
+
+/// ev01: planned host evacuation vs a naive serial drain — wall-clock to
+/// clear a two-VM host and connections broken while doing it.
+///
+/// The evacuation arm compiles one plan (both VMs warm, paced waves,
+/// shares retired at the tail) and lands in a single control epoch with
+/// zero reconnects. The naive arm drains the VMs one at a time — each
+/// scripted drained migration waits for its tenant's next connection
+/// rotation — so the clear-out takes orders of magnitude longer.
+fn ev01_evacuation(results: &mut BenchResults) {
+    use nk_ctrl::PlanEventKind;
+    use nk_types::{
+        ClusterAction, ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, VmConfig, VmId,
+        VmToNsmPolicy,
+    };
+    use nk_workload::{ClusterScenario, ClusterScenarioConfig, ClusterTenant};
+
+    let empty_host = |id: u8| {
+        HostConfig::new()
+            .with_host_id(HostId(id))
+            .with_nsm(NsmConfig::kernel(NsmId(1)))
+            .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+    };
+    // Host 1 maps each VM to its own NSM, so both evacuation moves take
+    // the warm path.
+    let cluster = || {
+        ClusterConfig::new()
+            .with_host(
+                HostConfig::new()
+                    .with_host_id(HostId(1))
+                    .with_nsm(NsmConfig::kernel(NsmId(1)))
+                    .with_nsm(NsmConfig::kernel(NsmId(2)))
+                    .with_mapping(VmToNsmPolicy::Static(vec![
+                        (VmId(1), NsmId(1)),
+                        (VmId(2), NsmId(2)),
+                    ]))
+                    .with_vm(VmConfig::new(VmId(1)))
+                    .with_vm(VmConfig::new(VmId(2))),
+            )
+            .with_host(empty_host(2))
+            .with_host(empty_host(3))
+            .with_uplink_latency_us(2)
+    };
+
+    // Planned evacuation: both tenants hold long-lived connections (the
+    // worst case for draining) and the whole host clears in one plan.
+    let evac = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster())
+            .with_seed(11)
+            .with_tenant(
+                ClusterTenant::new(VmId(1), 0)
+                    .with_total_bytes(96 * 1024)
+                    .long_lived(),
+            )
+            .with_tenant(
+                ClusterTenant::new(VmId(2), 0)
+                    .with_total_bytes(96 * 1024)
+                    .long_lived(),
+            )
+            .with_evacuation(2_000_000, HostId(1), 2),
+    )
+    .run()
+    .expect("evacuation scenario runs");
+    assert!(evac.completed, "evacuation scenario must complete");
+    assert_eq!(evac.stats.evac_commits, 1, "the plan must commit");
+    let plan_at = |kind: &dyn Fn(&PlanEventKind) -> bool| {
+        evac.plan_events
+            .iter()
+            .find(|e| kind(&e.kind))
+            .map(|e| e.at_ns)
+            .expect("plan event present")
+    };
+    let evac_start = plan_at(&|k| matches!(k, PlanEventKind::PlanStarted { .. }));
+    let evac_done = plan_at(&|k| matches!(k, PlanEventKind::PlanCommitted { .. }));
+    let retired_at = evac
+        .events
+        .iter()
+        .filter(|e| matches!(e.action, ClusterAction::ScaleToZero { .. }))
+        .map(|e| e.at_ns)
+        .max()
+        .expect("both shares retire");
+    let evac_wall_ns = evac_done - evac_start;
+    let evac_retire_ns = retired_at - evac_start;
+
+    // Naive serial drain: the same host cleared one drained migration at
+    // a time; rotating tenants so the drains can actually complete.
+    let naive = ClusterScenario::new(
+        ClusterScenarioConfig::new(cluster())
+            .with_seed(11)
+            .with_tenant(ClusterTenant::new(VmId(1), 0).with_total_bytes(96 * 1024))
+            .with_tenant(ClusterTenant::new(VmId(2), 0).with_total_bytes(96 * 1024))
+            .with_migration(2_000_000, VmId(1), HostId(2))
+            .with_migration(6_000_000, VmId(2), HostId(3)),
+    )
+    .run()
+    .expect("naive drain scenario runs");
+    assert!(naive.completed, "naive drain scenario must complete");
+    let naive_done = naive
+        .events
+        .iter()
+        .filter(|e| matches!(e.action, ClusterAction::DrainComplete { .. }))
+        .map(|e| e.at_ns)
+        .max()
+        .expect("both drains complete");
+    let naive_wall_ns = naive_done - 2_000_000;
+
+    print_table(
+        "ev01: clearing a two-VM host, planned evacuation vs serial drain",
+        &["mode", "wall-clock (ms)", "reconnects", "bytes verified"],
+        &[
+            vec![
+                "evacuation".into(),
+                f(evac_wall_ns as f64 / 1e6, 3),
+                evac.reconnects.to_string(),
+                evac.bytes_verified.to_string(),
+            ],
+            vec![
+                "serial drain".into(),
+                f(naive_wall_ns as f64 / 1e6, 3),
+                naive.reconnects.to_string(),
+                naive.bytes_verified.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "evacuation: {} warm move(s), {} connection(s) transplanted, both shares retired {:.3} ms after plan start",
+        evac.stats.warm_migrations,
+        evac.stats.conns_transplanted,
+        evac_retire_ns as f64 / 1e6
+    );
+    results
+        .experiment("ev01")
+        .metric("evac_wall_ms", "ms", evac_wall_ns as f64 / 1e6)
+        .metric("evac_retire_ms", "ms", evac_retire_ns as f64 / 1e6)
+        .metric("evac_reconnects", "count", evac.reconnects as f64)
+        .metric(
+            "conns_transplanted",
+            "count",
+            evac.stats.conns_transplanted as f64,
+        )
+        .metric("naive_drain_wall_ms", "ms", naive_wall_ns as f64 / 1e6)
+        .metric("naive_reconnects", "count", naive.reconnects as f64);
 }
 
 /// par01: the sharded cluster datapath — steps/sec vs worker threads at

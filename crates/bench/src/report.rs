@@ -9,6 +9,19 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Deserialize a field that may be absent in a file written by an older
+/// schema: a missing object key reads as `Null`, which maps to the field
+/// type's default instead of failing the whole file. (Dropping the file
+/// would silently discard every previously recorded experiment — the
+/// accumulate-don't-clobber contract of [`BenchResults::write`] depends on
+/// old files staying readable.)
+fn or_default<T: Deserialize + Default>(v: &serde::Value) -> Result<T, serde::Error> {
+    match v {
+        serde::Value::Null => Ok(T::default()),
+        other => T::from_value(other),
+    }
+}
+
 /// Print a table with a title, a header row and data rows, with columns
 /// aligned on width.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -48,7 +61,7 @@ pub fn f(v: f64, decimals: usize) -> String {
 }
 
 /// One named number of one experiment (e.g. `send_gbps_8k` in `Gbps`).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct Metric {
     /// Machine-friendly metric name.
     pub label: String,
@@ -58,13 +71,38 @@ pub struct Metric {
     pub value: f64,
 }
 
+impl Deserialize for Metric {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("object", "Metric"));
+        }
+        Ok(Metric {
+            label: or_default(v.get("label"))?,
+            unit: or_default(v.get("unit"))?,
+            value: or_default(v.get("value"))?,
+        })
+    }
+}
+
 /// The machine-readable record of one experiment.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct ExperimentResult {
     /// Experiment name as used on the CLI (`fig13`, `tab05`, …).
     pub name: String,
     /// Headline metrics.
     pub metrics: Vec<Metric>,
+}
+
+impl Deserialize for ExperimentResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("object", "ExperimentResult"));
+        }
+        Ok(ExperimentResult {
+            name: or_default(v.get("name"))?,
+            metrics: or_default(v.get("metrics"))?,
+        })
+    }
 }
 
 impl ExperimentResult {
@@ -81,10 +119,21 @@ impl ExperimentResult {
 
 /// Collector for a whole experiments run, serialized to
 /// `BENCH_results.json`.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct BenchResults {
     /// One entry per experiment that ran, in execution order.
     pub experiments: Vec<ExperimentResult>,
+}
+
+impl Deserialize for BenchResults {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(v, serde::Value::Object(_)) {
+            return Err(serde::Error::expected("object", "BenchResults"));
+        }
+        Ok(BenchResults {
+            experiments: or_default(v.get("experiments"))?,
+        })
+    }
 }
 
 impl BenchResults {
@@ -227,6 +276,52 @@ mod tests {
         let replaced: BenchResults =
             serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
         assert_eq!(replaced, rerun);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A results file written by an older schema — fields missing, unknown
+    /// keys present — must still merge: its experiments are kept (missing
+    /// fields read as defaults), not silently dropped by a failed parse.
+    #[test]
+    fn writing_over_an_old_schema_file_keeps_its_experiments() {
+        let path = std::env::temp_dir().join("nk_bench_results_stale_test.json");
+        let path = path.to_str().unwrap();
+        // Hand-written stale file: `unit` is missing from the metric,
+        // `schema` and `host` are keys this version has never heard of.
+        std::fs::write(
+            path,
+            r#"{
+  "experiments": [
+    {
+      "name": "old01",
+      "metrics": [
+        { "label": "gbps", "value": 12.5, "host": "ci-runner-3" }
+      ]
+    }
+  ],
+  "schema": 0
+}"#,
+        )
+        .unwrap();
+
+        let mut rerun = BenchResults::new();
+        rerun.experiment("new01").metric("speedup", "x", 2.5);
+        rerun.write(path).unwrap();
+
+        let merged: BenchResults =
+            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        let names: Vec<&str> = merged.experiments.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["old01", "new01"],
+            "the old-schema experiment survives the merge"
+        );
+        assert_eq!(merged.experiments[0].metrics[0].label, "gbps");
+        assert_eq!(merged.experiments[0].metrics[0].value, 12.5);
+        assert_eq!(
+            merged.experiments[0].metrics[0].unit, "",
+            "a missing field reads as its default"
+        );
         let _ = std::fs::remove_file(path);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::exec::{ExecStats, ShardedExecutor, StepOutcome};
 use nk_ctrl::placer::{ClusterSample, HostLoad, Placer};
+use nk_ctrl::PlanEvent;
 use nk_fabric::link::LinkConfig;
 use nk_fabric::tor::TorSwitch;
 use nk_guest::GuestLib;
@@ -20,7 +21,7 @@ use std::collections::BTreeMap;
 /// quiescence check); a connection that never goes quiet — a peer streaming
 /// into the VM nonstop — is cut at the bound and recovers through TCP
 /// retransmission.
-const MAX_FREEZE_STEPS: usize = 16;
+pub(crate) const MAX_FREEZE_STEPS: usize = 16;
 
 /// Cluster scheduler and placement counters, for observability and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,47 +62,58 @@ pub struct ClusterStats {
     /// Frames the ToR forwarded at round barriers — the traffic crossing
     /// the cluster fabric (and, when sharded, the only cross-shard edge).
     pub barrier_frames: u64,
+    /// Evacuation plans admitted (committed or not).
+    pub evac_plans: u64,
+    /// Evacuation plans that committed (every action done).
+    pub evac_commits: u64,
+    /// Evacuation plans rolled back after a mid-plan failure.
+    pub evac_rollbacks: u64,
+    /// Hosts killed outright (fault injection / operator action).
+    pub hosts_killed: u64,
 }
 
 /// An in-flight drain: the VM has moved, its source share has not emptied
 /// yet.
-struct ActiveDrain {
-    vm: VmId,
-    from: HostId,
-    nsm: NsmId,
+pub(crate) struct ActiveDrain {
+    pub(crate) vm: VmId,
+    pub(crate) from: HostId,
+    pub(crate) nsm: NsmId,
 }
 
 /// A set of [`NetKernelHost`]s joined by uplinks through a top-of-rack
 /// switch, sharing one virtual clock, with cross-host VM migration (drained)
 /// as a first-class operation and an optional cluster placement loop.
 pub struct Cluster {
-    cfg: ClusterConfig,
-    hosts: BTreeMap<HostId, NetKernelHost>,
-    tor: TorSwitch<Segment>,
+    pub(crate) cfg: ClusterConfig,
+    pub(crate) hosts: BTreeMap<HostId, NetKernelHost>,
+    pub(crate) tor: TorSwitch<Segment>,
     /// Datacenter-level endpoints attached at the ToR (gateways, servers
     /// every host talks to).
-    remotes: BTreeMap<u32, TcpStack>,
+    pub(crate) remotes: BTreeMap<u32, TcpStack>,
     /// Where each VM's *new* connections open (updated by migrations).
-    vm_home: BTreeMap<VmId, HostId>,
-    placer: Option<Placer>,
-    drains: Vec<ActiveDrain>,
-    events: Vec<ClusterEvent>,
+    pub(crate) vm_home: BTreeMap<VmId, HostId>,
+    pub(crate) placer: Option<Placer>,
+    pub(crate) drains: Vec<ActiveDrain>,
+    pub(crate) events: Vec<ClusterEvent>,
+    /// Serialized plan-event logs of every evacuation run so far, in
+    /// execution order (see [`crate::evac`]).
+    pub(crate) plan_events: Vec<PlanEvent>,
     /// Placement epochs completed (also stamps drain events).
-    epoch: u64,
-    next_epoch_ns: u64,
-    last_sample_ns: u64,
+    pub(crate) epoch: u64,
+    pub(crate) next_epoch_ns: u64,
+    pub(crate) last_sample_ns: u64,
     /// Pool-ledger snapshots at the previous placement epoch, per host NSM.
-    prev_ledgers: BTreeMap<(HostId, PoolMember), CycleLedger>,
+    pub(crate) prev_ledgers: BTreeMap<(HostId, PoolMember), CycleLedger>,
     /// Uplink byte counters at the previous placement epoch.
-    prev_uplink: BTreeMap<HostId, (u64, u64)>,
+    pub(crate) prev_uplink: BTreeMap<HostId, (u64, u64)>,
     /// Per-VM forwarded bytes at the previous placement epoch.
-    prev_vm_bytes: BTreeMap<(HostId, VmId), u64>,
-    stats: ClusterStats,
+    pub(crate) prev_vm_bytes: BTreeMap<(HostId, VmId), u64>,
+    pub(crate) stats: ClusterStats,
     /// Drives the begin/rounds/close step over all hosts — serially at
     /// `threads == 1`, sharded across worker threads otherwise. Semantics
     /// are identical either way; see [`crate::exec`].
-    exec: ShardedExecutor,
-    now_ns: u64,
+    pub(crate) exec: ShardedExecutor,
+    pub(crate) now_ns: u64,
 }
 
 impl Cluster {
@@ -143,6 +155,7 @@ impl Cluster {
             placer,
             drains: Vec::new(),
             events: Vec::new(),
+            plan_events: Vec::new(),
             epoch: 0,
             next_epoch_ns,
             last_sample_ns: 0,
@@ -160,14 +173,28 @@ impl Cluster {
     /// or an operator can re-run any scenario at a different parallelism
     /// without touching the config — the results are identical either way.
     fn resolve_threads(configured: usize) -> usize {
-        match std::env::var("NK_CLUSTER_THREADS") {
-            Ok(v) => v
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|t| *t > 0)
-                .unwrap_or(configured),
-            Err(_) => configured,
+        let var = std::env::var("NK_CLUSTER_THREADS").ok();
+        Self::resolve_threads_from(var.as_deref(), configured)
+    }
+
+    /// The env-free core of [`Cluster::resolve_threads`]. A value that is
+    /// not a positive integer — `0`, garbage, whitespace-only — must not
+    /// silently pick some other parallelism (a zero-thread executor would
+    /// deadlock; an unnoticed typo would invalidate a determinism replay),
+    /// so the fallback to the configured count is logged on stderr.
+    pub(crate) fn resolve_threads_from(raw: Option<&str>, configured: usize) -> usize {
+        let Some(raw) = raw else {
+            return configured;
+        };
+        match raw.trim().parse::<usize>() {
+            Ok(t) if t > 0 => t,
+            _ => {
+                eprintln!(
+                    "NK_CLUSTER_THREADS={raw:?} is not a positive integer; \
+                     falling back to the configured {configured} thread(s)"
+                );
+                configured
+            }
         }
     }
 
@@ -320,7 +347,7 @@ impl Cluster {
     /// stacks — runs at each round barrier with every worker parked,
     /// draining host uplinks in route order (ascending host id), so the
     /// cross-shard frame merge is deterministic for any thread count.
-    fn drive_step(&mut self, dt_ns: u64, close: bool) -> StepOutcome {
+    pub(crate) fn drive_step(&mut self, dt_ns: u64, close: bool) -> StepOutcome {
         self.now_ns += dt_ns;
         let before = {
             let s = self.exec.stats();
@@ -493,20 +520,25 @@ impl Cluster {
         };
         // Mid-step reroute: each transplanted address now lives behind the
         // destination host's trunk.
-        let rerouted = export.rerouted_ips();
-        for ip in &rerouted {
-            self.tor.add_route_via(*ip, u32::MAX, host_prefix(to));
-        }
+        let detours = match self.install_detours(&export.rerouted_ips(), from, to) {
+            Ok(detours) => detours,
+            Err(e) => {
+                self.hosts
+                    .get_mut(&from)
+                    .expect("source exists")
+                    .import_vm_warm(&export, from_nsm)
+                    .expect("source re-accepts its own export");
+                return Err(e);
+            }
+        };
         if let Err(e) = self
             .hosts
             .get_mut(&to)
             .expect("destination checked by pick_destination_nsm")
             .import_vm_warm(&export, to_nsm)
         {
-            // Roll back: routes out, state back where it came from.
-            for ip in &rerouted {
-                self.tor.remove_route(*ip, u32::MAX);
-            }
+            // Roll back: routes restored, state back where it came from.
+            self.revert_detours(&detours);
             self.hosts
                 .get_mut(&from)
                 .expect("source exists")
@@ -547,11 +579,53 @@ impl Cluster {
         Ok(())
     }
 
+    /// Install a `/32` detour for every transplanted address, steering it
+    /// behind the destination host's trunk, and record what to do on
+    /// revert. An address already *outside* the source host's block was
+    /// detoured by an earlier warm hop — its previous `/32` (via the source
+    /// trunk) was just replaced and must be *restored*, not deleted: a bare
+    /// delete would fall the address back to its origin host's block route,
+    /// stranding the connection. Any install failure reverts the detours
+    /// already placed and returns [`NkError::NotFound`].
+    pub(crate) fn install_detours(
+        &mut self,
+        ips: &[u32],
+        from: HostId,
+        to: HostId,
+    ) -> NkResult<Vec<(u32, Option<u32>)>> {
+        let mut installed: Vec<(u32, Option<u32>)> = Vec::new();
+        for ip in ips {
+            let prior = (*ip & HOST_PREFIX_MASK != host_prefix(from)).then(|| host_prefix(from));
+            if !self.tor.add_route_via(*ip, u32::MAX, host_prefix(to)) {
+                self.revert_detours(&installed);
+                return Err(NkError::NotFound);
+            }
+            installed.push((*ip, prior));
+        }
+        Ok(installed)
+    }
+
+    /// Undo [`Cluster::install_detours`], newest first: a detour that
+    /// replaced an earlier hop's `/32` is re-pointed at the source trunk; a
+    /// fresh one is removed outright.
+    pub(crate) fn revert_detours(&mut self, routes: &[(u32, Option<u32>)]) {
+        for (ip, prior) in routes.iter().rev() {
+            match prior {
+                Some(via) => {
+                    self.tor.add_route_via(*ip, u32::MAX, *via);
+                }
+                None => {
+                    self.tor.remove_route(*ip, u32::MAX);
+                }
+            }
+        }
+    }
+
     /// One freeze-window mini-step: virtual time advances and every
     /// datapath component polls to quiescence, but no control epochs close
     /// and no drains advance — the cluster is mid-handover. Returns the
     /// work done.
-    fn freeze_ministep(&mut self, dt_ns: u64) -> usize {
+    pub(crate) fn freeze_ministep(&mut self, dt_ns: u64) -> usize {
         let outcome = self.drive_step(dt_ns, false);
         self.stats.freeze_steps += 1;
         outcome.work
@@ -560,7 +634,7 @@ impl Cluster {
     /// The destination NSM for a migration: among the host's alive
     /// TCP-stack NSMs, the one serving the fewest VMs (ties by id) — the
     /// same least-loaded rule initial placement uses.
-    fn pick_destination_nsm(&self, host: HostId) -> NkResult<NsmId> {
+    pub(crate) fn pick_destination_nsm(&self, host: HostId) -> NkResult<NsmId> {
         let h = self.hosts.get(&host).ok_or(NkError::NotFound)?;
         let vms: Vec<VmId> = h.config().vms.iter().map(|v| v.id).collect();
         h.config()
@@ -703,7 +777,7 @@ impl Cluster {
         ClusterSample { now_ns, hosts }
     }
 
-    fn push_event(&mut self, action: ClusterAction) {
+    pub(crate) fn push_event(&mut self, action: ClusterAction) {
         self.events.push(ClusterEvent {
             at_ns: self.now_ns,
             epoch: self.epoch,
@@ -1017,5 +1091,90 @@ mod tests {
             .with_host(host(1, &[1]))
             .with_policy(ClusterPolicy::new().with_window(0));
         assert!(Cluster::new(bad_policy).is_err());
+    }
+
+    /// The `NK_CLUSTER_THREADS` override accepts only positive integers;
+    /// `0`, garbage and whitespace-only values fall back to the configured
+    /// count instead of silently picking something else.
+    #[test]
+    fn thread_override_rejects_zero_and_garbage() {
+        assert_eq!(Cluster::resolve_threads_from(None, 3), 3);
+        assert_eq!(Cluster::resolve_threads_from(Some("4"), 3), 4);
+        assert_eq!(Cluster::resolve_threads_from(Some(" 2 "), 3), 2);
+        assert_eq!(Cluster::resolve_threads_from(Some("0"), 3), 3);
+        assert_eq!(Cluster::resolve_threads_from(Some("abc"), 3), 3);
+        assert_eq!(Cluster::resolve_threads_from(Some(""), 3), 3);
+        assert_eq!(Cluster::resolve_threads_from(Some("-1"), 3), 3);
+    }
+
+    /// A warm migration whose destination install fails *after* the ToR
+    /// detour went in must restore the routing table, not just delete the
+    /// `/32`: when the connection had already warm-hopped once, its detour
+    /// pointed at the current host's trunk, and deleting it would strand
+    /// the flow on the origin host's block route. The VM must end up
+    /// serving on its pre-call host, un-frozen, with nothing left on the
+    /// destination — and a retry must succeed.
+    #[test]
+    fn failed_warm_install_restores_prior_detours_and_thaws_the_source() {
+        let mut cluster = Cluster::new(
+            ClusterConfig::new()
+                .with_host(host(1, &[1]))
+                .with_host(host(2, &[]))
+                .with_host(host(3, &[])),
+        )
+        .unwrap();
+        let server = cluster.add_remote(SERVER_IP);
+        let ls = server.socket();
+        server.bind(ls, SockAddr::new(0, 7)).unwrap();
+        server.listen(ls, 4).unwrap();
+        let guest = cluster.guest_on(HostId(1), VmId(1)).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        cluster.run(20, 100_000);
+        assert!(cluster.host(HostId(1)).unwrap().vm_pinned(VmId(1)) >= 1);
+
+        // First hop: the connection's address now detours via host 2.
+        cluster
+            .migrate_vm_warm(VmId(1), HostId(1), HostId(2))
+            .unwrap();
+        let routes_before = cluster.tor.routes();
+
+        // Second hop fails at the destination install, after the detour
+        // was repointed at host 3.
+        cluster
+            .host_mut(HostId(3))
+            .unwrap()
+            .inject_import_failures(1);
+        assert_eq!(
+            cluster.migrate_vm_warm(VmId(1), HostId(2), HostId(3)),
+            Err(NkError::NsmUnavailable)
+        );
+
+        // Rollback left the world exactly as before the attempt: home,
+        // thawed VM, no residue on host 3, and the host-2 detour restored
+        // (same route count — nothing leaked, nothing deleted).
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(2)));
+        assert!(!cluster.host(HostId(2)).unwrap().vm_frozen(VmId(1)));
+        assert!(cluster.guest_on(HostId(3), VmId(1)).is_none());
+        assert!(cluster.host(HostId(3)).unwrap().warm_aliases().is_empty());
+        assert_eq!(cluster.tor.routes(), routes_before);
+
+        // The restored detour still carries traffic: the transplanted
+        // connection keeps round-tripping from host 2.
+        let guest = cluster.guest_on(HostId(2), VmId(1)).unwrap();
+        assert_eq!(guest.send(s, b"still here").unwrap(), 10);
+        cluster.run(20, 100_000);
+        let server = cluster.remote_mut(SERVER_IP).unwrap();
+        let (conn, _) = server.accept(ls).unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(server.recv(conn, &mut buf).unwrap(), 10);
+        assert_eq!(&buf[..10], b"still here");
+
+        // And the failure was transient: the retry completes the hop.
+        cluster
+            .migrate_vm_warm(VmId(1), HostId(2), HostId(3))
+            .unwrap();
+        assert_eq!(cluster.home_of(VmId(1)), Some(HostId(3)));
+        assert!(cluster.guest_on(HostId(3), VmId(1)).unwrap().has_socket(s));
     }
 }

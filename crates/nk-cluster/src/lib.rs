@@ -22,9 +22,18 @@
 //! hosts across worker threads with a round barrier, and the results —
 //! event logs, digests, stats — are byte-identical for any
 //! [`nk_types::ClusterConfig::threads`] value.
+//!
+//! Clearing a whole host is a *planned, revertible* operation: [`evac`]
+//! compiles the evacuation into an [`nk_ctrl::EvacPlan`] (warm where the
+//! exclusivity guard allows, drained otherwise), executes it in paced waves
+//! with a shared freeze window, and rolls every completed action back in
+//! reverse order if anything mid-plan fails — placement, routes and event
+//! digest land back exactly where they started.
 
 pub mod cluster;
+pub mod evac;
 pub mod exec;
 
 pub use cluster::{Cluster, ClusterStats};
+pub use evac::{ControlLogEntry, EvacFault, EvacFaultKind, EvacReport};
 pub use exec::{ExecStats, ShardStats, ShardedExecutor, StepOutcome, StepUnit};

@@ -27,12 +27,21 @@
 //! (NSM load plus weighted cross-host traffic), and the monitor/rebalancer
 //! machinery then decides cross-host VM migrations unchanged.
 //!
+//! [`evacuate`] adds the multi-step operation the one-shot decisions above
+//! cannot express: clearing a whole host compiles into an [`EvacPlan`] —
+//! a DAG of typed actions, each with a revert, paced into bounded waves —
+//! and a [`PlanRun`] tracks execution so a mid-plan failure unwinds every
+//! completed action in reverse order. The cluster layer supplies the
+//! mechanism; this crate owns the plan's shape and its serializable
+//! [`PlanEvent`] log.
+//!
 //! Everything is deterministic: state lives in `BTreeMap`s, decisions
 //! derive only from the sampled history and the policy, and the same sample
 //! stream always yields the same action stream — the property the
 //! byte-identical scenario replays build on.
 
 pub mod autoscale;
+pub mod evacuate;
 pub mod monitor;
 pub mod placer;
 pub mod rebalance;
@@ -41,6 +50,10 @@ use nk_types::{ControlAction, ControlPolicy, NkResult, NsmId, VmId};
 use std::collections::BTreeMap;
 
 pub use autoscale::Autoscaler;
+pub use evacuate::{
+    EvacAction, EvacMode, EvacMove, EvacPlan, EvacStep, PlanEvent, PlanEventKind, PlanRun,
+    StepStatus,
+};
 pub use monitor::LoadMonitor;
 pub use placer::{ClusterSample, HostLoad, Migration, Placer};
 pub use rebalance::Rebalancer;

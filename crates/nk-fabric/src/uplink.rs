@@ -4,7 +4,7 @@
 //! mutex-guarded [`crate::port::Port`]. With the cluster datapath sharded
 //! across worker threads, the uplink is the *only* cross-shard edge — the
 //! host side lives on a worker, the ToR side on the coordinator — so it is
-//! built from two [`nk_queue::unbounded`] SPSC queues instead: each
+//! built from two [`nk_queue::unbounded()`] SPSC queues instead: each
 //! direction has exactly one producer (the host's TX, the ToR's delivery)
 //! and one consumer (the ToR's ingress drain, the host's RX), no locks, and
 //! pushes that can never fail (dropping a frame on overflow would make

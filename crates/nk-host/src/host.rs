@@ -147,6 +147,10 @@ pub struct NetKernelHost {
     epoch_ledgers: BTreeMap<PoolMember, CycleLedger>,
     /// Per-VM forwarded bytes at the previous epoch boundary.
     epoch_vm_bytes: BTreeMap<VmId, u64>,
+    /// Remaining warm imports to refuse, armed by
+    /// [`NetKernelHost::inject_import_failures`] — the fault surface
+    /// evacuation-rollback tests drive.
+    import_fail_budget: u32,
     now_ns: u64,
 }
 
@@ -247,6 +251,7 @@ impl NetKernelHost {
             next_epoch_ns,
             epoch_ledgers: BTreeMap::new(),
             epoch_vm_bytes: BTreeMap::new(),
+            import_fail_budget: 0,
             now_ns: 0,
         })
     }
@@ -1033,6 +1038,28 @@ impl NetKernelHost {
         self.pools.set_cores(PoolMember::Nsm(nsm), 0)
     }
 
+    /// Undo a [`NetKernelHost::retire_nsm_if_drained`]: restore the NSM's
+    /// configured core allocation. The revert half of an evacuation plan's
+    /// scale-to-zero tail — a rolled-back plan must leave the share exactly
+    /// as it found it. Returns whether a zero-core share was revived.
+    pub fn revive_nsm_share(&mut self, nsm: NsmId) -> bool {
+        if !self.nsms.contains_key(&nsm) || self.pools.cores(PoolMember::Nsm(nsm)) != Some(0) {
+            return false;
+        }
+        let vcpus = self.cfg.nsm(nsm).map(|n| n.vcpus).unwrap_or(1);
+        self.pools.set_cores(PoolMember::Nsm(nsm), vcpus)
+    }
+
+    /// Arm the warm-import fault: the next `n` calls to
+    /// [`NetKernelHost::import_vm_warm`] refuse with
+    /// [`NkError::NsmUnavailable`] before touching any state — the
+    /// destination behaving as if its share vanished at the worst moment.
+    /// Rollback paths (single warm migration and whole-plan evacuation) are
+    /// tested through this surface.
+    pub fn inject_import_failures(&mut self, n: u32) {
+        self.import_fail_budget = n;
+    }
+
     // ---- Warm cross-host migration: freeze / export / install ---------------
 
     /// Open a warm-migration freeze window on a VM: CoreEngine stops
@@ -1196,6 +1223,10 @@ impl NetKernelHost {
     /// destination vNIC so rerouted frames land in the adopted stack.
     pub fn import_vm_warm(&mut self, export: &VmWarmExport, nsm: NsmId) -> NkResult<()> {
         let vm = export.vm_id();
+        if self.import_fail_budget > 0 {
+            self.import_fail_budget -= 1;
+            return Err(NkError::NsmUnavailable);
+        }
         if !matches!(self.nsms.get(&nsm), Some(NsmInstance::Tcp(_))) {
             return Err(NkError::NotFound);
         }

@@ -9,7 +9,7 @@
 //!
 //! * [`spsc`] — a bounded single-producer/single-consumer lock-free ring
 //!   buffer, the building block of every NQE queue;
-//! * [`unbounded`] — an unbounded wait-free SPSC queue, the cross-shard
+//! * [`mod@unbounded`] — an unbounded wait-free SPSC queue, the cross-shard
 //!   fabric edge of the parallel cluster datapath (frames must never be
 //!   dropped for capacity reasons, or behaviour would depend on timing);
 //! * [`queueset`] — the four-queue set (job / completion / send / receive) of

@@ -336,6 +336,27 @@ pub enum ClusterAction {
         /// Connections serving there.
         connections: u32,
     },
+    /// A planned evacuation committed: every VM homed on the host moved off
+    /// it (warm where the source share was exclusive, drained otherwise).
+    /// The per-step record lives in the plan event log; this is the
+    /// cluster-visible milestone.
+    HostEvacuated {
+        /// The cleared host.
+        host: HostId,
+        /// VMs moved off it.
+        vms: u32,
+        /// How many travelled warm (connections transplanted).
+        warm: u32,
+        /// How many travelled drained.
+        drained: u32,
+    },
+    /// A host died (fault injection or operator action): its instance, its
+    /// ToR trunk and every VM home pointing at it are gone. Connections it
+    /// served are lost; in-flight evacuations involving it roll back.
+    HostKilled {
+        /// The host that died.
+        host: HostId,
+    },
 }
 
 /// A [`ClusterAction`] stamped with when it was taken.
@@ -482,6 +503,13 @@ mod tests {
                 to: HostId(2),
                 connections: 3,
             },
+            ClusterAction::HostEvacuated {
+                host: HostId(1),
+                vms: 3,
+                warm: 2,
+                drained: 1,
+            },
+            ClusterAction::HostKilled { host: HostId(3) },
         ] {
             let ev = ClusterEvent {
                 at_ns: 42,

@@ -25,6 +25,7 @@
 //! CI determinism job can assert byte-identical replays.
 
 use nk_cluster::{Cluster, ClusterStats};
+use nk_ctrl::PlanEvent;
 use nk_types::{
     ClusterConfig, ClusterEvent, HostId, NkError, NkResult, NsmId, SockAddr, SocketApi, SocketId,
     VmId,
@@ -94,6 +95,21 @@ pub struct PlannedMigration {
     pub warm: bool,
 }
 
+/// A host evacuation scripted against virtual time: once reached, the
+/// whole host is cleared through the plan/apply machinery
+/// ([`Cluster::evacuate_host`]) — warm per VM where the exclusivity guard
+/// allows, drained otherwise, with the emptied shares scaled to zero at the
+/// plan tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlannedEvacuation {
+    /// Fire once virtual time reaches this.
+    pub at_ns: u64,
+    /// The host to clear.
+    pub host: HostId,
+    /// VM chains started per plan wave (bounded concurrency).
+    pub pace: usize,
+}
+
 /// Configuration of one cluster scenario run.
 #[derive(Clone, Debug)]
 pub struct ClusterScenarioConfig {
@@ -109,6 +125,8 @@ pub struct ClusterScenarioConfig {
     pub tenants: Vec<ClusterTenant>,
     /// Scripted cross-host migrations.
     pub migrations: Vec<PlannedMigration>,
+    /// Scripted host evacuations.
+    pub evacuations: Vec<PlannedEvacuation>,
     /// Step budget (livelock guard).
     pub max_steps: usize,
     /// Steps to keep running after every tenant finished, so drains
@@ -130,6 +148,7 @@ impl ClusterScenarioConfig {
             server_port: 7,
             tenants: Vec::new(),
             migrations: Vec::new(),
+            evacuations: Vec::new(),
             max_steps: 40_000,
             drain_steps: 200,
             dt_ns: 100_000,
@@ -165,6 +184,13 @@ impl ClusterScenarioConfig {
         self
     }
 
+    /// Script a planned host evacuation (builder style).
+    pub fn with_evacuation(mut self, at_ns: u64, host: HostId, pace: usize) -> Self {
+        self.evacuations
+            .push(PlannedEvacuation { at_ns, host, pace });
+        self
+    }
+
     /// Set the payload seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -189,6 +215,8 @@ pub struct ClusterScenarioReport {
     pub reconnects: u64,
     /// The complete cluster event log (migrations, drains, retirements).
     pub events: Vec<ClusterEvent>,
+    /// Every evacuation plan's event log, in execution order.
+    pub plan_events: Vec<PlanEvent>,
     /// FNV-1a digest of the serialized event log.
     pub event_digest: u64,
     /// Host serving each tenant's new connections at the end of the run.
@@ -270,6 +298,8 @@ impl ClusterScenario {
             .collect();
         let mut pending_migrations = cfg.migrations.clone();
         pending_migrations.sort_by_key(|m| (m.at_ns, m.vm));
+        let mut pending_evacuations = cfg.evacuations.clone();
+        pending_evacuations.sort_by_key(|e| (e.at_ns, e.host));
 
         let mut steps = 0u64;
         let mut drained = 0usize;
@@ -294,6 +324,13 @@ impl ClusterScenario {
                         }
                     }
                 }
+            }
+            // Scripted evacuations clear whole hosts through the planned,
+            // revertible path; an evacuation of an already-empty host
+            // compiles to a trivially committing plan.
+            while pending_evacuations.first().is_some_and(|e| e.at_ns <= now) {
+                let e = pending_evacuations.remove(0);
+                cluster.evacuate_host(e.host, e.pace)?;
             }
             let target = SockAddr::new(cfg.server_ip, cfg.server_port);
             for t in tenants.iter_mut() {
@@ -349,6 +386,7 @@ impl ClusterScenario {
             errors_observed: tenants.iter().map(|t| t.errors_observed).sum(),
             reconnects: tenants.iter().map(|t| t.reconnects).sum(),
             events: cluster.events().to_vec(),
+            plan_events: cluster.plan_events().to_vec(),
             event_digest: cluster.event_digest(),
             final_homes,
             final_nsm_cores,
@@ -572,6 +610,46 @@ mod tests {
         assert_eq!(report.stats.drains_completed, 0);
         assert_eq!(report.final_homes[&VmId(1)], HostId(2));
         assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
+    }
+
+    /// A scripted host evacuation clears the host mid-stream through the
+    /// plan/apply machinery: the long-lived tenant's connection rides the
+    /// warm move without reconnecting, the emptied share is scaled to
+    /// zero, and the plan event log lands in the report.
+    #[test]
+    fn scripted_evacuation_clears_the_host_without_reconnects() {
+        use nk_ctrl::PlanEventKind;
+        let cluster = ClusterConfig::new()
+            .with_host(host(1, &[1]))
+            .with_host(host(2, &[]));
+        let report = ClusterScenario::new(
+            ClusterScenarioConfig::new(cluster)
+                .with_tenant(
+                    ClusterTenant::new(VmId(1), 0)
+                        .with_total_bytes(32 * 1024)
+                        .long_lived(),
+                )
+                .with_evacuation(1_000_000, HostId(1), 2),
+        )
+        .run()
+        .unwrap();
+        assert!(report.completed, "{report:?}");
+        assert_eq!(report.bytes_verified, 32 * 1024);
+        assert_eq!(report.errors_observed, 0);
+        assert_eq!(report.reconnects, 0, "warm evacuation must be seamless");
+        assert_eq!(report.stats.evac_plans, 1);
+        assert_eq!(report.stats.evac_commits, 1);
+        assert_eq!(report.stats.warm_migrations, 1);
+        assert_eq!(report.final_homes[&VmId(1)], HostId(2));
+        assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
+        assert!(
+            matches!(
+                report.plan_events.last().map(|e| e.kind),
+                Some(PlanEventKind::PlanCommitted { .. })
+            ),
+            "{:?}",
+            report.plan_events
+        );
     }
 
     #[test]

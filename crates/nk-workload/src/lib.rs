@@ -32,6 +32,7 @@ pub use agtrace::{AgTrace, AgTraceConfig};
 pub use apps::{ClosedLoopClient, EchoServer};
 pub use bursty::{BurstyClient, BurstyConfig, BurstyReport, BurstyScenario};
 pub use cluster::{
-    ClusterScenario, ClusterScenarioConfig, ClusterScenarioReport, ClusterTenant, PlannedMigration,
+    ClusterScenario, ClusterScenarioConfig, ClusterScenarioReport, ClusterTenant,
+    PlannedEvacuation, PlannedMigration,
 };
 pub use scenario::{random_fault_plan, seeded_payload, Scenario, ScenarioConfig, ScenarioReport};

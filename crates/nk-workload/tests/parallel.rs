@@ -13,7 +13,8 @@
 //! CI job can run this whole suite under a forced thread count; equality
 //! still holds because every run then uses the same override.)
 
-use nk_cluster::{Cluster, ClusterStats};
+use nk_cluster::{Cluster, ClusterStats, ControlLogEntry, EvacFault, EvacFaultKind};
+use nk_ctrl::{EvacAction, PlanEvent};
 use nk_types::{
     ClusterConfig, ControlEvent, ControlPolicy, FaultAction, FaultPlan, HostConfig, HostId,
     LinkFault, NkError, NsmConfig, NsmId, SockAddr, SocketApi, VmConfig, VmId, VmToNsmPolicy,
@@ -219,6 +220,122 @@ fn fault_run(threads: usize) -> FaultRunReport {
     }
 }
 
+/// Everything observable from the evacuation run, for whole-value
+/// comparison: the event digest, the stats, the full plan event log, the
+/// merged control view, the final placement and every echoed byte stream.
+#[derive(Debug, PartialEq)]
+struct EvacRunReport {
+    digest: u64,
+    stats: ClusterStats,
+    plan_events: Vec<PlanEvent>,
+    control: Vec<ControlLogEntry>,
+    homes: Vec<(VmId, HostId)>,
+    streams: Vec<Vec<u8>>,
+}
+
+/// A fault-injected evacuation: host 1 holds two warm-eligible VMs with
+/// pinned connections; the first evacuation attempt loses destination
+/// host 3 right before its install (killed mid-plan) and must roll back
+/// completely, then a retry packs both VMs onto the surviving host 2 and
+/// commits. Both the rollback and the commit are part of the replayed,
+/// thread-invariant history.
+fn evacuation_run(threads: usize) -> EvacRunReport {
+    let cfg = ClusterConfig::new()
+        .with_uplink_latency_us(2)
+        .with_threads(threads)
+        .with_host(
+            HostConfig::new()
+                .with_host_id(HostId(1))
+                .with_nsm(NsmConfig::kernel(NsmId(1)))
+                .with_nsm(NsmConfig::kernel(NsmId(2)))
+                .with_mapping(VmToNsmPolicy::Static(vec![
+                    (VmId(1), NsmId(1)),
+                    (VmId(2), NsmId(2)),
+                ]))
+                .with_vm(VmConfig::new(VmId(1)))
+                .with_vm(VmConfig::new(VmId(2))),
+        )
+        .with_host(host(2, &[]))
+        .with_host(host(3, &[]));
+    let mut cluster = Cluster::new(cfg).expect("valid evacuation cluster");
+    let server = cluster.add_remote(SERVER_IP);
+    let ls = server.socket();
+    server.bind(ls, SockAddr::new(0, 7)).unwrap();
+    server.listen(ls, 16).unwrap();
+    let mut socks = Vec::new();
+    for vm in [VmId(1), VmId(2)] {
+        let guest = cluster.guest_on(HostId(1), vm).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        socks.push((vm, s));
+    }
+    cluster.run(20, 100_000);
+    for &(vm, s) in &socks {
+        let guest = cluster.guest_on(HostId(1), vm).unwrap();
+        guest.send(s, b"pinned").unwrap();
+    }
+    cluster.run(10, 100_000);
+
+    // Kill the second destination right before its install step: the
+    // whole plan reverts and both VMs stay home on host 1.
+    let probe = cluster
+        .plan_evacuation(HostId(1), 2)
+        .expect("plan compiles");
+    let install = probe
+        .steps
+        .iter()
+        .find(|s| matches!(s.action, EvacAction::Install { to: HostId(3), .. }))
+        .expect("the plan installs a VM on host 3")
+        .id;
+    let rolled_back = cluster
+        .evacuate_host_with_faults(
+            HostId(1),
+            2,
+            &[EvacFault {
+                before_step: install,
+                kind: EvacFaultKind::KillHost(HostId(3)),
+            }],
+        )
+        .expect("faulted evacuation reports instead of erroring");
+    assert!(!rolled_back.committed, "{rolled_back:?}");
+
+    // With host 3 gone the retry packs everything onto host 2 and commits;
+    // the pinned connections ride along.
+    let retried = cluster.evacuate_host(HostId(1), 2).expect("retry runs");
+    assert!(retried.committed, "{retried:?}");
+    for &(vm, s) in &socks {
+        let guest = cluster.guest_on(HostId(2), vm).unwrap();
+        guest.send(s, b"after").unwrap();
+    }
+    cluster.run(20, 100_000);
+
+    let server = cluster.remote_mut(SERVER_IP).unwrap();
+    let mut streams = Vec::new();
+    while let Ok((conn, _)) = server.accept(ls) {
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        while let Ok(n) = server.recv(conn, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        streams.push(got);
+    }
+    let homes = [VmId(1), VmId(2)]
+        .iter()
+        .map(|&vm| (vm, cluster.home_of(vm).expect("evacuated VM has a home")))
+        .collect();
+    EvacRunReport {
+        digest: cluster.event_digest(),
+        stats: cluster.stats(),
+        plan_events: cluster.plan_events().to_vec(),
+        control: cluster.control_log(),
+        homes,
+        streams,
+    }
+}
+
 #[test]
 fn cluster_scenario_is_identical_at_any_thread_count() {
     let reference = cluster_scenario(THREAD_MATRIX[0]);
@@ -259,6 +376,34 @@ fn fault_scenario_is_identical_at_any_thread_count() {
     assert!(reference.events > 0, "the drained migration must be logged");
     for &threads in &THREAD_MATRIX[1..] {
         let report = fault_run(threads);
+        assert_eq!(report, reference, "threads={threads} diverged");
+    }
+}
+
+/// The evacuation path joins the determinism matrix: a run containing a
+/// mid-plan host kill, the resulting full rollback and a committing retry
+/// replays byte-identically — digest, stats, plan event log, merged
+/// control view and every tenant byte — at 1, 2 and 4 worker threads.
+#[test]
+fn faulted_evacuation_is_identical_at_any_thread_count() {
+    let reference = evacuation_run(THREAD_MATRIX[0]);
+    assert_eq!(reference.stats.evac_plans, 2, "{reference:?}");
+    assert_eq!(reference.stats.evac_rollbacks, 1);
+    assert_eq!(reference.stats.evac_commits, 1);
+    assert_eq!(reference.stats.hosts_killed, 1);
+    assert_eq!(reference.stats.warm_migrations, 2);
+    assert_eq!(
+        reference.homes,
+        [(VmId(1), HostId(2)), (VmId(2), HostId(2))]
+    );
+    assert_eq!(
+        reference.streams,
+        vec![b"pinnedafter".to_vec(), b"pinnedafter".to_vec()],
+        "both connections stay byte-contiguous across rollback and retry"
+    );
+    assert!(!reference.plan_events.is_empty());
+    for &threads in &THREAD_MATRIX[1..] {
+        let report = evacuation_run(threads);
         assert_eq!(report, reference, "threads={threads} diverged");
     }
 }
