@@ -538,7 +538,7 @@ impl Cluster {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use nk_ctrl::PlanEventKind;
     use nk_types::{
@@ -548,7 +548,7 @@ mod tests {
 
     const SERVER_IP: u32 = 0xC0A8_0001; // outside every host block
 
-    fn empty_host(id: u8) -> HostConfig {
+    pub(crate) fn empty_host(id: u8) -> HostConfig {
         HostConfig::new()
             .with_host_id(HostId(id))
             .with_nsm(NsmConfig::kernel(NsmId(1)))
@@ -557,7 +557,7 @@ mod tests {
 
     /// Host 1 carries the VMs: each of `exclusive` on its own NSM (warm
     /// eligible), all of `shared` together on one extra NSM (drained only).
-    fn evac_host(exclusive: &[u8], shared: &[u8]) -> HostConfig {
+    pub(crate) fn evac_host(exclusive: &[u8], shared: &[u8]) -> HostConfig {
         let mut cfg = HostConfig::new().with_host_id(HostId(1));
         let mut map = Vec::new();
         for (i, vm) in exclusive.iter().enumerate() {
@@ -581,7 +581,7 @@ mod tests {
     /// Build the cluster, wire the echo server and get every VM on host 1
     /// streaming to it (pinned connections all around). Returns the
     /// server's listener and the guest sockets by VM.
-    fn cluster_with_traffic(
+    pub(crate) fn cluster_with_traffic(
         cfg: ClusterConfig,
         vms: &[u8],
     ) -> (Cluster, SocketId, Vec<(VmId, SocketId)>) {
@@ -615,7 +615,7 @@ mod tests {
     /// Everything a rollback must restore, byte for byte. Collections are
     /// sorted so the comparison is insensitive to config-reinsertion order.
     #[derive(Debug, PartialEq)]
-    struct Snapshot {
+    pub(crate) struct Snapshot {
         homes: Vec<(VmId, HostId)>,
         present: Vec<(HostId, Vec<VmId>)>,
         cores: Vec<(HostId, NsmId, Option<usize>)>,
@@ -626,7 +626,7 @@ mod tests {
         routes: usize,
     }
 
-    fn snapshot(cluster: &Cluster) -> Snapshot {
+    pub(crate) fn snapshot(cluster: &Cluster) -> Snapshot {
         let mut present = Vec::new();
         let mut cores = Vec::new();
         let mut frozen = Vec::new();
@@ -935,5 +935,49 @@ mod tests {
         for pair in plan_entries.windows(2) {
             assert!(pair[0].seq < pair[1].seq);
         }
+    }
+}
+
+#[cfg(test)]
+mod review_repro {
+    use super::tests::*;
+    use super::*;
+    use nk_types::ClusterConfig;
+
+    #[test]
+    fn repro_rollback_with_mismatched_nsm_ids() {
+        // VM1 on NSM1, VM2 on NSM2, both exclusive (warm). Dest hosts have
+        // only NSM1. Fail at VM2's Thaw: its Install (dest NSM1) completed,
+        // so the rollback re-exports from the destination and re-imports at
+        // the source using the *destination's* NSM id.
+        let cfg = ClusterConfig::new()
+            .with_host(evac_host(&[1, 2], &[]))
+            .with_host(empty_host(2))
+            .with_host(empty_host(3));
+        let (mut cluster, _, _) = cluster_with_traffic(cfg, &[1, 2]);
+        let plan = cluster.plan_evacuation(HostId(1), 2).unwrap();
+        let thaw2 = plan
+            .steps
+            .iter()
+            .find(|s| matches!(s.action, EvacAction::Thaw { vm: VmId(2), .. }))
+            .unwrap()
+            .id;
+        let before = snapshot(&cluster);
+        let report = cluster
+            .evacuate_host_with_faults(
+                HostId(1),
+                2,
+                &[EvacFault {
+                    before_step: thaw2,
+                    kind: EvacFaultKind::FailAction,
+                }],
+            )
+            .unwrap();
+        assert!(!report.committed);
+        assert!(
+            cluster.host(HostId(1)).unwrap().has_vm(VmId(2)),
+            "VM2 must be restored to the source on rollback"
+        );
+        assert_eq!(snapshot(&cluster), before);
     }
 }
