@@ -91,6 +91,9 @@ fn main() {
     if want("par01") {
         par01_parallel_datapath(&mut results);
     }
+    if want("obs01") {
+        obs01_recorder_overhead(&mut results);
+    }
 
     if results.experiments.is_empty() {
         // A typo'd experiment name must fail loudly rather than exit green
@@ -959,6 +962,7 @@ fn clu01_cluster_migration(results: &mut BenchResults) {
 /// next rotation point; the warm mode transplants the connection and
 /// retires the share in the same instant.
 fn wm01_warm_vs_drained(results: &mut BenchResults) {
+    use nk_obs::MigrationPhase;
     use nk_types::{
         ClusterAction, ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, VmConfig, VmId,
         VmToNsmPolicy,
@@ -1024,17 +1028,29 @@ fn wm01_warm_vs_drained(results: &mut BenchResults) {
     .run()
     .expect("warm scenario runs");
     assert!(warm.completed, "warm scenario must complete");
-    let warm_start = at(&warm.events, &|a| {
-        matches!(a, ClusterAction::WarmMigrateVm { .. })
-    });
-    let warm_done = at(&warm.events, &|a| {
-        matches!(a, ClusterAction::ScaleToZero { .. })
-    });
-    let warm_wait_ns = warm_done - warm_start;
+    // The warm side is timed from the flight recorder's phase timeline
+    // rather than event-log archaeology: the handover spans the freeze
+    // window's opening to the thaw.
+    let phase = |p: MigrationPhase| {
+        warm.obs
+            .phases
+            .iter()
+            .find(|w| w.vm == Some(VmId(1)) && w.phase == p)
+            .copied()
+            .expect("warm phase recorded")
+    };
+    let freeze = phase(MigrationPhase::Freeze);
+    let thaw = phase(MigrationPhase::Thaw);
+    let warm_wait_ns = thaw.end_ns - freeze.start_ns;
+    assert!(
+        warm.obs.phases.iter().all(|w| w.ok),
+        "every warm phase must succeed: {:?}",
+        warm.obs.phases
+    );
 
     print_table(
-        "wm01: source-share drain wait, drained vs warm migration",
-        &["mode", "drain wait (ms)", "reconnects", "bytes verified"],
+        "wm01: source-share handover time, drained vs warm migration",
+        &["mode", "handover (ms)", "reconnects", "bytes verified"],
         &[
             vec![
                 "drained".into(),
@@ -1056,10 +1072,25 @@ fn wm01_warm_vs_drained(results: &mut BenchResults) {
         warm.stats.freeze_steps,
         drained_wait_ns as f64 / 1e6
     );
+    println!("recorder timeline of the warm handover:");
+    for w in warm.obs.phases.iter().filter(|w| w.vm == Some(VmId(1))) {
+        println!(
+            "  {:>7?} [{:>9} .. {:>9}]ns width {:>6}ns",
+            w.phase,
+            w.start_ns,
+            w.end_ns,
+            w.width_ns()
+        );
+    }
     results
         .experiment("wm01")
         .metric("drained_drain_wait_ms", "ms", drained_wait_ns as f64 / 1e6)
-        .metric("warm_drain_wait_ms", "ms", warm_wait_ns as f64 / 1e6)
+        .metric("warm_handover_ms", "ms", warm_wait_ns as f64 / 1e6)
+        .metric(
+            "warm_freeze_window_ms",
+            "ms",
+            freeze.width_ns() as f64 / 1e6,
+        )
         .metric("warm_freeze_steps", "count", warm.stats.freeze_steps as f64)
         .metric(
             "conns_transplanted",
@@ -1084,6 +1115,7 @@ fn wm01_warm_vs_drained(results: &mut BenchResults) {
 /// rotation — so the clear-out takes orders of magnitude longer.
 fn ev01_evacuation(results: &mut BenchResults) {
     use nk_ctrl::PlanEventKind;
+    use nk_obs::{EventClass, MigrationPhase, ObsEventKind, ObsFilter};
     use nk_types::{
         ClusterAction, ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, VmConfig, VmId,
         VmToNsmPolicy,
@@ -1138,22 +1170,39 @@ fn ev01_evacuation(results: &mut BenchResults) {
     .expect("evacuation scenario runs");
     assert!(evac.completed, "evacuation scenario must complete");
     assert_eq!(evac.stats.evac_commits, 1, "the plan must commit");
-    let plan_at = |kind: &dyn Fn(&PlanEventKind) -> bool| {
-        evac.plan_events
+    // Timing comes from the flight recorder: the plan events mirrored into
+    // the event ring bracket the plan, and the per-step phase windows give
+    // the share retirements and the phase breakdown.
+    let plan_filter = ObsFilter::new().with_class(EventClass::Plan);
+    let plan_at = |pick: &dyn Fn(&PlanEventKind) -> bool| {
+        evac.obs
+            .events
             .iter()
-            .find(|e| kind(&e.kind))
+            .filter(|e| plan_filter.matches(e))
+            .find(|e| matches!(&e.kind, ObsEventKind::Plan(k) if pick(k)))
             .map(|e| e.at_ns)
-            .expect("plan event present")
+            .expect("plan event recorded")
     };
     let evac_start = plan_at(&|k| matches!(k, PlanEventKind::PlanStarted { .. }));
     let evac_done = plan_at(&|k| matches!(k, PlanEventKind::PlanCommitted { .. }));
     let retired_at = evac
-        .events
+        .obs
+        .phases
         .iter()
-        .filter(|e| matches!(e.action, ClusterAction::ScaleToZero { .. }))
-        .map(|e| e.at_ns)
+        .filter(|w| w.phase == MigrationPhase::Retire)
+        .map(|w| w.end_ns)
         .max()
         .expect("both shares retire");
+    assert_eq!(
+        retired_at,
+        evac.events
+            .iter()
+            .filter(|e| matches!(e.action, ClusterAction::ScaleToZero { .. }))
+            .map(|e| e.at_ns)
+            .max()
+            .expect("both shares retire"),
+        "recorder and event log must agree on retirement time"
+    );
     let evac_wall_ns = evac_done - evac_start;
     let evac_retire_ns = retired_at - evac_start;
 
@@ -1203,8 +1252,50 @@ fn ev01_evacuation(results: &mut BenchResults) {
         evac.stats.conns_transplanted,
         evac_retire_ns as f64 / 1e6
     );
-    results
-        .experiment("ev01")
+    // Recorder phase breakdown: total virtual time per phase. The freeze
+    // pause is recorded per VM at the wave's shared freeze window (step
+    // `None`); every other phase is a plan-step coordinator action, so its
+    // windows come from the per-step captures (step `Some`).
+    println!("recorder phase totals:");
+    let record = results.experiment("ev01");
+    for p in [
+        MigrationPhase::Freeze,
+        MigrationPhase::Export,
+        MigrationPhase::Reroute,
+        MigrationPhase::Install,
+        MigrationPhase::Thaw,
+        MigrationPhase::Retire,
+    ] {
+        let windows: Vec<_> = evac
+            .obs
+            .phases
+            .iter()
+            .filter(|w| {
+                w.phase == p
+                    && if p == MigrationPhase::Freeze {
+                        w.step.is_none()
+                    } else {
+                        w.step.is_some()
+                    }
+            })
+            .collect();
+        if windows.is_empty() {
+            continue;
+        }
+        let total: u64 = windows.iter().map(|w| w.width_ns()).sum();
+        println!(
+            "  {:>7?}: {} window(s), {:.3} ms total",
+            p,
+            windows.len(),
+            total as f64 / 1e6
+        );
+        record.metric(
+            &format!("phase_{}_total_ms", format!("{p:?}").to_lowercase()),
+            "ms",
+            total as f64 / 1e6,
+        );
+    }
+    record
         .metric("evac_wall_ms", "ms", evac_wall_ns as f64 / 1e6)
         .metric("evac_retire_ms", "ms", evac_retire_ns as f64 / 1e6)
         .metric("evac_reconnects", "count", evac.reconnects as f64)
@@ -1467,5 +1558,200 @@ fn par01_parallel_datapath(results: &mut BenchResults) {
     assert!(
         speedup_h16_t4 >= 2.0,
         "acceptance: 16-host workload must model >= 2x at 4 threads, got {speedup_h16_t4:.2}"
+    );
+}
+
+/// obs01: flight-recorder overhead — steps/sec with the recorder on vs
+/// off, same 8-host echo workload, best-of-3 per arm. The recorder's
+/// capture hooks (per-VM latency sampling, the ToR flow tap, epoch
+/// sealing, event mirroring) must cost no more than 10% of the datapath
+/// rate; the on-arm's dump supplies the headline latency quantiles.
+fn obs01_recorder_overhead(results: &mut BenchResults) {
+    use nk_cluster::Cluster;
+    use nk_types::addr::host_prefix;
+    use nk_types::{
+        ClusterConfig, HostConfig, HostId, NsmConfig, NsmId, ObsConfig, SockAddr, SocketApi,
+        VmConfig, VmId, VmToNsmPolicy,
+    };
+
+    const HOSTS: u8 = 8;
+    const STEPS: usize = 400;
+    const DT_NS: u64 = 100_000;
+    const CHUNK: usize = 2048;
+    const ECHO_PORT: u16 = 7;
+    const TOR_IP: u32 = 0xC0A8_0001; // 192.168.0.1, outside every host block
+    const TOR_PORT: u16 = 9;
+
+    // One arm: every host streams to a host-local echo server and the two
+    // edge hosts additionally stream across the ToR, so all capture hooks
+    // (host feeds, the flow tap, epoch sealing) are exercised.
+    let run = |obs: ObsConfig| {
+        let mut cfg = ClusterConfig::new().with_uplink_latency_us(2).with_obs(obs);
+        for h in 1..=HOSTS {
+            cfg = cfg.with_host(
+                HostConfig::new()
+                    .with_host_id(HostId(h))
+                    .with_nsm(NsmConfig::kernel(NsmId(1)))
+                    .with_mapping(VmToNsmPolicy::All(NsmId(1)))
+                    .with_vm(VmConfig::new(VmId(h))),
+            );
+        }
+        let mut cluster = Cluster::new(cfg).expect("valid obs01 cluster");
+
+        let tor = cluster.add_remote(TOR_IP);
+        let tor_ls = tor.socket();
+        tor.bind(tor_ls, SockAddr::new(0, TOR_PORT)).unwrap();
+        tor.listen(tor_ls, 64).unwrap();
+
+        let local_ip = |h: u8| host_prefix(HostId(h)) | 0xFF;
+        let mut guest_socks = Vec::new();
+        let mut local_ls = Vec::new();
+        for h in 1..=HOSTS {
+            let host = cluster.host_mut(HostId(h)).unwrap();
+            let echo = host.add_remote(local_ip(h));
+            let ls = echo.socket();
+            echo.bind(ls, SockAddr::new(0, ECHO_PORT)).unwrap();
+            echo.listen(ls, 16).unwrap();
+            local_ls.push(ls);
+            let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+            let s = guest.socket().unwrap();
+            guest
+                .connect(s, SockAddr::new(local_ip(h), ECHO_PORT))
+                .unwrap();
+            guest_socks.push(s);
+        }
+        let mut tor_socks = Vec::new();
+        for h in [1, HOSTS] {
+            let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+            let s = guest.socket().unwrap();
+            guest.connect(s, SockAddr::new(TOR_IP, TOR_PORT)).unwrap();
+            tor_socks.push((h, s));
+        }
+        cluster.run(5, DT_NS); // handshakes
+
+        let chunk = [0x5Au8; CHUNK];
+        let mut buf = [0u8; CHUNK];
+        let mut guest_bytes = 0u64;
+        let mut echo_conns: Vec<Vec<_>> = vec![Vec::new(); HOSTS as usize];
+        let mut tor_conns = Vec::new();
+        let start = std::time::Instant::now();
+        for _ in 0..STEPS {
+            for (i, &s) in guest_socks.iter().enumerate() {
+                let h = i as u8 + 1;
+                let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+                if guest.poll(s).writable() {
+                    let _ = guest.send(s, &chunk);
+                }
+                while let Ok(n) = guest.recv(s, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    guest_bytes += n as u64;
+                }
+            }
+            for &(h, s) in &tor_socks {
+                let guest = cluster.guest_on(HostId(h), VmId(h)).unwrap();
+                if guest.poll(s).writable() {
+                    let _ = guest.send(s, &chunk[..256]);
+                }
+                while let Ok(n) = guest.recv(s, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    guest_bytes += n as u64;
+                }
+            }
+            for h in 1..=HOSTS {
+                let i = h as usize - 1;
+                let echo = cluster
+                    .host_mut(HostId(h))
+                    .unwrap()
+                    .remote_mut(local_ip(h))
+                    .unwrap();
+                while let Ok((c, _)) = echo.accept(local_ls[i]) {
+                    echo_conns[i].push(c);
+                }
+                for &c in &echo_conns[i] {
+                    while let Ok(n) = echo.recv(c, &mut buf) {
+                        if n == 0 {
+                            break;
+                        }
+                        let _ = echo.send(c, &buf[..n]);
+                    }
+                }
+            }
+            let tor = cluster.remote_mut(TOR_IP).unwrap();
+            while let Ok((c, _)) = tor.accept(tor_ls) {
+                tor_conns.push(c);
+            }
+            for &c in &tor_conns {
+                while let Ok(n) = tor.recv(c, &mut buf) {
+                    if n == 0 {
+                        break;
+                    }
+                    let _ = tor.send(c, &buf[..n]);
+                }
+            }
+            cluster.step(DT_NS);
+        }
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(guest_bytes > 0, "obs01: the workload must flow");
+        (STEPS as f64 / elapsed, cluster.obs_dump())
+    };
+
+    // Best-of-3 per arm: wall clock in CI containers is noisy, the fastest
+    // run of each arm is the fairest overhead comparison.
+    let mut off_rate = 0.0f64;
+    let mut on_rate = 0.0f64;
+    let mut dump = None;
+    for _ in 0..3 {
+        let (r_off, _) = run(ObsConfig::disabled());
+        off_rate = off_rate.max(r_off);
+        let (r_on, d) = run(ObsConfig::new());
+        on_rate = on_rate.max(r_on);
+        dump = Some(d);
+    }
+    let dump = dump.expect("on arm ran");
+    let overhead_pct = 100.0 * (off_rate / on_rate - 1.0);
+
+    // Headline quantiles: the busiest sealed epoch of the on arm.
+    let busiest = dump
+        .epochs
+        .iter()
+        .max_by_key(|e| e.cluster.count)
+        .expect("epochs sealed");
+    print_table(
+        "obs01: flight-recorder overhead (8-host echo workload, best of 3)",
+        &["arm", "steps/s"],
+        &[
+            vec!["recorder off".into(), f(off_rate, 0)],
+            vec!["recorder on".into(), f(on_rate, 0)],
+        ],
+    );
+    println!(
+        "overhead {overhead_pct:.1}% · captured {} events, {} epochs, {} flows · busiest epoch: \
+         {} samples, p50 {}ns, p99 {}ns, max {}ns",
+        dump.events_captured,
+        dump.epochs.len(),
+        dump.flows.len(),
+        busiest.cluster.count,
+        busiest.cluster.p50_ns,
+        busiest.cluster.p99_ns,
+        busiest.cluster.max_ns
+    );
+    results
+        .experiment("obs01")
+        .metric("steps_per_s_off", "steps/s", off_rate)
+        .metric("steps_per_s_on", "steps/s", on_rate)
+        .metric("overhead_pct", "pct", overhead_pct)
+        .metric("events_captured", "count", dump.events_captured as f64)
+        .metric("epochs_sealed", "count", dump.epochs.len() as f64)
+        .metric("hot_flows", "count", dump.flows.len() as f64)
+        .metric("p50_ns", "ns", busiest.cluster.p50_ns as f64)
+        .metric("p99_ns", "ns", busiest.cluster.p99_ns as f64)
+        .metric("max_ns", "ns", busiest.cluster.max_ns as f64);
+    assert!(
+        overhead_pct <= 10.0,
+        "acceptance: recorder overhead must stay within 10%, got {overhead_pct:.1}%"
     );
 }

@@ -8,6 +8,7 @@ use nk_fabric::tor::TorSwitch;
 use nk_guest::GuestLib;
 use nk_host::NetKernelHost;
 use nk_netstack::{Segment, StackConfig, TcpStack};
+use nk_obs::{FlightRecorder, FlowKey, MigrationPhase, ObsDump, ObsEventKind, PhaseWindow};
 use nk_sim::{CycleLedger, Pollable, PoolMember};
 use nk_types::addr::{host_prefix, HOST_PREFIX_MASK};
 use nk_types::{
@@ -113,6 +114,12 @@ pub struct Cluster {
     /// `threads == 1`, sharded across worker threads otherwise. Semantics
     /// are identical either way; see [`crate::exec`].
     pub(crate) exec: ShardedExecutor,
+    /// The flight recorder: every capture happens on the coordinator —
+    /// outside the sharded step or at the round barrier — in `HostId`
+    /// order, so its dump is byte-identical at any thread count.
+    pub(crate) obs: FlightRecorder,
+    /// Control-log entries per host already mirrored into the recorder.
+    pub(crate) obs_ctrl_seen: BTreeMap<HostId, usize>,
     pub(crate) now_ns: u64,
 }
 
@@ -135,6 +142,7 @@ impl Cluster {
             if let Some(policy) = &cfg.policy {
                 host.enable_pool_accounting(policy.pool_clock_hz);
             }
+            host.set_obs_enabled(cfg.obs.enabled);
             for vm in &host_cfg.vms {
                 vm_home.insert(vm.id, id);
             }
@@ -146,6 +154,7 @@ impl Cluster {
         };
         let next_epoch_ns = cfg.policy.as_ref().map(|p| p.epoch_ns).unwrap_or(u64::MAX);
         let threads = Self::resolve_threads(cfg.threads);
+        let obs = FlightRecorder::new(cfg.obs);
         Ok(Cluster {
             cfg,
             hosts,
@@ -164,6 +173,8 @@ impl Cluster {
             prev_vm_bytes: BTreeMap::new(),
             stats: ClusterStats::default(),
             exec: ShardedExecutor::new(threads),
+            obs,
+            obs_ctrl_seen: BTreeMap::new(),
             now_ns: 0,
         })
     }
@@ -335,6 +346,18 @@ impl Cluster {
         if self.placer.is_some() && now >= self.next_epoch_ns {
             total += self.run_placement_epoch(now);
         }
+        // Seal a recorder latency epoch when one is due: every host's
+        // histogram is drained in `HostId` order and merged cluster-wide.
+        // The recorder runs its own virtual-time cadence
+        // ([`nk_types::ObsConfig::epoch_ns`]), independent of the placement
+        // epoch, so latency aggregation works without a placer installed.
+        if self.obs.epoch_due(now) {
+            let mut hists = Vec::with_capacity(self.hosts.len());
+            for (id, host) in self.hosts.iter_mut() {
+                hists.push((*id, host.obs_feed_mut().take_hist()));
+            }
+            self.obs.seal_epoch(now, hists);
+        }
         self.stats.steps += 1;
         self.stats.rounds += outcome.rounds as u64;
         total
@@ -355,10 +378,29 @@ impl Cluster {
         };
         let tor = &mut self.tor;
         let remotes = &mut self.remotes;
+        // The hub runs serially on the coordinator at every round barrier,
+        // draining trunks in route order — the one place every cross-host
+        // frame passes deterministically, so the recorder taps flows here.
+        let obs = &mut self.obs;
+        let obs_active = obs.active();
         let outcome = self.exec.drive(
             &mut self.hosts,
             |now| {
-                let frames = tor.step(now);
+                let frames = if obs_active {
+                    tor.step_with(now, |f| {
+                        obs.observe_flow(
+                            FlowKey {
+                                src_ip: f.payload.src.ip,
+                                src_port: f.payload.src.port,
+                                dst_ip: f.payload.dst.ip,
+                                dst_port: f.payload.dst.port,
+                            },
+                            f.wire_bytes as u64,
+                        )
+                    })
+                } else {
+                    tor.step(now)
+                };
                 let mut work = frames;
                 for remote in remotes.values_mut() {
                     work += Pollable::poll(remote, now);
@@ -375,7 +417,38 @@ impl Cluster {
         self.stats.poll_work += s.poll_work - before.1;
         self.stats.control_work += s.close_work - before.2;
         self.stats.barrier_frames += s.barrier_frames - before.3;
+        self.drain_host_feeds();
         outcome
+    }
+
+    /// Mirror what each host's recorder feed accumulated this step — fault
+    /// applications and fresh control-log entries — into the event ring.
+    /// Runs on the coordinator with the workers parked, iterating hosts in
+    /// `HostId` order, so the ring's contents are thread-count-independent.
+    fn drain_host_feeds(&mut self) {
+        if !self.obs.active() {
+            return;
+        }
+        let epoch = self.epoch;
+        for (id, host) in self.hosts.iter_mut() {
+            for (at_ns, faults) in host.obs_feed_mut().take_faults() {
+                self.obs
+                    .record_event(at_ns, epoch, ObsEventKind::Fault { host: *id, faults });
+            }
+            let log = host.control_events();
+            let seen = self.obs_ctrl_seen.get(id).copied().unwrap_or(0);
+            for event in &log[seen.min(log.len())..] {
+                self.obs.record_event(
+                    event.at_ns,
+                    epoch,
+                    ObsEventKind::Control {
+                        host: *id,
+                        action: event.action,
+                    },
+                );
+            }
+            self.obs_ctrl_seen.insert(*id, log.len());
+        }
     }
 
     /// Step repeatedly with a fixed increment.
@@ -496,6 +569,7 @@ impl Cluster {
         // one mini-step apart (so anything the peer had in flight towards
         // the VM has landed) — and deliberately ignores other tenants'
         // traffic: a busy neighbor must not stretch this VM's handover.
+        let freeze_start = self.now_ns;
         let freeze_dt = (2 * self.cfg.uplink_latency_us * 1_000).max(200_000);
         let mut quiet_streak = 0;
         for _ in 0..MAX_FREEZE_STEPS {
@@ -509,15 +583,20 @@ impl Cluster {
             }
             self.freeze_ministep(freeze_dt);
         }
+        self.record_warm_phase(vm, MigrationPhase::Freeze, freeze_start, true);
 
         let src = self.hosts.get_mut(&from).expect("source checked above");
         let export = match src.export_vm_warm(vm) {
             Ok(export) => export,
             Err(e) => {
                 src.thaw_vm(vm);
+                let at = self.now_ns;
+                self.record_warm_phase(vm, MigrationPhase::Export, at, false);
                 return Err(e);
             }
         };
+        let at = self.now_ns;
+        self.record_warm_phase(vm, MigrationPhase::Export, at, true);
         // Mid-step reroute: each transplanted address now lives behind the
         // destination host's trunk.
         let detours = match self.install_detours(&export.rerouted_ips(), from, to) {
@@ -528,9 +607,11 @@ impl Cluster {
                     .expect("source exists")
                     .import_vm_warm(&export, from_nsm)
                     .expect("source re-accepts its own export");
+                self.record_warm_phase(vm, MigrationPhase::Reroute, at, false);
                 return Err(e);
             }
         };
+        self.record_warm_phase(vm, MigrationPhase::Reroute, at, true);
         if let Err(e) = self
             .hosts
             .get_mut(&to)
@@ -544,8 +625,11 @@ impl Cluster {
                 .expect("source exists")
                 .import_vm_warm(&export, from_nsm)
                 .expect("source re-accepts its own export");
+            self.record_warm_phase(vm, MigrationPhase::Install, at, false);
             return Err(e);
         }
+        self.record_warm_phase(vm, MigrationPhase::Install, at, true);
+        self.record_warm_phase(vm, MigrationPhase::Thaw, at, true);
         let connections = export.conns.len() as u32;
         self.vm_home.insert(vm, to);
         self.stats.warm_migrations += 1;
@@ -575,8 +659,34 @@ impl Cluster {
                 host: from,
                 nsm: from_nsm,
             });
+            let at = self.now_ns;
+            self.obs.record_phase(PhaseWindow {
+                vm: None,
+                phase: MigrationPhase::Retire,
+                start_ns: at,
+                end_ns: at,
+                epoch: self.epoch,
+                step: None,
+                ok: true,
+            });
         }
         Ok(())
+    }
+
+    /// Record one phase window of a direct warm migration: it opened at
+    /// `start_ns` and closes now. Coordinator phases (export, reroute,
+    /// install, thaw) don't advance virtual time, so their windows are
+    /// zero-width; the freeze window, which runs mini-steps, has real width.
+    fn record_warm_phase(&mut self, vm: VmId, phase: MigrationPhase, start_ns: u64, ok: bool) {
+        self.obs.record_phase(PhaseWindow {
+            vm: Some(vm),
+            phase,
+            start_ns,
+            end_ns: self.now_ns,
+            epoch: self.epoch,
+            step: None,
+            ok,
+        });
     }
 
     /// Install a `/32` detour for every transplanted address, steering it
@@ -700,9 +810,25 @@ impl Cluster {
             // A decision can race reality (the VM is already draining, the
             // destination lost its NSMs): skip rather than panic — the
             // placer re-observes next epoch.
-            if self.migrate_vm(m.vm, m.from, m.to).is_ok() {
+            let ok = self.migrate_vm(m.vm, m.from, m.to).is_ok();
+            if ok {
                 applied += 1;
             }
+            // Record the *decision* either way: skipped decisions are
+            // invisible in the cluster event log (only applied migrations
+            // land there), so a placer looping on an inapplicable move only
+            // shows up here.
+            self.obs.record_event(
+                now_ns,
+                self.epoch,
+                ObsEventKind::Decision(nk_ctrl::DecisionOutcome {
+                    epoch: self.epoch,
+                    vm: m.vm,
+                    from: m.from,
+                    to: m.to,
+                    applied: ok,
+                }),
+            );
         }
         applied
     }
@@ -778,11 +904,33 @@ impl Cluster {
     }
 
     pub(crate) fn push_event(&mut self, action: ClusterAction) {
+        self.obs
+            .record_event(self.now_ns, self.epoch, ObsEventKind::Cluster(action));
         self.events.push(ClusterEvent {
             at_ns: self.now_ns,
             epoch: self.epoch,
             action,
         });
+    }
+
+    // ---- The flight recorder -------------------------------------------------
+
+    /// The flight recorder (event ring, latency epochs, phase timelines,
+    /// hot flows). Its serialized snapshot is byte-identical for any
+    /// `NK_CLUSTER_THREADS` value.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.obs
+    }
+
+    /// Mutable recorder access (filtered snapshots don't need it; manual
+    /// freeze triggers and tests do).
+    pub fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.obs
+    }
+
+    /// Snapshot everything the recorder retains.
+    pub fn obs_dump(&self) -> ObsDump {
+        self.obs.snapshot()
     }
 }
 

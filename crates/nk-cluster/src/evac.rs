@@ -22,6 +22,7 @@
 
 use crate::cluster::{ActiveDrain, Cluster, MAX_FREEZE_STEPS};
 use nk_ctrl::{EvacAction, EvacMode, EvacMove, EvacPlan, PlanEvent, PlanRun};
+use nk_obs::{FreezeReason, MigrationPhase, ObsEventKind, PhaseWindow};
 use nk_types::addr::{host_prefix, HOST_PREFIX_MASK};
 use nk_types::{
     ClusterAction, ControlEvent, HostId, NkError, NkResult, NsmId, VmExport, VmId, VmWarmExport,
@@ -214,11 +215,13 @@ impl Cluster {
                 }
             }
             run.started(step, self.now_ns, self.epoch);
+            let step_start = self.now_ns;
             let result = if forced_failure {
                 Err(NkError::InvalidState)
             } else {
                 self.execute_evac_step(&plan, step, &mut exec)
             };
+            self.record_evac_phase(&plan, step, step_start, result.is_ok());
             match result {
                 Ok(()) => run.done(step, self.now_ns, self.epoch),
                 Err(e) => {
@@ -267,6 +270,20 @@ impl Cluster {
         }
         let events = run.into_events();
         self.plan_events.extend(events.iter().copied());
+        // Mirror the plan's event log into the recorder ring, then — on a
+        // rollback — trip the dump-on-fault trigger *after* the rollback
+        // events landed, so the frozen ring ends exactly at the trigger.
+        for event in &events {
+            self.obs
+                .record_event(event.at_ns, event.epoch, ObsEventKind::Plan(event.kind));
+        }
+        if !committed {
+            self.obs.freeze(
+                self.now_ns,
+                self.epoch,
+                FreezeReason::PlanRolledBack { host },
+            );
+        }
         Ok(EvacReport {
             plan,
             events,
@@ -292,6 +309,11 @@ impl Cluster {
         self.prev_vm_bytes.retain(|(h, _), _| *h != host);
         self.stats.hosts_killed += 1;
         self.push_event(ClusterAction::HostKilled { host });
+        // Dump-on-fault: freeze the recorder with the kill as the last
+        // captured event, preserving the ring exactly as it was when the
+        // host died.
+        self.obs
+            .freeze(self.now_ns, self.epoch, FreezeReason::HostKilled { host });
         Ok(())
     }
 
@@ -341,6 +363,7 @@ impl Cluster {
         if vms.is_empty() {
             return;
         }
+        let window_start = self.now_ns;
         let freeze_dt = (2 * self.cfg.uplink_latency_us * 1_000).max(200_000);
         let mut quiet_streak = 0;
         for _ in 0..MAX_FREEZE_STEPS {
@@ -358,6 +381,44 @@ impl Cluster {
             }
             self.freeze_ministep(freeze_dt);
         }
+        // The wave's wire-draining pause, attributed to every warm VM that
+        // shared it (each VM's own Freeze *step* only flips the flag and is
+        // recorded zero-width by the step loop).
+        let (start, end, epoch) = (window_start, self.now_ns, self.epoch);
+        for vm in vms {
+            self.obs.record_phase(PhaseWindow {
+                vm: Some(*vm),
+                phase: MigrationPhase::Freeze,
+                start_ns: start,
+                end_ns: end,
+                epoch,
+                step: None,
+                ok: true,
+            });
+        }
+    }
+
+    /// Record the phase window of one executed plan step: coordinator
+    /// actions are zero-width in virtual time, stamped with the plan step
+    /// id that ran them.
+    fn record_evac_phase(&mut self, plan: &EvacPlan, step: usize, start_ns: u64, ok: bool) {
+        let (vm, phase) = match plan.steps[step].action {
+            EvacAction::Freeze { vm } => (Some(vm), MigrationPhase::Freeze),
+            EvacAction::Export { vm, .. } => (Some(vm), MigrationPhase::Export),
+            EvacAction::Reroute { vm, .. } => (Some(vm), MigrationPhase::Reroute),
+            EvacAction::Install { vm, .. } => (Some(vm), MigrationPhase::Install),
+            EvacAction::Thaw { vm, .. } => (Some(vm), MigrationPhase::Thaw),
+            EvacAction::RetireShare { .. } => (None, MigrationPhase::Retire),
+        };
+        self.obs.record_phase(PhaseWindow {
+            vm,
+            phase,
+            start_ns,
+            end_ns: self.now_ns,
+            epoch: self.epoch,
+            step: Some(plan.steps[step].id as u32),
+            ok,
+        });
     }
 
     /// Execute one plan step. Each arm either completes fully or leaves no
@@ -507,7 +568,14 @@ impl Cluster {
                         // journaled export from the original Export step is
                         // still what the Export revert re-installs at the
                         // source — nothing is lost with the host.
-                        if let Ok(export) = dst.export_vm_warm(vm) {
+                        if let Ok(mut export) = dst.export_vm_warm(vm) {
+                            // The re-export names the *destination's* NSM as
+                            // its source, but the Export revert re-imports at
+                            // the original source share (whose id can differ —
+                            // e.g. VM2 lived on source NSM2 and was installed
+                            // on destination NSM1). Restore the journaled id
+                            // so the VM lands back on its own share.
+                            export.base.from_nsm = journal.get().base.from_nsm;
                             journal.insert(export);
                         }
                     }
@@ -935,6 +1003,95 @@ pub(crate) mod tests {
         for pair in plan_entries.windows(2) {
             assert!(pair[0].seq < pair[1].seq);
         }
+    }
+
+    /// `kill_host` is a dump-on-fault trigger: the recorder freezes with
+    /// the kill as the last captured event, and nothing that happens
+    /// afterwards — steps, migrations, their events — leaves a trace.
+    #[test]
+    fn kill_host_freezes_the_flight_recorder_at_the_trigger() {
+        let cfg = ClusterConfig::new()
+            .with_host(evac_host(&[1], &[]))
+            .with_host(empty_host(2))
+            .with_host(empty_host(3));
+        let (mut cluster, _, _) = cluster_with_traffic(cfg, &[1]);
+        assert!(cluster.recorder().frozen().is_none());
+
+        let kill_at = cluster.now_ns();
+        cluster.kill_host(HostId(3)).unwrap();
+        let info = *cluster
+            .recorder()
+            .frozen()
+            .expect("the kill must freeze the ring");
+        assert_eq!(info.at_ns, kill_at);
+        assert_eq!(info.reason, FreezeReason::HostKilled { host: HostId(3) });
+        let frozen_dump = cluster.obs_dump();
+        assert!(
+            matches!(
+                frozen_dump.events.last().map(|e| &e.kind),
+                Some(ObsEventKind::Cluster(ClusterAction::HostKilled { host }))
+                    if *host == HostId(3)
+            ),
+            "the kill itself is the last captured event: {:?}",
+            frozen_dump.events
+        );
+
+        cluster.run(20, 100_000);
+        cluster.migrate_vm(VmId(1), HostId(1), HostId(2)).unwrap();
+        cluster.run(20, 100_000);
+        assert_eq!(
+            cluster.obs_dump(),
+            frozen_dump,
+            "post-trigger activity must not change the frozen dump"
+        );
+    }
+
+    /// A rolled-back plan freezes the recorder too, after the rollback's
+    /// plan events landed — the frozen ring ends exactly at the trigger.
+    #[test]
+    fn rollback_freezes_the_flight_recorder_after_its_plan_events() {
+        let cfg = ClusterConfig::new()
+            .with_host(evac_host(&[1], &[]))
+            .with_host(empty_host(2));
+        let (mut cluster, _, _) = cluster_with_traffic(cfg, &[1]);
+        let plan = cluster.plan_evacuation(HostId(1), 1).unwrap();
+        let install = plan
+            .steps
+            .iter()
+            .find(|s| matches!(s.action, EvacAction::Install { .. }))
+            .unwrap()
+            .id;
+        let report = cluster
+            .evacuate_host_with_faults(
+                HostId(1),
+                1,
+                &[EvacFault {
+                    before_step: install,
+                    kind: EvacFaultKind::CrashNsm {
+                        host: HostId(2),
+                        nsm: NsmId(1),
+                    },
+                }],
+            )
+            .unwrap();
+        assert!(!report.committed);
+        let info = cluster
+            .recorder()
+            .frozen()
+            .expect("the rollback must freeze the ring");
+        assert_eq!(
+            info.reason,
+            FreezeReason::PlanRolledBack { host: HostId(1) }
+        );
+        // Every plan event of the failed run made it into the ring before
+        // the freeze, including the rollback tail.
+        let dump = cluster.obs_dump();
+        let plan_events = dump
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, ObsEventKind::Plan(_)))
+            .count();
+        assert_eq!(plan_events, report.events.len(), "{:?}", dump.events);
     }
 }
 

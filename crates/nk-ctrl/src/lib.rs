@@ -55,7 +55,7 @@ pub use evacuate::{
     StepStatus,
 };
 pub use monitor::LoadMonitor;
-pub use placer::{ClusterSample, HostLoad, Migration, Placer};
+pub use placer::{ClusterSample, DecisionOutcome, HostLoad, Migration, Placer};
 pub use rebalance::Rebalancer;
 
 /// Load signals of one NSM over one control epoch.

@@ -14,6 +14,7 @@ use crate::{EpochSample, LoadMonitor, NsmLoad, Rebalancer};
 use nk_types::{
     ClusterPolicy, ControlAction, ControlPolicy, ControlTarget, HostId, NkResult, NsmId, VmId,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Load signals of one host over one placement epoch.
@@ -54,6 +55,26 @@ pub struct Migration {
     pub from: HostId,
     /// The host that takes over its new connections.
     pub to: HostId,
+}
+
+/// One placement decision after the mechanism layer tried to apply it. The
+/// placer's [`Migration`]s are requests, not facts: a decision can race
+/// reality (the VM already draining, the destination host dead), in which
+/// case the cluster skips it and the placer re-observes next epoch. The
+/// flight recorder keeps both halves — what was decided and whether it
+/// happened — which is exactly the signal a skipped-decision loop hides.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecisionOutcome {
+    /// Placement epoch the decision was taken in.
+    pub epoch: u64,
+    /// The VM the placer wanted to move.
+    pub vm: VmId,
+    /// The host it was to leave.
+    pub from: HostId,
+    /// The host that was to take over.
+    pub to: HostId,
+    /// Whether the mechanism applied the migration.
+    pub applied: bool,
 }
 
 /// The cluster placement loop (monitor + rebalancer over hosts).

@@ -237,6 +237,14 @@ impl<P> TorSwitch<P> {
     /// by prefix, i.e. ascending host id — is the deterministic merge point
     /// of all cross-shard traffic.
     pub fn step(&mut self, now_ns: u64) -> usize {
+        self.step_with(now_ns, |_| {})
+    }
+
+    /// [`TorSwitch::step`] with a tap called on every frame at the moment
+    /// of delivery — in route order, on the coordinator, which makes the
+    /// tap sequence the same for any cluster thread count. The flight
+    /// recorder's hot-flow table hangs off this.
+    pub fn step_with<F: FnMut(&Frame<P>)>(&mut self, now_ns: u64, mut tap: F) -> usize {
         let mut scratch = std::mem::take(&mut self.scratch);
         for i in 0..self.routes.len() {
             scratch.clear();
@@ -267,6 +275,7 @@ impl<P> TorSwitch<P> {
             scratch.clear();
             self.routes[i].link.drain_deliverable(now_ns, &mut scratch);
             for f in scratch.drain(..) {
+                tap(&f);
                 match &self.routes[i].conduit {
                     Conduit::Endpoint(port) => port.deliver(f),
                     Conduit::Uplink(key) => {
@@ -383,6 +392,21 @@ mod tests {
         gw.send(frame(0xC0A8_0001, 0x0A01_0001, 3));
         tor.step(0);
         assert_eq!(t1.recv().unwrap().payload, 3);
+    }
+
+    /// The delivery tap sees every delivered frame, in route order.
+    #[test]
+    fn step_with_taps_delivered_frames() {
+        let mut tor: TorSwitch<u32> = TorSwitch::new();
+        let mut t1 = tor.attach_trunk(0x0A01_0000, HOST_MASK, LinkConfig::ideal());
+        let mut t2 = tor.attach_trunk(0x0A02_0000, HOST_MASK, LinkConfig::ideal());
+        t1.send(frame(0x0A01_0001, 0x0A02_0007, 11));
+        t1.send(frame(0x0A01_0001, 0x0A02_0008, 12));
+        let mut tapped = Vec::new();
+        let delivered = tor.step_with(0, |f| tapped.push((f.dst, f.payload)));
+        assert_eq!(delivered, 2);
+        assert_eq!(tapped, vec![(0x0A02_0007, 11), (0x0A02_0008, 12)]);
+        assert_eq!(t2.recv().unwrap().payload, 11);
     }
 
     /// Downlink latency applies on the way towards a trunk.

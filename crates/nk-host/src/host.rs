@@ -11,6 +11,7 @@ use nk_fabric::uplink::HostUplink;
 use nk_guest::GuestLib;
 use nk_netstack::cc::CcAlgorithm;
 use nk_netstack::{Segment, StackConfig, TcpStack};
+use nk_obs::HostFeed;
 use nk_queue::{queue_set_pair, NkDevice, WakeState};
 use nk_service::{Nsm, ServiceLib, SharedMemNsm};
 use nk_shmem::HugepageRegion;
@@ -151,6 +152,11 @@ pub struct NetKernelHost {
     /// [`NetKernelHost::inject_import_failures`] — the fault surface
     /// evacuation-rollback tests drive.
     import_fail_budget: u32,
+    /// The flight recorder's per-host feed: request-completion latency
+    /// sampled from the engine's per-VM counter deltas at each step close,
+    /// plus the fault events applied this interval. A cluster drains it at
+    /// the round barrier; a bare host reads it directly.
+    obs: HostFeed,
     now_ns: u64,
 }
 
@@ -252,6 +258,7 @@ impl NetKernelHost {
             epoch_ledgers: BTreeMap::new(),
             epoch_vm_bytes: BTreeMap::new(),
             import_fail_budget: 0,
+            obs: HostFeed::new(),
             now_ns: 0,
         })
     }
@@ -425,9 +432,13 @@ impl NetKernelHost {
         // closure serves all phases.
         let mut sched = self.sched;
         let total = sched.drain_with_hook(now, |phase, now| match phase {
-            SchedPhase::Inject => self.apply_due_faults(now),
+            SchedPhase::Inject => self.record_applied_faults(now),
             SchedPhase::Poll => self.poll_datapath(now),
-            SchedPhase::Control => self.run_control(now),
+            SchedPhase::Control => {
+                let applied = self.run_control(now);
+                self.obs_sample(now);
+                applied
+            }
         });
         self.sched = sched;
         total
@@ -461,7 +472,7 @@ impl NetKernelHost {
     /// budgets and apply due fault events. Returns the fault events applied.
     pub fn begin_step(&mut self, dt_ns: u64) -> usize {
         self.advance(dt_ns);
-        self.apply_due_faults(self.now_ns)
+        self.record_applied_faults(self.now_ns)
     }
 
     /// One poll round over the whole datapath at the current virtual time.
@@ -473,7 +484,9 @@ impl NetKernelHost {
     /// Close a step: run the control phase (a no-op off epoch boundaries or
     /// without a control plane). Returns the control actions applied.
     pub fn end_step(&mut self) -> usize {
-        self.run_control(self.now_ns)
+        let applied = self.run_control(self.now_ns);
+        self.obs_sample(self.now_ns);
+        applied
     }
 
     /// Charge datapath work against the accounting pools even without a
@@ -715,6 +728,52 @@ impl NetKernelHost {
             applied += 1;
         }
         applied
+    }
+
+    /// Apply due faults and mirror the count into the flight-recorder feed
+    /// (the recorder's dump-on-fault trigger and fault timeline ride on
+    /// these samples).
+    fn record_applied_faults(&mut self, now_ns: u64) -> usize {
+        let applied = self.apply_due_faults(now_ns);
+        if applied > 0 && self.obs.enabled() {
+            self.obs.record_faults(now_ns, applied as u32);
+        }
+        applied
+    }
+
+    /// Sample every VM's cumulative forwarded/delivered NQE counters into
+    /// the latency feed. Runs at each step close (the `Control` phase for a
+    /// self-stepped host, [`NetKernelHost::end_step`] under a cluster), so
+    /// request completions are attributed at step granularity in virtual
+    /// time.
+    fn obs_sample(&mut self, now_ns: u64) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for (vm, _) in self.guests.iter() {
+            if let Some(stats) = self.engine.vm_stats(*vm) {
+                self.obs
+                    .sample_vm(now_ns, *vm, stats.nqes_forwarded, stats.nqes_delivered);
+            }
+        }
+    }
+
+    /// The flight-recorder feed (latency histogram and fault timeline since
+    /// the last drain).
+    pub fn obs_feed(&self) -> &HostFeed {
+        &self.obs
+    }
+
+    /// Mutable access to the flight-recorder feed (the cluster drains it at
+    /// the round barrier via [`nk_obs::HostFeed::take_hist`]).
+    pub fn obs_feed_mut(&mut self) -> &mut HostFeed {
+        &mut self.obs
+    }
+
+    /// Enable or disable this host's recorder feed. Disabled feeds skip all
+    /// sampling work — the recorder-off arm of the overhead experiment.
+    pub fn set_obs_enabled(&mut self, on: bool) {
+        self.obs.set_enabled(on);
     }
 
     /// Step repeatedly with a fixed increment.

@@ -1,0 +1,159 @@
+//! The top-K hot-flow table.
+//!
+//! Fed from the frames the ToR delivers at the round barrier — the one
+//! place every cross-host frame passes in a deterministic order — the
+//! table keeps the K heaviest 4-tuples under space-saving semantics
+//! (Metwally et al.): when a new flow arrives at a full table, the
+//! lightest entry is evicted and the newcomer *inherits* its counts, so
+//! the table over-approximates but never loses a genuinely heavy flow.
+//! Eviction ties break on the smaller key, keeping the table a pure
+//! function of the observation sequence.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A directional transport 4-tuple.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FlowKey {
+    /// Source address.
+    pub src_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination address.
+    pub dst_ip: u32,
+    /// Destination port.
+    pub dst_port: u16,
+}
+
+/// Accumulated weight of one tracked flow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowStat {
+    /// Wire bytes observed (headers included), possibly inherited from an
+    /// evicted lighter flow.
+    pub bytes: u64,
+    /// Frames observed.
+    pub ops: u64,
+}
+
+/// A fixed-capacity top-K flow table with space-saving eviction. Internal
+/// state — a dump serializes [`FlowTable::top`] as a `Vec`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowTable {
+    k: usize,
+    entries: BTreeMap<FlowKey, FlowStat>,
+}
+
+impl FlowTable {
+    /// A table tracking at most `k` flows.
+    pub fn new(k: usize) -> Self {
+        FlowTable {
+            k,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Observe one frame of `bytes` wire bytes on `key`.
+    pub fn observe(&mut self, key: FlowKey, bytes: u64) {
+        if self.k == 0 {
+            return;
+        }
+        if let Some(stat) = self.entries.get_mut(&key) {
+            stat.bytes += bytes;
+            stat.ops += 1;
+            return;
+        }
+        if self.entries.len() < self.k {
+            self.entries.insert(key, FlowStat { bytes, ops: 1 });
+            return;
+        }
+        // Space-saving: evict the lightest entry (ties on the smaller key —
+        // the BTreeMap iteration order makes `min_by_key` deterministic)
+        // and let the newcomer inherit its counts.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(k, s)| (s.bytes, **k))
+            .map(|(k, _)| *k)
+            .expect("table is full, so non-empty");
+        let inherited = self.entries.remove(&victim).expect("victim exists");
+        self.entries.insert(
+            key,
+            FlowStat {
+                bytes: inherited.bytes + bytes,
+                ops: inherited.ops + 1,
+            },
+        );
+    }
+
+    /// Tracked flows, heaviest first (ties on the smaller key).
+    pub fn top(&self) -> Vec<(FlowKey, FlowStat)> {
+        let mut out: Vec<(FlowKey, FlowStat)> =
+            self.entries.iter().map(|(k, s)| (*k, *s)).collect();
+        out.sort_by_key(|(k, s)| (std::cmp::Reverse(s.bytes), *k));
+        out
+    }
+
+    /// Number of tracked flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src_port: u16) -> FlowKey {
+        FlowKey {
+            src_ip: 0x0A01_0001,
+            src_port,
+            dst_ip: 0xC0A8_0001,
+            dst_port: 7,
+        }
+    }
+
+    /// Heavy flows survive a stream of one-off light flows: the defining
+    /// space-saving property.
+    #[test]
+    fn heavy_flows_survive_churn() {
+        let mut table = FlowTable::new(4);
+        for round in 0..50u64 {
+            table.observe(key(1), 10_000);
+            table.observe(key(2), 5_000);
+            // A fresh light flow every round churns the tail slots.
+            table.observe(key(100 + round as u16), 10);
+        }
+        assert_eq!(table.len(), 4);
+        let top = table.top();
+        assert_eq!(top[0].0, key(1));
+        assert_eq!(top[0].1.bytes, 500_000);
+        assert_eq!(top[0].1.ops, 50);
+        assert_eq!(top[1].0, key(2));
+    }
+
+    /// Eviction inherits the victim's counts (over-approximation, never
+    /// undercount) and ties break on the smaller key.
+    #[test]
+    fn eviction_inherits_counts_deterministically() {
+        let mut table = FlowTable::new(2);
+        table.observe(key(1), 100);
+        table.observe(key(2), 100); // same weight: key(1) < key(2)
+        table.observe(key(3), 1); // evicts key(1), inherits its 100 bytes
+        let top = table.top();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (key(3), FlowStat { bytes: 101, ops: 2 }));
+        assert_eq!(top[1], (key(2), FlowStat { bytes: 100, ops: 1 }));
+    }
+
+    #[test]
+    fn zero_capacity_observes_nothing() {
+        let mut table = FlowTable::new(0);
+        table.observe(key(1), 100);
+        assert!(table.is_empty());
+    }
+}

@@ -203,6 +203,61 @@ mod tests {
         assert!(h.quantile(0.99) > 5.0);
     }
 
+    /// Quantiles after a merge equal quantiles of the union of the sample
+    /// streams — exactly, not approximately: bucket-wise addition makes the
+    /// merged count array identical to the one the union would have built.
+    /// This is the property the flight recorder's cross-shard latency
+    /// aggregation relies on (per-host histograms merged in `HostId` order
+    /// must summarize like one cluster-wide histogram).
+    #[test]
+    fn merged_quantiles_equal_union_quantiles() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for i in 1..=1_000 {
+            a.record(i as f64);
+            union.record(i as f64);
+        }
+        // Overlapping but shifted population, sub-unit samples included.
+        for i in 0..=1_500 {
+            let v = i as f64 * 2.7;
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // The bucket counts are integers, so quantiles match *exactly*; the
+        // moments are f64 sums whose addition order differs, so they match
+        // to rounding.
+        for q in [0.0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), union.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.count(), union.count());
+        assert_eq!(merged.min(), union.min());
+        assert_eq!(merged.max(), union.max());
+        assert!((merged.mean() - union.mean()).abs() < 1e-9);
+        assert!((merged.stddev() - union.stddev()).abs() < 1e-9);
+    }
+
+    /// Merging with an empty histogram is the identity in both directions —
+    /// min/max/moments must not be disturbed by the empty side's sentinels.
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut populated = Histogram::new();
+        for v in [0.5, 3.0, 42.0] {
+            populated.record(v);
+        }
+        let mut left = populated.clone();
+        left.merge(&Histogram::new());
+        assert_eq!(left, populated);
+        let mut right = Histogram::new();
+        right.merge(&populated);
+        assert_eq!(right.count(), populated.count());
+        assert_eq!(right.min(), populated.min());
+        assert_eq!(right.max(), populated.max());
+        assert_eq!(right.median(), populated.median());
+    }
+
     #[test]
     fn merge_combines_populations() {
         let mut a = Histogram::new();

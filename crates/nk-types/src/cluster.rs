@@ -149,6 +149,94 @@ impl ClusterPolicy {
     }
 }
 
+/// Flight-recorder shape: how much history the always-on observability
+/// layer retains. All buffers are fixed-capacity rings, so an enabled
+/// recorder bounds its memory regardless of run length.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsConfig {
+    /// Capture anything at all. `false` turns every hook into a no-op (the
+    /// overhead-comparison baseline of the `obs01` experiment).
+    pub enabled: bool,
+    /// Event-ring capacity: the newest `event_capacity` cluster / control /
+    /// plan / fault events are retained.
+    pub event_capacity: usize,
+    /// How many sealed latency epochs the recorder keeps.
+    pub latency_epochs: usize,
+    /// Virtual-time length of one recorder latency epoch. Independent of
+    /// the placement epoch so latency aggregation works without a policy.
+    pub epoch_ns: u64,
+    /// Top-K capacity of the hot-flow table.
+    pub flow_k: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            event_capacity: 4096,
+            latency_epochs: 64,
+            epoch_ns: 1_000_000,
+            flow_k: 16,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// The default always-on shape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A disabled recorder: every capture hook becomes a no-op.
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Set the event-ring capacity (builder style).
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Set the retained latency-epoch count (builder style).
+    pub fn with_latency_epochs(mut self, epochs: usize) -> Self {
+        self.latency_epochs = epochs;
+        self
+    }
+
+    /// Set the recorder latency-epoch length (builder style).
+    pub fn with_epoch_ns(mut self, ns: u64) -> Self {
+        self.epoch_ns = ns;
+        self
+    }
+
+    /// Set the hot-flow table capacity (builder style).
+    pub fn with_flow_k(mut self, k: usize) -> Self {
+        self.flow_k = k;
+        self
+    }
+
+    /// Validate internal consistency. An enabled recorder with any
+    /// zero-capacity ring is a configuration error: a capacity-0 ring would
+    /// silently record nothing while claiming to be on.
+    pub fn validate(&self) -> NkResult<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.event_capacity == 0
+            || self.latency_epochs == 0
+            || self.epoch_ns == 0
+            || self.flow_k == 0
+        {
+            return Err(NkError::BadConfig);
+        }
+        Ok(())
+    }
+}
+
 /// Full description of one NetKernel cluster: hosts behind a top-of-rack
 /// switch, the uplink characteristics, and an optional placement policy.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -170,6 +258,8 @@ pub struct ClusterConfig {
     /// Cluster placement policy. `None` leaves placement static (hosts may
     /// still run their own per-host control planes).
     pub policy: Option<ClusterPolicy>,
+    /// Flight-recorder shape. On by default; see [`ObsConfig`].
+    pub obs: ObsConfig,
 }
 
 impl Default for ClusterConfig {
@@ -181,6 +271,7 @@ impl Default for ClusterConfig {
             max_rounds: crate::constants::DEFAULT_POLL_ROUNDS,
             threads: 1,
             policy: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -230,6 +321,14 @@ impl ClusterConfig {
         self
     }
 
+    /// Set the flight-recorder shape (builder style). The recorder is on
+    /// by default; pass [`ObsConfig::disabled`] to turn every capture hook
+    /// into a no-op.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Look up a host's configuration.
     pub fn host(&self, id: HostId) -> Option<&HostConfig> {
         self.hosts.iter().find(|h| h.host_id == id)
@@ -269,6 +368,7 @@ impl ClusterConfig {
         if let Some(policy) = &self.policy {
             policy.validate()?;
         }
+        self.obs.validate()?;
         Ok(())
     }
 }
@@ -529,9 +629,33 @@ mod tests {
             .with_uplink_rate_gbps(40.0)
             .with_uplink_latency_us(5)
             .with_threads(4)
-            .with_policy(ClusterPolicy::new().with_pool_clock_hz(1_000_000));
+            .with_policy(ClusterPolicy::new().with_pool_clock_hz(1_000_000))
+            .with_obs(ObsConfig::new().with_event_capacity(128).with_flow_k(8));
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ClusterConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    /// An enabled recorder with any zero-capacity ring is rejected at
+    /// cluster-config validation; a disabled one passes regardless.
+    #[test]
+    fn zero_capacity_recorder_is_rejected() {
+        let base = ClusterConfig::new().with_host(host(1, 1));
+        assert!(base.clone().validate().is_ok());
+        for bad in [
+            ObsConfig::new().with_event_capacity(0),
+            ObsConfig::new().with_latency_epochs(0),
+            ObsConfig::new().with_epoch_ns(0),
+            ObsConfig::new().with_flow_k(0),
+        ] {
+            assert_eq!(
+                base.clone().with_obs(bad).validate(),
+                Err(NkError::BadConfig),
+                "{bad:?}"
+            );
+            let mut off = bad;
+            off.enabled = false;
+            assert!(base.clone().with_obs(off).validate().is_ok());
+        }
     }
 }

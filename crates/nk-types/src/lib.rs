@@ -33,7 +33,7 @@ pub mod ops;
 
 pub use addr::SockAddr;
 pub use api::{EpollEvent, PollEvents, ShutdownHow, SocketApi};
-pub use cluster::{ClusterAction, ClusterConfig, ClusterEvent, ClusterPolicy};
+pub use cluster::{ClusterAction, ClusterConfig, ClusterEvent, ClusterPolicy, ObsConfig};
 pub use config::{
     CcKind, HostConfig, IsolationPolicy, NsmConfig, StackKind, VmConfig, VmToNsmPolicy,
 };

@@ -26,9 +26,10 @@
 
 use nk_cluster::{Cluster, ClusterStats};
 use nk_ctrl::PlanEvent;
+use nk_obs::ObsDump;
 use nk_types::{
-    ClusterConfig, ClusterEvent, HostId, NkError, NkResult, NsmId, SockAddr, SocketApi, SocketId,
-    VmId,
+    ClusterConfig, ClusterEvent, FaultPlan, HostId, NkError, NkResult, NsmId, SockAddr, SocketApi,
+    SocketId, VmId,
 };
 use std::collections::BTreeMap;
 
@@ -127,6 +128,9 @@ pub struct ClusterScenarioConfig {
     pub migrations: Vec<PlannedMigration>,
     /// Scripted host evacuations.
     pub evacuations: Vec<PlannedEvacuation>,
+    /// Fault plans installed per host before the run starts (the cluster
+    /// analogue of [`crate::scenario::ScenarioConfig::with_faults`]).
+    pub fault_plans: Vec<(HostId, FaultPlan)>,
     /// Step budget (livelock guard).
     pub max_steps: usize,
     /// Steps to keep running after every tenant finished, so drains
@@ -149,6 +153,7 @@ impl ClusterScenarioConfig {
             tenants: Vec::new(),
             migrations: Vec::new(),
             evacuations: Vec::new(),
+            fault_plans: Vec::new(),
             max_steps: 40_000,
             drain_steps: 200,
             dt_ns: 100_000,
@@ -191,6 +196,14 @@ impl ClusterScenarioConfig {
         self
     }
 
+    /// Install a fault plan on one of the cluster's hosts before the run
+    /// starts (builder style). Fault events fire against virtual time as
+    /// the cluster steps, exactly as on a standalone host.
+    pub fn with_fault_plan(mut self, host: HostId, plan: FaultPlan) -> Self {
+        self.fault_plans.push((host, plan));
+        self
+    }
+
     /// Set the payload seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -225,6 +238,10 @@ pub struct ClusterScenarioReport {
     pub final_nsm_cores: BTreeMap<(HostId, NsmId), usize>,
     /// Cluster scheduler and placement counters.
     pub stats: ClusterStats,
+    /// The flight recorder's snapshot at the end of the run: merged event
+    /// ring, per-epoch latency quantiles, migration phase timelines, and
+    /// the hot-flow table ([`nk_obs::FlightRecorder`]).
+    pub obs: ObsDump,
 }
 
 /// Per-tenant transfer state: the bursty stop-and-wait machine plus the
@@ -269,6 +286,12 @@ impl ClusterScenario {
     pub fn run(&self) -> NkResult<ClusterScenarioReport> {
         let cfg = &self.cfg;
         let mut cluster = Cluster::new(cfg.cluster.clone())?;
+        for (host, plan) in &cfg.fault_plans {
+            cluster
+                .host_mut(*host)
+                .ok_or(NkError::NotFound)?
+                .install_fault_plan(plan)?;
+        }
 
         let server = cluster.add_remote(cfg.server_ip);
         let listener = server.socket();
@@ -391,6 +414,7 @@ impl ClusterScenario {
             final_homes,
             final_nsm_cores,
             stats: cluster.stats(),
+            obs: cluster.obs_dump(),
         })
     }
 
@@ -551,6 +575,7 @@ impl ClusterScenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nk_obs::MigrationPhase;
     use nk_types::{HostConfig, NsmConfig, VmConfig, VmToNsmPolicy};
 
     fn host(id: u8, vms: &[u8]) -> HostConfig {
@@ -610,6 +635,35 @@ mod tests {
         assert_eq!(report.stats.drains_completed, 0);
         assert_eq!(report.final_homes[&VmId(1)], HostId(2));
         assert_eq!(report.final_nsm_cores[&(HostId(1), NsmId(1))], 0);
+        // The flight recorder saw the whole warm chain for the VM, in
+        // phase order, every window closed successfully.
+        let phases: Vec<_> = report
+            .obs
+            .phases
+            .iter()
+            .filter(|w| w.vm == Some(VmId(1)))
+            .collect();
+        assert_eq!(
+            phases.iter().map(|w| w.phase).collect::<Vec<_>>(),
+            vec![
+                MigrationPhase::Freeze,
+                MigrationPhase::Export,
+                MigrationPhase::Reroute,
+                MigrationPhase::Install,
+                MigrationPhase::Thaw,
+            ],
+            "{:?}",
+            report.obs.phases
+        );
+        assert!(phases.iter().all(|w| w.ok));
+        assert!(
+            !report.obs.epochs.is_empty(),
+            "a multi-ms run must seal latency epochs"
+        );
+        assert!(
+            !report.obs.flows.is_empty(),
+            "cross-host echo traffic must populate the hot-flow table"
+        );
     }
 
     /// A scripted host evacuation clears the host mid-stream through the

@@ -408,6 +408,28 @@ fn faulted_evacuation_is_identical_at_any_thread_count() {
     }
 }
 
+/// The flight recorder's serialized dump is the CI determinism
+/// fingerprint: byte-identical across repeated runs of the same
+/// configuration and across every thread count. (The structural
+/// comparisons above already cover `ObsDump` equality via the report's
+/// `PartialEq`; this pins the *bytes*, which is what the CI job diffs.)
+#[test]
+fn serialized_obs_dump_is_byte_identical_across_runs_and_threads() {
+    let reference =
+        serde_json::to_string(&warm_scenario(THREAD_MATRIX[0]).obs).expect("dump serializes");
+    assert!(
+        reference.contains("WarmMigrateVm"),
+        "the warm migration must land in the ring: {reference}"
+    );
+    let rerun =
+        serde_json::to_string(&warm_scenario(THREAD_MATRIX[0]).obs).expect("dump serializes");
+    assert_eq!(reference, rerun, "same configuration, same bytes");
+    for &threads in &THREAD_MATRIX[1..] {
+        let dump = serde_json::to_string(&warm_scenario(threads).obs).expect("dump serializes");
+        assert_eq!(dump, reference, "threads={threads} diverged");
+    }
+}
+
 /// The per-phase work counters in [`ClusterStats`] are part of the
 /// equality contract above; this pins that they actually count.
 #[test]

@@ -18,6 +18,8 @@
 //! * [`host`] — host orchestration (threaded and simulated) and metrics.
 //! * [`cluster`] — the cluster fabric: hosts behind a top-of-rack switch,
 //!   cross-host VM migration with connection draining.
+//! * [`obs`] — the deterministic flight recorder: event ring, latency
+//!   epochs, migration phase timelines, hot-flow table.
 //! * [`workload`] — workload generators used by the evaluation.
 
 pub use nk_cluster as cluster;
@@ -27,6 +29,7 @@ pub use nk_fabric as fabric;
 pub use nk_guest as guest;
 pub use nk_host as host;
 pub use nk_netstack as netstack;
+pub use nk_obs as obs;
 pub use nk_queue as queue;
 pub use nk_service as service;
 pub use nk_shmem as shmem;
@@ -35,6 +38,7 @@ pub use nk_types as types;
 pub use nk_workload as workload;
 
 pub use nk_cluster::Cluster;
+pub use nk_obs::{FlightRecorder, ObsDump, ObsFilter};
 pub use nk_types::{
     ClusterAction, ClusterConfig, ClusterEvent, ClusterPolicy, ControlAction, ControlEvent,
     ControlPolicy, ControlTarget, FaultAction, FaultEvent, FaultPlan, LinkFault, NkError, NkResult,
