@@ -115,6 +115,17 @@ impl ConnTable {
         true
     }
 
+    /// Every ⟨VM, NSM⟩ relation currently pinned, one per entry (a VM with
+    /// several tuples on one NSM appears repeatedly). Share-lane grouping
+    /// unions over these edges; the caller's partition is a set, so the
+    /// unsorted order here is immaterial.
+    pub fn vm_nsm_pairs(&self) -> Vec<(VmId, NsmId)> {
+        self.entries
+            .iter()
+            .map(|(k, e)| (VmId(k.entity), e.nsm))
+            .collect()
+    }
+
     /// Number of connections currently mapped to `nsm`.
     pub fn connections_for_nsm(&self, nsm: NsmId) -> usize {
         self.entries.values().filter(|e| e.nsm == nsm).count()

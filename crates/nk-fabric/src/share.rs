@@ -1,0 +1,107 @@
+//! The share-lane → host-hub edge: a wait-free SPSC report channel.
+//!
+//! Intra-host sharding splits a `NetKernelHost` into per-NSM-share lanes
+//! (polled on worker threads) and a serial hub (polled by the coordinator at
+//! the round barrier). Just as [`crate::uplink`] is the only cross-thread
+//! edge between a host shard and the ToR, this channel is the only
+//! cross-thread edge between a share lane and its host hub: the lane pushes
+//! work reports during its poll round, the hub drains them at the barrier —
+//! in (`HostId`, lane key) order — to charge the shared-memory core ledger
+//! and feed the weighted lane placer.
+//!
+//! One producer (the lane), one consumer (the hub), pushes that never fail:
+//! built directly on [`nk_queue::unbounded()`], so both sides stay wait-free
+//! and a report burst can never stall a lane or skew behaviour with shard
+//! timing. The channel is generic over the report type — the lane/hub
+//! protocol lives in `nk-host`, keeping this crate free of host-layer types.
+
+use nk_queue::unbounded::{unbounded, UnboundedConsumer, UnboundedProducer};
+
+/// The lane side of a share edge: reports leave through [`ShareTx::send`].
+/// Owned by exactly one share lane (one worker thread per round).
+pub struct ShareTx<T> {
+    to_hub: UnboundedProducer<T>,
+}
+
+/// The hub side of the same edge: [`ShareRx::drain_with`] folds the lane's
+/// reports at the round barrier. Owned by the host hub (coordinator).
+pub struct ShareRx<T> {
+    from_lane: UnboundedConsumer<T>,
+}
+
+/// Create the two ends of one share-lane → hub edge.
+pub fn share_edge<T>() -> (ShareTx<T>, ShareRx<T>) {
+    let (to_hub, from_lane) = unbounded();
+    (ShareTx { to_hub }, ShareRx { from_lane })
+}
+
+impl<T> ShareTx<T> {
+    /// Queue a report towards the hub. Wait-free, never fails.
+    pub fn send(&mut self, report: T) {
+        self.to_hub.push(report);
+    }
+
+    /// Number of reports not yet drained by the hub.
+    pub fn pending(&self) -> usize {
+        self.to_hub.len()
+    }
+}
+
+impl<T> ShareRx<T> {
+    /// Drain every queued report, handing each to `f` in FIFO order;
+    /// returns how many were drained.
+    pub fn drain_with(&mut self, f: impl FnMut(T)) -> usize {
+        self.from_lane.drain_with(f)
+    }
+
+    /// Number of reports awaiting the barrier drain.
+    pub fn pending(&self) -> usize {
+        self.from_lane.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_drain_in_fifo_order() {
+        let (mut lane, mut hub) = share_edge::<u64>();
+        for i in 0..5 {
+            lane.send(i);
+        }
+        assert_eq!(lane.pending(), 5);
+        assert_eq!(hub.pending(), 5);
+        let mut sum = 0;
+        let mut seen = Vec::new();
+        assert_eq!(
+            hub.drain_with(|r| {
+                sum += r;
+                seen.push(r);
+            }),
+            5
+        );
+        assert_eq!(sum, 10);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(hub.drain_with(|_| panic!("edge must be empty")), 0);
+    }
+
+    /// The edge crosses a thread boundary once per round: lane pushes on a
+    /// worker, hub drains at the barrier after the worker's round finished.
+    #[test]
+    fn cross_thread_round_trip() {
+        let (mut lane, mut hub) = share_edge::<u32>();
+        let worker = std::thread::spawn(move || {
+            for i in 0..1000 {
+                lane.send(i);
+            }
+        });
+        worker.join().unwrap();
+        let mut expected = 0;
+        hub.drain_with(|r| {
+            assert_eq!(r, expected);
+            expected += 1;
+        });
+        assert_eq!(expected, 1000);
+    }
+}

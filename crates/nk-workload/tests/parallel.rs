@@ -408,6 +408,170 @@ fn faulted_evacuation_is_identical_at_any_thread_count() {
     }
 }
 
+/// Everything observable from the uneven-share-count run, for whole-value
+/// comparison across the (threads × shard-mode) matrix.
+#[derive(Debug, PartialEq)]
+struct UnevenRunReport {
+    digest: u64,
+    stats: ClusterStats,
+    control: Vec<(HostId, ControlEvent)>,
+    homes: Vec<(VmId, HostId)>,
+    streams: Vec<Vec<u8>>,
+    obs: String,
+    plan_events: Vec<PlanEvent>,
+}
+
+/// A cluster with hosts of 1, 3 and 8 NSM shares — the shape intra-host
+/// sharding exists for — running a warm migration out of the 8-share host
+/// and a mid-plan evacuation rollback of the 3-share host, both crossing
+/// lane boundaries. Every observable, including the serialized `ObsDump`,
+/// must be identical for any thread count and for lane mode on or off.
+fn uneven_run(threads: usize, shard: bool) -> UnevenRunReport {
+    let mut host3 = HostConfig::new().with_host_id(HostId(2));
+    let mut host8 = HostConfig::new().with_host_id(HostId(3));
+    let mut map3 = Vec::new();
+    let mut map8 = Vec::new();
+    for n in 1u8..=3 {
+        host3 = host3
+            .with_nsm(NsmConfig::kernel(NsmId(n)))
+            .with_vm(VmConfig::new(VmId(1 + n)));
+        map3.push((VmId(1 + n), NsmId(n)));
+    }
+    for n in 1u8..=8 {
+        host8 = host8
+            .with_nsm(NsmConfig::kernel(NsmId(n)))
+            .with_vm(VmConfig::new(VmId(4 + n)));
+        map8.push((VmId(4 + n), NsmId(n)));
+    }
+    let cfg = ClusterConfig::new()
+        .with_uplink_latency_us(2)
+        .with_threads(threads)
+        .with_shard_within_hosts(shard)
+        .with_host(host(1, &[1]))
+        .with_host(host3.with_mapping(VmToNsmPolicy::Static(map3)))
+        .with_host(host8.with_mapping(VmToNsmPolicy::Static(map8)));
+    let mut cluster = Cluster::new(cfg).expect("valid uneven cluster");
+    let server = cluster.add_remote(SERVER_IP);
+    let ls = server.socket();
+    server.bind(ls, SockAddr::new(0, 7)).unwrap();
+    server.listen(ls, 32).unwrap();
+
+    let vms: Vec<VmId> = (1u8..=12).map(VmId).collect();
+    let mut socks = Vec::new();
+    for &vm in &vms {
+        let home = cluster.home_of(vm).unwrap();
+        let guest = cluster.guest_on(home, vm).unwrap();
+        let s = guest.socket().unwrap();
+        guest.connect(s, SockAddr::new(SERVER_IP, 7)).unwrap();
+        socks.push((vm, s));
+    }
+    cluster.run(15, 100_000);
+    for &(vm, s) in &socks {
+        let home = cluster.home_of(vm).unwrap();
+        let guest = cluster.guest_on(home, vm).unwrap();
+        guest.send(s, b"seed").unwrap();
+    }
+    cluster.run(10, 100_000);
+
+    // A warm migration out of the 8-share host: the pinned connection
+    // leaves its lane on host 3 and lands in host 1's single lane.
+    cluster
+        .migrate_vm_warm(VmId(5), HostId(3), HostId(1))
+        .expect("warm migration runs");
+    cluster.run(10, 100_000);
+
+    // A mid-plan evacuation rollback of the 3-share host: the last planned
+    // step refuses, every completed action reverts across lane boundaries.
+    let probe = cluster
+        .plan_evacuation(HostId(2), 2)
+        .expect("plan compiles");
+    let last = probe.steps.last().expect("plan has steps").id;
+    let rolled_back = cluster
+        .evacuate_host_with_faults(
+            HostId(2),
+            2,
+            &[EvacFault {
+                before_step: last,
+                kind: EvacFaultKind::FailAction,
+            }],
+        )
+        .expect("faulted evacuation reports instead of erroring");
+    assert!(!rolled_back.committed, "{rolled_back:?}");
+
+    for &(vm, s) in &socks {
+        let home = cluster.home_of(vm).unwrap();
+        let guest = cluster.guest_on(home, vm).unwrap();
+        guest.send(s, b"tail").unwrap();
+    }
+    cluster.run(15, 100_000);
+
+    let server = cluster.remote_mut(SERVER_IP).unwrap();
+    let mut streams = Vec::new();
+    while let Ok((conn, _)) = server.accept(ls) {
+        let mut got = Vec::new();
+        let mut buf = [0u8; 64];
+        while let Ok(n) = server.recv(conn, &mut buf) {
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        streams.push(got);
+    }
+    let homes = vms
+        .iter()
+        .map(|&vm| (vm, cluster.home_of(vm).expect("VM has a home")))
+        .collect();
+    UnevenRunReport {
+        digest: cluster.event_digest(),
+        stats: cluster.stats(),
+        control: cluster.control_events(),
+        homes,
+        streams,
+        obs: serde_json::to_string(&cluster.obs_dump()).expect("dump serializes"),
+        plan_events: cluster.plan_events().to_vec(),
+    }
+}
+
+/// Hosts with 1, 3 and 8 shares in one cluster: digests, stats, the
+/// serialized `ObsDump`, the merged control view and every tenant byte
+/// stream are identical at threads 1/2/4 — and identical again with
+/// intra-host sharding on or off, including the serial (1-thread) runs the
+/// acceptance criteria single out.
+#[test]
+fn uneven_share_counts_are_identical_across_threads_and_shard_modes() {
+    let reference = uneven_run(1, false);
+    assert_eq!(reference.stats.warm_migrations, 1, "{:?}", reference.stats);
+    assert_eq!(reference.stats.evac_plans, 1);
+    assert_eq!(reference.stats.evac_rollbacks, 1);
+    assert_eq!(reference.stats.evac_commits, 0);
+    // The rollback left every VM home except the explicit warm migration.
+    for &(vm, home) in &reference.homes {
+        let expected = match vm {
+            VmId(1) | VmId(5) => HostId(1),
+            VmId(v) if v <= 4 => HostId(2),
+            _ => HostId(3),
+        };
+        assert_eq!(home, expected, "vm {vm:?}");
+    }
+    assert_eq!(reference.streams.len(), 12);
+    for stream in &reference.streams {
+        assert_eq!(stream, b"seedtail", "streams stay byte-contiguous");
+    }
+    for &threads in &THREAD_MATRIX {
+        for shard in [false, true] {
+            if threads == 1 && !shard {
+                continue;
+            }
+            let report = uneven_run(threads, shard);
+            assert_eq!(
+                report, reference,
+                "threads={threads} shard_within_hosts={shard} diverged"
+            );
+        }
+    }
+}
+
 /// The flight recorder's serialized dump is the CI determinism
 /// fingerprint: byte-identical across repeated runs of the same
 /// configuration and across every thread count. (The structural
