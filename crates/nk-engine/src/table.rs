@@ -1,7 +1,7 @@
 //! The CoreEngine connection table (paper §4.3, Figure 6).
 
 use nk_types::{ConnKey, NsmId, QueueSetId, SocketId, VmId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One connection-table entry: the NSM side of a VM tuple.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -17,9 +17,14 @@ pub struct ConnEntry {
 
 /// The connection table mapping ⟨VM id, queue set, socket⟩ to
 /// ⟨NSM id, queue set, socket⟩.
+///
+/// Keyed by a `BTreeMap` so every iteration below walks entries in
+/// `ConnKey` order: the table sits on the datapath, and any hash-ordered
+/// walk here would make replay output depend on the map's per-instance
+/// seed (the determinism contract of PRs 6, 8 and 9).
 #[derive(Default)]
 pub struct ConnTable {
-    entries: HashMap<ConnKey, ConnEntry>,
+    entries: BTreeMap<ConnKey, ConnEntry>,
 }
 
 impl ConnTable {
@@ -80,16 +85,14 @@ impl ConnTable {
     }
 
     /// Every entry belonging to a VM, sorted by key (non-destructive view;
-    /// warm migration pre-validates against this before extracting).
+    /// warm migration pre-validates against this before extracting). The
+    /// ordered map walks in `ConnKey` order, so no explicit sort is needed.
     pub fn entries_for_vm(&self, vm: VmId) -> Vec<(ConnKey, ConnEntry)> {
-        let mut out: Vec<(ConnKey, ConnEntry)> = self
-            .entries
+        self.entries
             .iter()
             .filter(|(k, _)| k.entity == vm.0)
             .map(|(k, e)| (*k, *e))
-            .collect();
-        out.sort_by_key(|(k, _)| *k);
-        out
+            .collect()
     }
 
     /// Remove and return every entry belonging to a VM, sorted by key — the
@@ -116,9 +119,10 @@ impl ConnTable {
     }
 
     /// Every ⟨VM, NSM⟩ relation currently pinned, one per entry (a VM with
-    /// several tuples on one NSM appears repeatedly). Share-lane grouping
-    /// unions over these edges; the caller's partition is a set, so the
-    /// unsorted order here is immaterial.
+    /// several tuples on one NSM appears repeatedly), in `ConnKey` order.
+    /// Share-lane grouping unions over these edges; the order is pinned by
+    /// a regression test anyway so no caller can come to depend on an
+    /// unstable walk.
     pub fn vm_nsm_pairs(&self) -> Vec<(VmId, NsmId)> {
         self.entries
             .iter()
@@ -149,15 +153,14 @@ impl ConnTable {
 
     /// Remove every entry pinned to `nsm` (the NSM crashed) and return the
     /// affected VM tuples, sorted so callers notify guests in a
-    /// deterministic order.
+    /// deterministic order (the ordered map already walks in key order).
     pub fn remove_nsm(&mut self, nsm: NsmId) -> Vec<ConnKey> {
-        let mut victims: Vec<ConnKey> = self
+        let victims: Vec<ConnKey> = self
             .entries
             .iter()
             .filter(|(_, e)| e.nsm == nsm)
             .map(|(k, _)| *k)
             .collect();
-        victims.sort();
         for k in &victims {
             self.entries.remove(k);
         }
@@ -245,6 +248,46 @@ mod tests {
         }
         assert!(!t.install(extracted[0].0, extracted[0].1));
         assert_eq!(t.connections_for_vm(VmId(1)), 2);
+    }
+
+    /// Iteration-order pin: the table's walk order is part of the
+    /// determinism contract. Entries inserted in scrambled order must come
+    /// back in `ConnKey` order from every iterating accessor — a regression
+    /// to a hash-ordered map would scramble `vm_nsm_pairs` (share-lane
+    /// grouping input) and `remove_nsm` (guest notification order) between
+    /// runs and break byte-identical replay.
+    #[test]
+    fn iteration_order_is_key_sorted_regardless_of_insertion_order() {
+        let mut t = ConnTable::new();
+        // Scrambled insertion order across VMs, queue sets and sockets.
+        for (vm, qs, sock, nsm) in [
+            (3u8, 1u8, 9u32, 2u8),
+            (1, 0, 5, 1),
+            (2, 1, 1, 2),
+            (1, 1, 2, 1),
+            (3, 0, 7, 1),
+            (1, 0, 1, 2),
+        ] {
+            t.get_or_insert_with(key(vm, qs, sock), || (NsmId(nsm), QueueSetId(0)));
+        }
+        let pairs = t.vm_nsm_pairs();
+        let keys: Vec<ConnKey> = t.entries_for_vm(VmId(1)).iter().map(|(k, _)| *k).collect();
+        // Exact pinned orders (ConnKey orders by entity, then queue set,
+        // then socket).
+        assert_eq!(
+            pairs,
+            vec![
+                (VmId(1), NsmId(2)),
+                (VmId(1), NsmId(1)),
+                (VmId(1), NsmId(1)),
+                (VmId(2), NsmId(2)),
+                (VmId(3), NsmId(1)),
+                (VmId(3), NsmId(2)),
+            ]
+        );
+        assert_eq!(keys, vec![key(1, 0, 1), key(1, 0, 5), key(1, 1, 2)]);
+        let victims = t.remove_nsm(NsmId(2));
+        assert_eq!(victims, vec![key(1, 0, 1), key(2, 1, 1), key(3, 1, 9)]);
     }
 
     #[test]

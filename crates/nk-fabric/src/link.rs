@@ -332,7 +332,7 @@ mod tests {
             }
         }
         let out = link.deliverable(u64::MAX);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for f in &out {
             assert!(
                 seen.insert(f.payload),

@@ -778,7 +778,7 @@ mod tests {
     #[test]
     fn sockets_spread_over_queue_sets() {
         let (mut guest, mut resp, _region) = guest_with_responders(4);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..16 {
             guest.socket().unwrap();
         }

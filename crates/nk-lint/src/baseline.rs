@@ -1,0 +1,129 @@
+//! Baseline support: accepted pre-existing findings.
+//!
+//! A committed `lint-baseline.json` lets the linter be introduced into a
+//! tree with known findings without blocking CI: baselined findings pass,
+//! anything new fails. Entries match on (rule, file, key) — the key is a
+//! line-number-independent snippet ordinal, so unrelated edits moving a
+//! finding up or down the file do not un-baseline it. The shipped baseline
+//! is empty: every pre-existing finding was fixed or allowlisted with a
+//! reason instead.
+
+use crate::json::{self, esc, Value};
+use crate::rules::Finding;
+
+/// One baseline entry identifying an accepted finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub key: String,
+}
+
+/// A loaded baseline.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// True when `f` is covered by this baseline.
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == f.rule && e.file == f.file && e.key == f.key)
+    }
+}
+
+/// Parse a baseline document. Format:
+/// `{"version": 1, "entries": [{"rule": .., "file": .., "key": ..}, ...]}`.
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
+    let doc = json::parse(src).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| "baseline has no \"entries\" array".to_string())?;
+    let mut out = Vec::new();
+    for (i, entry) in entries.iter().enumerate() {
+        let field = |name: &str| -> Result<String, String> {
+            entry
+                .get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("baseline entry {i} lacks string field {name:?}"))
+        };
+        out.push(BaselineEntry {
+            rule: field("rule")?,
+            file: field("file")?,
+            key: field("key")?,
+        });
+    }
+    Ok(Baseline { entries: out })
+}
+
+/// Serialize findings into baseline-document form.
+pub fn render_baseline(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"key\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.file),
+            esc(&f.key)
+        ));
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, key: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line: 1,
+            message: String::new(),
+            hint: String::new(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_covers_same_finding_at_any_line() {
+        let mut f = finding("hash-order", "crates/nk-engine/src/table.rs", "HashMap#0");
+        let doc = render_baseline(std::slice::from_ref(&f));
+        let b = parse_baseline(&doc).unwrap();
+        assert!(b.covers(&f));
+        f.line = 999; // lines move; identity is (rule, file, key)
+        assert!(b.covers(&f));
+        assert!(!b.covers(&finding("hash-order", "other.rs", "HashMap#0")));
+        assert!(!b.covers(&finding(
+            "hash-order",
+            "crates/nk-engine/src/table.rs",
+            "HashMap#1"
+        )));
+    }
+
+    #[test]
+    fn empty_baseline_parses_and_covers_nothing() {
+        let b = parse_baseline(&render_baseline(&[])).unwrap();
+        assert!(b.entries.is_empty());
+        assert!(!b.covers(&finding("wall-clock", "x.rs", "SystemTime#0")));
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors() {
+        assert!(parse_baseline("not json").is_err());
+        assert!(parse_baseline("{\"version\": 1}").is_err());
+        assert!(parse_baseline("{\"entries\": [{\"rule\": \"x\"}]}").is_err());
+    }
+}

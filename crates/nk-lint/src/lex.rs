@@ -1,0 +1,374 @@
+//! A minimal, dependency-free Rust tokenizer.
+//!
+//! The rule passes need exactly three things from a source file: the
+//! identifier/punctuation token stream with line numbers (so `HashMap` in a
+//! string literal or a doc comment never fires a rule), the comment text per
+//! line (so `// SAFETY:` and `// nk-lint: allow(...)` directives can be
+//! found), and which lines carry code at all (so a comment block "directly
+//! above" a finding can be walked). A full parser — `syn` or rustc's own —
+//! would be more precise but drags in a dependency tree; the token layer is
+//! enough for every invariant the linter checks.
+
+/// One lexed token: an identifier/keyword or a single punctuation character.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Identifier text, or the punctuation character as a 1-char string.
+    pub text: String,
+    /// True when the token is an identifier or keyword.
+    pub is_ident: bool,
+}
+
+/// A tokenized source file plus the per-line comment map.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel_path: String,
+    /// Identifier + punctuation tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Per line (index 0 = line 1): concatenated comment text on that line.
+    pub comment_text: Vec<String>,
+    /// Per line: true when at least one code token starts on it.
+    pub has_code: Vec<bool>,
+}
+
+impl SourceFile {
+    /// True when `line` (1-based) consists of comments only (no code, some
+    /// comment text).
+    pub fn is_comment_only(&self, line: u32) -> bool {
+        let i = (line as usize).wrapping_sub(1);
+        match (self.has_code.get(i), self.comment_text.get(i)) {
+            (Some(false), Some(t)) => !t.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Comment text on `line` (1-based), or "" when none.
+    pub fn comment_on(&self, line: u32) -> &str {
+        self.comment_text
+            .get((line as usize).wrapping_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// The contiguous run of comment-only lines directly above `line`,
+    /// concatenated top-to-bottom. Stops at the first blank or code line.
+    pub fn comment_block_above(&self, line: u32) -> String {
+        let mut l = line.saturating_sub(1);
+        let mut lines = Vec::new();
+        while l >= 1 && self.is_comment_only(l) {
+            lines.push(self.comment_on(l));
+            l -= 1;
+        }
+        lines.reverse();
+        lines.join("\n")
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs simply consume the
+/// rest of the file (the linter's job is auditing code that compiles; on
+/// garbage it degrades to fewer tokens, not a crash).
+pub fn tokenize(rel_path: &str, src: &str) -> SourceFile {
+    let n_lines = src.lines().count().max(1);
+    let mut out = SourceFile {
+        rel_path: rel_path.to_string(),
+        tokens: Vec::new(),
+        comment_text: vec![String::new(); n_lines + 1],
+        has_code: vec![false; n_lines + 1],
+    };
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! note_comment {
+        ($line:expr, $text:expr) => {{
+            let idx = ($line as usize).saturating_sub(1);
+            if let Some(slot) = out.comment_text.get_mut(idx) {
+                if !slot.is_empty() {
+                    slot.push(' ');
+                }
+                slot.push_str($text);
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (includes /// and //!).
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                note_comment!(line, text.trim());
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment, nesting per Rust rules.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut seg_start = j;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '\n' {
+                        let text: String = chars[seg_start..j].iter().collect();
+                        note_comment!(line, text.trim());
+                        line += 1;
+                        seg_start = j + 1;
+                        j += 1;
+                    } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(seg_start);
+                let text: String = chars[seg_start..end].iter().collect();
+                note_comment!(line, text.trim_end_matches("*/").trim());
+                i = j;
+            }
+            '"' => {
+                // String literal with escapes; may span lines.
+                let mut j = i + 1;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' => j += 2,
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '"' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                i = j;
+            }
+            '\'' => {
+                // Char literal vs lifetime. `'\x'`-style and `'c'` are
+                // literals; `'ident` (not followed by a closing quote) is a
+                // lifetime label.
+                if chars.get(i + 1) == Some(&'\\') {
+                    // Escaped char literal: consume to the closing quote.
+                    let mut j = i + 2;
+                    while j < chars.len() && chars[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else if chars.get(i + 2) == Some(&'\'')
+                    && chars.get(i + 1).copied().is_some_and(|c| c != '\'')
+                {
+                    i += 3; // plain 'c'
+                } else {
+                    i += 1; // lifetime tick; the ident lexes next
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                let next = chars.get(j).copied();
+                if word == "b" && next == Some('"') {
+                    // Byte string b"..": escapes allowed, scan like a normal
+                    // string literal.
+                    let mut k = j + 1;
+                    while k < chars.len() {
+                        match chars[k] {
+                            '\\' => k += 2,
+                            '\n' => {
+                                line += 1;
+                                k += 1;
+                            }
+                            '"' => {
+                                k += 1;
+                                break;
+                            }
+                            _ => k += 1,
+                        }
+                    }
+                    i = k;
+                    continue;
+                }
+                // Raw (byte) string prefixes: r".."/r#".."#/br#".."#.
+                let is_raw_prefix =
+                    matches!(word.as_str(), "r" | "br") && matches!(next, Some('"') | Some('#'));
+                if is_raw_prefix {
+                    // Count the #s, then skip to the matching "#...# close.
+                    let mut hashes = 0usize;
+                    let mut k = j;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'"') {
+                        k += 1;
+                        'scan: while k < chars.len() {
+                            if chars[k] == '\n' {
+                                line += 1;
+                                k += 1;
+                            } else if chars[k] == '"' {
+                                let mut h = 0usize;
+                                while h < hashes && chars.get(k + 1 + h) == Some(&'#') {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    k += 1 + hashes;
+                                    break 'scan;
+                                }
+                                k += 1;
+                            } else {
+                                k += 1;
+                            }
+                        }
+                        i = k;
+                        continue;
+                    }
+                    // `r` / `b` not actually a literal prefix: fall through
+                    // as a plain identifier.
+                }
+                if word == "b" && next == Some('\'') {
+                    // Byte char literal b'x' / b'\n'.
+                    let mut k = j + 1;
+                    if chars.get(k) == Some(&'\\') {
+                        k += 1;
+                    }
+                    while k < chars.len() && chars[k] != '\'' {
+                        k += 1;
+                    }
+                    i = k + 1;
+                    continue;
+                }
+                out.has_code[(line as usize) - 1] = true;
+                out.tokens.push(Tok {
+                    line,
+                    text: word,
+                    is_ident: true,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                // Numeric literal; consume alnum/underscore/dot loosely.
+                let mut j = i + 1;
+                while j < chars.len()
+                    && (is_ident_continue(chars[j])
+                        || (chars[j] == '.'
+                            && chars
+                                .get(j + 1)
+                                .copied()
+                                .is_some_and(|d| d.is_ascii_digit())))
+                {
+                    j += 1;
+                }
+                out.has_code[(line as usize) - 1] = true;
+                i = j;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.has_code[(line as usize) - 1] = true;
+                out.tokens.push(Tok {
+                    line,
+                    text: c.to_string(),
+                    is_ident: false,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(f: &SourceFile) -> Vec<&str> {
+        f.tokens
+            .iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_emit_no_tokens() {
+        let f = tokenize(
+            "t.rs",
+            "// HashMap in a comment\nlet s = \"HashMap::new()\"; /* HashMap */ let x = 1;",
+        );
+        assert_eq!(idents(&f), vec!["let", "s", "let", "x"]);
+        assert!(f.comment_on(1).contains("HashMap in a comment"));
+        assert!(f.comment_on(2).contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_skipped() {
+        let f = tokenize(
+            "t.rs",
+            "let a = r#\"Instant::now() \"quoted\" \"#; let b = 'x'; let c = '\\''; let l: &'static str = \"y\";",
+        );
+        let ids = idents(&f);
+        assert!(!ids.contains(&"Instant"));
+        assert!(
+            ids.contains(&"static"),
+            "lifetime ident still lexes: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn multiline_string_advances_line_numbers() {
+        let f = tokenize("t.rs", "let s = \"a\nb\nc\";\nlet after = 1;");
+        let after = f.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let f = tokenize("t.rs", "/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(idents(&f), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn comment_block_above_walks_contiguous_comments_only() {
+        let src =
+            "let a = 1;\n// SAFETY: one\n// two\nunsafe { x() };\n\n// orphan\n\nlet b = 2;\n";
+        let f = tokenize("t.rs", src);
+        let block = f.comment_block_above(4);
+        assert!(block.contains("SAFETY: one") && block.contains("two"));
+        assert_eq!(f.comment_block_above(8), "", "blank line breaks the block");
+        assert!(f.is_comment_only(2) && !f.is_comment_only(1));
+    }
+
+    #[test]
+    fn byte_literals_are_skipped() {
+        let f = tokenize("t.rs", "let a = b\"Mutex\"; let c = b'\\n'; let d = ok;");
+        let ids = idents(&f);
+        assert!(!ids.contains(&"Mutex"));
+        assert!(ids.contains(&"d") && ids.contains(&"ok"));
+    }
+}

@@ -1,0 +1,127 @@
+//! The `nk-lint` CLI.
+//!
+//! ```text
+//! nk-lint check [--json] [--root PATH] [--baseline PATH] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 internal error.
+
+use nk_lint::{render_json, render_text, run_check, write_baseline, Options};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: nk-lint check [--json] [--root PATH] [--baseline PATH] [--write-baseline]";
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("check") => {}
+        Some("--help") | Some("-h") | None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("nk-lint: unknown command {other:?}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut json = false;
+    let mut write_base = false;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_base = true,
+            "--root" => match iter.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("nk-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match iter.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("nk-lint: --baseline needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("nk-lint: unknown flag {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("nk-lint: no enclosing workspace found; pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    // A --write-baseline run records findings rather than filtering them,
+    // so it never loads an existing baseline (which may not exist yet).
+    let opts = Options {
+        root: root.clone(),
+        baseline: if write_base { None } else { baseline.clone() },
+    };
+    let report = match run_check(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("nk-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_base {
+        let path = baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+        let mut all = Vec::new();
+        all.extend(report.findings.iter().cloned());
+        all.extend(report.baselined.iter().cloned());
+        if let Err(e) = write_baseline(&path, &all) {
+            eprintln!("nk-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "nk-lint: wrote baseline with {} entr{} to {}",
+            all.len(),
+            if all.len() == 1 { "y" } else { "ies" },
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

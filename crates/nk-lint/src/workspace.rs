@@ -1,0 +1,187 @@
+//! Workspace discovery: members, package names, and the `.rs` file walk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One workspace crate to lint.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from `[package] name = "..."`.
+    pub name: String,
+    /// Manifest path relative to the workspace root, `/`-separated.
+    pub manifest_rel: String,
+    /// Manifest text.
+    pub manifest_text: String,
+    /// `.rs` files (relative to root, `/`-separated), sorted.
+    pub rs_files: Vec<String>,
+}
+
+/// A fatal error (unreadable file, malformed manifest): exit code 2.
+#[derive(Debug)]
+pub struct LintError(pub String);
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+fn read(path: &Path) -> Result<String, LintError> {
+    fs::read_to_string(path).map_err(|e| LintError(format!("cannot read {}: {e}", path.display())))
+}
+
+/// Extract `members = [ ... ]` paths from the root manifest.
+fn parse_members(toml: &str) -> Vec<String> {
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                if rest.trim_start().starts_with('=') {
+                    in_members = true;
+                }
+            }
+        }
+        if in_members {
+            for piece in line.split('"').skip(1).step_by(2) {
+                members.push(piece.to_string());
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    members
+}
+
+/// Extract `[package] name = "..."` from a manifest.
+fn parse_package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for raw in toml.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    return Some(rest.trim().trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target` build
+/// output and any directory named `fixtures` (nk-lint's own test fixtures
+/// contain deliberate violations).
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), LintError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| LintError(format!("cannot list {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LintError(format!("cannot list {}: {e}", dir.display())))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "target" | "fixtures" | ".git") {
+                continue;
+            }
+            walk_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_str(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Discover every crate of the workspace at `root`: all members plus the
+/// root package itself (the `netkernel` facade with its top-level `src/`,
+/// `tests/` and `examples/`).
+pub fn discover(root: &Path) -> Result<Vec<CrateInfo>, LintError> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = read(&root_manifest_path)?;
+    if !root_manifest.contains("[workspace]") {
+        return Err(LintError(format!(
+            "{} is not a workspace root (no [workspace] table)",
+            root_manifest_path.display()
+        )));
+    }
+    let mut crates = Vec::new();
+
+    // The root package, if the root manifest declares one.
+    if let Some(name) = parse_package_name(&root_manifest) {
+        let mut rs_files = Vec::new();
+        for sub in ["src", "tests", "examples", "benches"] {
+            let dir = root.join(sub);
+            if dir.is_dir() {
+                walk_rs(root, &dir, &mut rs_files)?;
+            }
+        }
+        rs_files.sort();
+        crates.push(CrateInfo {
+            name,
+            manifest_rel: "Cargo.toml".to_string(),
+            manifest_text: root_manifest.clone(),
+            rs_files,
+        });
+    }
+
+    for member in parse_members(&root_manifest) {
+        let dir = root.join(&member);
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest_text = read(&manifest_path)?;
+        let name = parse_package_name(&manifest_text)
+            .ok_or_else(|| LintError(format!("{}: no [package] name", manifest_path.display())))?;
+        let mut rs_files = Vec::new();
+        walk_rs(root, &dir, &mut rs_files)?;
+        rs_files.sort();
+        crates.push(CrateInfo {
+            name,
+            manifest_rel: rel_str(root, &manifest_path),
+            manifest_text,
+            rs_files,
+        });
+    }
+    crates.sort_by(|a, b| a.manifest_rel.cmp(&b.manifest_rel));
+    Ok(crates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn member_list_parses_single_and_multi_line() {
+        let toml = "[workspace]\nmembers = [\n    \"crates/a\",\n    \"crates/b\",\n]\n";
+        assert_eq!(parse_members(toml), vec!["crates/a", "crates/b"]);
+        let toml = "[workspace]\nmembers = [\"crates/x\"]\n";
+        assert_eq!(parse_members(toml), vec!["crates/x"]);
+    }
+
+    #[test]
+    fn package_name_comes_from_the_package_table() {
+        let toml = "[workspace]\nresolver = \"2\"\n[package]\nname = \"netkernel\"\n\
+                    [dependencies]\nname = \"decoy\"\n";
+        assert_eq!(parse_package_name(toml).as_deref(), Some("netkernel"));
+        assert_eq!(parse_package_name("[lib]\npath = \"x\"\n"), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! The same constructs as the violating fixture, all justified: inline
+//! allows with reasons, an allow-file, and audited `unsafe`. The linter
+//! must report nothing here.
+// nk-lint: allow-file(cross-shard-locks) — the lock guards a lane-local scratch buffer
+
+use std::collections::HashMap; // nk-lint: allow(hash-order) — lookup only, never iterated
+
+// nk-lint: allow(hash-order) — counts are summed, order-free
+pub fn count(m: &HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+pub static SCRATCH: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+/// # Safety
+/// `p` must point to a live, aligned `u32`.
+pub unsafe fn peek(p: *const u32) -> u32 {
+    // SAFETY: the caller upholds the contract documented above.
+    unsafe { *p }
+}
+
+pub struct Wrapper(pub u32);
+
+// SAFETY: Wrapper is a plain newtype over an integer; no interior pointers.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}

@@ -1,0 +1,22 @@
+//! Deliberate violations, one cluster per rule. The integration tests
+//! assert the exact rule ids and line numbers below — renumber with care.
+use std::collections::HashMap;
+
+pub fn lookup() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+pub fn stamp_ms() -> u128 {
+    std::time::SystemTime::now().elapsed().unwrap().as_millis()
+}
+
+pub fn lane_of() -> std::thread::ThreadId {
+    std::thread::current().id()
+}
+
+pub static SHARED: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,2 @@
+//! A crate that exists in the fixture workspace but not in the declared
+//! DAG: its `nk-types` edge must produce an `unregistered` layering finding.

@@ -14,7 +14,7 @@ use nk_fabric::nic::symmetric_flow_hash;
 use nk_fabric::port::{Frame, Port};
 use nk_types::api::sockopt;
 use nk_types::{NkError, NkResult, PollEvents, ShutdownHow, SockAddr, SocketId};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of one stack instance.
 #[derive(Clone)]
@@ -145,15 +145,17 @@ pub struct TcpStack {
     /// walk order must match across runs for seeded scenarios to replay
     /// exactly (a `HashMap` would emit segments in a per-instance order).
     sockets: BTreeMap<SocketId, SocketEntry>,
-    /// (local, remote) → connection socket.
-    demux: HashMap<(SockAddr, SockAddr), SocketId>,
+    /// (local, remote) → connection socket. Ordered for the same reason:
+    /// `serves_ip` and [`TcpStack::four_tuples`] walk it, and a hash-seeded
+    /// walk would leak per-instance order into replay-sensitive output.
+    demux: BTreeMap<(SockAddr, SockAddr), SocketId>,
     /// Listening sockets per local port (more than one with SO_REUSEPORT).
-    listeners: HashMap<u16, Vec<SocketId>>,
+    listeners: BTreeMap<u16, Vec<SocketId>>,
     /// Embryonic connections (arrived via SYN) → their parent listener.
-    embryonic: HashMap<SocketId, SocketId>,
+    embryonic: BTreeMap<SocketId, SocketId>,
     /// Sockets whose previous tick state was not yet writable/readable, for
     /// edge detection.
-    was_writable: HashMap<SocketId, bool>,
+    was_writable: BTreeMap<SocketId, bool>,
     next_socket: u32,
     next_ephemeral: u16,
     iss: u32,
@@ -170,10 +172,10 @@ impl TcpStack {
             cfg,
             port,
             sockets: BTreeMap::new(),
-            demux: HashMap::new(),
-            listeners: HashMap::new(),
-            embryonic: HashMap::new(),
-            was_writable: HashMap::new(),
+            demux: BTreeMap::new(),
+            listeners: BTreeMap::new(),
+            embryonic: BTreeMap::new(),
+            was_writable: BTreeMap::new(),
             next_socket: 1,
             next_ephemeral: ephemeral_start,
             iss: 0x1000,
@@ -514,6 +516,14 @@ impl TcpStack {
         self.demux.keys().any(|(local, _)| local.ip == ip)
     }
 
+    /// Every live connection 4-tuple with its socket id, in (local, remote)
+    /// address order. Diagnostics and warm-migration pre-validation walk
+    /// this; the order is deterministic (and pinned by a regression test)
+    /// because the demultiplexer is an ordered map.
+    pub fn four_tuples(&self) -> Vec<((SockAddr, SockAddr), SocketId)> {
+        self.demux.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
     /// Tear a connection out of this stack for a warm migration, returning
     /// its serializable state. The socket, its demultiplexer entry and its
     /// edge-detection state all go; stray segments that still arrive for
@@ -781,7 +791,7 @@ mod tests {
     #[test]
     fn ephemeral_generation_starts_are_in_range_and_collision_free() {
         let span = (EPHEMERAL_HIGH - EPHEMERAL_LOW) as usize;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for generation in 0..span as u32 {
             let start = StackConfig::new(1)
                 .with_ephemeral_generation(generation)
@@ -876,6 +886,40 @@ mod tests {
 
         assert!(w.client.stats().segments_out > 0);
         assert!(w.server.stats().accepted == 1);
+    }
+
+    /// Iteration-order pin for the demultiplexer: connections arriving in
+    /// scrambled port order must walk back in (local, remote) address
+    /// order. A regression to a hash-ordered demux would scramble this
+    /// walk per instance and leak nondeterminism into everything that
+    /// iterates live connections (`serves_ip`, warm-migration
+    /// pre-validation, diagnostics).
+    #[test]
+    fn four_tuples_walk_in_address_order_regardless_of_arrival() {
+        let mut w = World::new();
+        for port in [90u16, 70, 80] {
+            listening_server(&mut w, port);
+        }
+        // Arrival order 90, 70, 80 — deliberately not sorted.
+        for port in [90u16, 70, 80] {
+            let cs = w.client.socket();
+            w.client
+                .connect(cs, SockAddr::new(SERVER_IP, port), w.now)
+                .unwrap();
+            w.run(10);
+        }
+        let tuples = w.server.four_tuples();
+        assert_eq!(tuples.len(), 3);
+        let local_ports: Vec<u16> = tuples.iter().map(|((l, _), _)| l.port).collect();
+        assert_eq!(
+            local_ports,
+            vec![70, 80, 90],
+            "demux must walk in (local, remote) order, not arrival order"
+        );
+        for ((l, r), _) in &tuples {
+            assert_eq!(l.ip, SERVER_IP);
+            assert_eq!(r.ip, CLIENT_IP);
+        }
     }
 
     #[test]

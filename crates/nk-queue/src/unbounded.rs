@@ -164,8 +164,13 @@ impl<T> Drop for Inner<T> {
         // stub/consumed ones carry no value; pending ones drop theirs).
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
-            // SAFETY: sole owner at this point; `next` read before the free.
+            // SAFETY: both handles are dropped, so this thread is the sole
+            // owner of the whole list; every node from `head` onward is a
+            // live Box allocation published by the producer.
             let next = unsafe { (*cur).next.load(Ordering::Relaxed) };
+            // SAFETY: `cur` came from `Box::into_raw` in `push` (or the stub
+            // in `unbounded`), is non-null, and nothing else can reach it —
+            // `next` was read out above before the backing memory goes away.
             unsafe { drop(Box::from_raw(cur)) };
             cur = next;
         }

@@ -7,6 +7,10 @@
 //! derived throughput. Under `cargo test` the benches therefore double as
 //! smoke tests; `cargo bench` prints the measurements.
 
+// nk-lint: allow-file(wall-clock) — this crate IS the bench harness: its
+// entire purpose is wall-clock measurement. Nothing here runs on the
+// deterministic datapath; simulation time comes from nk-sim's virtual clock.
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
